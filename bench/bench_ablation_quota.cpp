@@ -1,0 +1,51 @@
+// Ablation A4: quota sensitivity ("We plan to investigate smaller quota in
+// future work", paper 4.1).
+//
+// The paper fixes quota = 384 (provide 3x what you back up). This sweep
+// shrinks and grows the quota; with n = 256 blocks per peer, quota below
+// ~256 starves placement outright, and the band in between shows how much
+// slack the market needs.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+
+  bench::Scenario base;
+  base.peers = 1500;
+  base.rounds = 12'000;
+
+  util::FlagSet flags;
+  bench::ScaleFlags scale;
+  scale.Register(&flags);
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  scale.Apply(&base);
+
+  bench::PrintRunBanner("Ablation: quota per peer", base);
+
+  util::Table t({"quota", "backed up", "mean partners", "quota used",
+                 "repairs", "losses", "newcomer losses/1000/day"});
+  for (int quota : {260, 288, 320, 384, 512}) {
+    bench::Scenario s = base;
+    s.options.quota_blocks = quota;
+    const bench::Outcome out = bench::Run(s);
+    t.BeginRow();
+    t.Add(quota);
+    t.Add(out.population.backed_up);
+    t.Add(out.population.mean_partners, 1);
+    t.Add(out.population.mean_hosted, 1);
+    t.Add(out.totals.repairs);
+    t.Add(out.totals.losses);
+    t.Add(out.losses_per_1000_day[0], 4);
+    std::fprintf(stderr, "quota %d done in %.1fs\n", quota, out.wall_seconds);
+  }
+  t.RenderPretty(std::cout);
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Ablation A1: which ingredient of the paper's scheme does the work?
+//
+// Four configurations at threshold 148:
+//   oldest    - acceptance function + oldest-first selection (the paper)
+//   sort-only - oldest-first selection, acceptance disabled
+//   accept    - acceptance function + uniform selection from the pool
+//   random    - neither (age-oblivious baseline)
+// plus youngest-first as the adversarial control.
+//
+// The paper's claim predicts: the age-aware configurations shift repairs
+// away from old peers onto newcomers; the random baseline flattens the
+// stratification; youngest-first inverts part of it.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+
+  bench::Scenario base;
+  base.peers = 1500;
+  base.rounds = 18'000;
+
+  util::FlagSet flags;
+  bench::ScaleFlags scale;
+  scale.Register(&flags);
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  scale.Apply(&base);
+
+  bench::PrintRunBanner("Ablation: selection strategy / acceptance function",
+                        base);
+
+  struct Config {
+    const char* name;
+    core::SelectionKind selection;
+    bool use_acceptance;
+  };
+  const Config configs[] = {
+      {"oldest+accept (paper)", core::SelectionKind::kOldestFirst, true},
+      {"sort-only", core::SelectionKind::kOldestFirst, false},
+      {"accept-only", core::SelectionKind::kRandom, true},
+      {"random", core::SelectionKind::kRandom, false},
+      {"youngest (adversarial)", core::SelectionKind::kYoungestFirst, true},
+  };
+
+  util::Table t({"config", "newcomers/1000/day", "young", "old", "elder",
+                 "elder:newcomer ratio", "total repairs", "losses"});
+  for (const Config& config : configs) {
+    bench::Scenario s = base;
+    s.options.selection = config.selection;
+    s.options.use_acceptance = config.use_acceptance;
+    const bench::Outcome out = bench::Run(s);
+    t.BeginRow();
+    t.Add(config.name);
+    for (int c = 0; c < metrics::kCategoryCount; ++c) {
+      t.Add(out.repairs_per_1000_day[static_cast<size_t>(c)], 3);
+    }
+    const double newc = out.repairs_per_1000_day[0];
+    const double elder = out.repairs_per_1000_day[3];
+    t.Add(newc > 0 ? elder / newc : 0.0, 4);
+    t.Add(out.totals.repairs);
+    t.Add(out.totals.losses);
+    std::fprintf(stderr, "%s done in %.1fs\n", config.name, out.wall_seconds);
+  }
+  t.RenderPretty(std::cout);
+  return 0;
+}

@@ -1,0 +1,102 @@
+#include "bench_common.h"
+
+#include <chrono>
+#include <cstdio>
+
+namespace p2p {
+namespace bench {
+
+Outcome Run(const Scenario& scenario) {
+  const auto start = std::chrono::steady_clock::now();
+
+  sim::EngineOptions eopts;
+  eopts.seed = scenario.seed;
+  eopts.end_round = scenario.rounds;
+  sim::Engine engine(eopts);
+
+  churn::ProfileSet profiles = [&] {
+    switch (scenario.mix) {
+      case ProfileMix::kPaperBernoulli:
+        return churn::ProfileSet::PaperBernoulli();
+      case ProfileMix::kPareto:
+        // Scale 1 month, shape 1.1: heavy-tailed as in [5]; mean ~ 8 months.
+        return churn::ProfileSet::ParetoMix(sim::MonthsToRounds(1), 1.1);
+      case ProfileMix::kPaper:
+        break;
+    }
+    return churn::ProfileSet::Paper();
+  }();
+
+  backup::SystemOptions options = scenario.options;
+  options.num_peers = scenario.peers;
+  backup::BackupNetwork network(&engine, &profiles, options);
+  for (const auto& [name, age] : scenario.observers) {
+    network.AddObserver(name, age);
+  }
+
+  engine.Run();
+
+  Outcome out;
+  for (int c = 0; c < metrics::kCategoryCount; ++c) {
+    const auto cat = static_cast<metrics::AgeCategory>(c);
+    out.categories[static_cast<size_t>(c)] = network.accounting().Snapshot(cat);
+    out.repairs_per_1000_day[static_cast<size_t>(c)] =
+        network.accounting().RepairsPer1000PerDay(cat);
+    out.losses_per_1000_day[static_cast<size_t>(c)] =
+        network.accounting().LossesPer1000PerDay(cat);
+    out.mean_population[static_cast<size_t>(c)] =
+        network.accounting().MeanPopulation(cat);
+  }
+  out.totals = network.totals();
+  out.series = network.category_series();
+  out.observers = network.observers();
+  out.population = network.ComputePopulationStats();
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  return out;
+}
+
+void ScaleFlags::Register(util::FlagSet* flags) {
+  flags->Int64("peers", &peers_, "population size (0 = bench default)");
+  flags->Int64("rounds", &rounds_, "rounds to simulate (0 = bench default)");
+  flags->Int64("seed", &seed_, "random seed (-1 = bench default)");
+  flags->Bool("paper", &paper_, "full paper scale: 25000 peers, 50000 rounds");
+  flags->Bool("bernoulli", &bernoulli_,
+              "per-round coin availability instead of diurnal sessions");
+}
+
+void ScaleFlags::Apply(Scenario* scenario) const {
+  if (paper_) {
+    scenario->peers = 25'000;
+    scenario->rounds = 50'000;
+  }
+  if (peers_ > 0) scenario->peers = static_cast<uint32_t>(peers_);
+  if (rounds_ > 0) scenario->rounds = rounds_;
+  if (seed_ >= 0) scenario->seed = static_cast<uint64_t>(seed_);
+  if (bernoulli_) scenario->mix = ProfileMix::kPaperBernoulli;
+}
+
+std::vector<std::pair<std::string, sim::Round>> PaperObservers() {
+  return {{"baby-1h", 1},
+          {"teenager-1d", sim::kRoundsPerDay},
+          {"adult-1w", sim::kRoundsPerWeek},
+          {"senior-1m", sim::kRoundsPerMonth},
+          {"elder-3m", 3 * sim::kRoundsPerMonth}};
+}
+
+void PrintRunBanner(const std::string& title, const Scenario& scenario) {
+  std::printf("# %s\n", title.c_str());
+  std::printf(
+      "# peers=%u rounds=%lld (%.0f days) seed=%llu k=%d m=%d quota=%d "
+      "timeout=%lld market=%d\n",
+      scenario.peers, static_cast<long long>(scenario.rounds),
+      sim::RoundsToDays(scenario.rounds),
+      static_cast<unsigned long long>(scenario.seed), scenario.options.k,
+      scenario.options.m, scenario.options.quota_blocks,
+      static_cast<long long>(scenario.options.partner_timeout),
+      scenario.options.quota_market ? 1 : 0);
+}
+
+}  // namespace bench
+}  // namespace p2p

@@ -1,0 +1,84 @@
+// Shared harness for the figure/table benches: one place that builds a
+// simulation from a scenario description, runs it, and extracts the numbers
+// the paper's evaluation reports.
+//
+// Default scales are laptop-sized (the shape of every curve is stable well
+// below the paper's 25,000 peers); pass --paper to any figure bench for the
+// full 25,000-peer / 50,000-round configuration.
+
+#ifndef P2P_BENCH_BENCH_COMMON_H_
+#define P2P_BENCH_BENCH_COMMON_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "backup/network.h"
+#include "backup/options.h"
+#include "churn/profile.h"
+#include "metrics/categories.h"
+#include "sim/engine.h"
+#include "util/flags.h"
+
+namespace p2p {
+namespace bench {
+
+/// Which population mix to simulate.
+enum class ProfileMix {
+  kPaper,           ///< diurnal sessions (default calibration)
+  kPaperBernoulli,  ///< per-round coin availability
+  kPareto,          ///< shared Pareto lifetimes (ablation A2)
+};
+
+/// One simulation scenario.
+struct Scenario {
+  uint32_t peers = 1500;
+  sim::Round rounds = 18'000;  // 750 days
+  uint64_t seed = 42;
+  ProfileMix mix = ProfileMix::kPaper;
+  backup::SystemOptions options;
+  /// Observer frozen ages (rounds); empty = no observers.
+  std::vector<std::pair<std::string, sim::Round>> observers;
+};
+
+/// Everything the figures need from one run.
+struct Outcome {
+  std::array<metrics::CategorySnapshot, metrics::kCategoryCount> categories;
+  std::array<double, metrics::kCategoryCount> repairs_per_1000_day;
+  std::array<double, metrics::kCategoryCount> losses_per_1000_day;
+  std::array<double, metrics::kCategoryCount> mean_population;
+  backup::RunTotals totals;
+  std::vector<backup::CategorySample> series;
+  std::vector<backup::ObserverResult> observers;
+  backup::BackupNetwork::PopulationStats population;
+  double wall_seconds = 0.0;
+};
+
+/// Runs a scenario to completion.
+Outcome Run(const Scenario& scenario);
+
+/// Registers the common scale flags (--peers, --rounds, --seed, --paper,
+/// --bernoulli) against `scenario`; call Apply after parsing.
+class ScaleFlags {
+ public:
+  void Register(util::FlagSet* flags);
+  void Apply(Scenario* scenario) const;
+
+ private:
+  int64_t peers_ = 0;   // 0 = keep scenario default
+  int64_t rounds_ = 0;
+  int64_t seed_ = -1;
+  bool paper_ = false;
+  bool bernoulli_ = false;
+};
+
+/// The five observers of the paper's figure 3.
+std::vector<std::pair<std::string, sim::Round>> PaperObservers();
+
+/// Renders the standard run header (scenario + runtime) to stdout.
+void PrintRunBanner(const std::string& title, const Scenario& scenario);
+
+}  // namespace bench
+}  // namespace p2p
+
+#endif  // P2P_BENCH_BENCH_COMMON_H_

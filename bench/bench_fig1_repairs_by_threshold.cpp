@@ -1,0 +1,61 @@
+// Figure 1: "Average rate of repairs for the four categories of peers
+// depending of the repair threshold."
+//
+// The paper sweeps the repair threshold from 132 to 180 and plots, per age
+// category, the average number of repairs per 1000 peers (log scale). The
+// expected shape: monotone growth with the threshold, a faster rise past
+// ~156, and strong stratification (newcomers far above elders).
+//
+//   ./bench_fig1_repairs_by_threshold [--paper] [--peers=N] [--rounds=R]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+
+  bench::Scenario base;
+  base.rounds = 18'000;
+  int threshold_lo = 132;
+  int threshold_hi = 180;
+  int threshold_step = 8;
+
+  util::FlagSet flags;
+  bench::ScaleFlags scale;
+  scale.Register(&flags);
+  flags.Int32("threshold-lo", &threshold_lo, "first threshold of the sweep");
+  flags.Int32("threshold-hi", &threshold_hi, "last threshold of the sweep");
+  flags.Int32("threshold-step", &threshold_step, "sweep step");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  scale.Apply(&base);
+
+  bench::PrintRunBanner(
+      "Figure 1: average repairs per 1000 peers per day vs repair threshold",
+      base);
+
+  util::Table tsv({"threshold", "newcomers", "young", "old", "elder"});
+  for (int threshold = threshold_lo; threshold <= threshold_hi;
+       threshold += threshold_step) {
+    bench::Scenario s = base;
+    s.options.repair_threshold = threshold;
+    const bench::Outcome out = bench::Run(s);
+    tsv.BeginRow();
+    tsv.Add(threshold);
+    for (int c = 0; c < metrics::kCategoryCount; ++c) {
+      tsv.Add(out.repairs_per_1000_day[static_cast<size_t>(c)], 4);
+    }
+    std::fprintf(stderr, "threshold %d done in %.1fs (%lld repairs total)\n",
+                 threshold, out.wall_seconds,
+                 static_cast<long long>(out.totals.repairs));
+  }
+  tsv.RenderTsv(std::cout);
+  std::printf("\n");
+  tsv.RenderPretty(std::cout);
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Figure 2: "Average rate of data lost for the four categories of peers
+// depending of the repair threshold."
+//
+// Expected shape: losses are high when the threshold sits close to k = 128
+// (a repair triggered at 131 blocks can be outrun by further failures),
+// collapse as the threshold grows, and fall almost entirely on newcomers.
+// 148 is the paper's compromise between this curve and figure 1.
+//
+//   ./bench_fig2_losses_by_threshold [--paper] [--peers=N] [--rounds=R]
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_common.h"
+#include "util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace p2p;
+
+  bench::Scenario base;
+  base.rounds = 18'000;
+  int threshold_lo = 132;
+  int threshold_hi = 180;
+  int threshold_step = 8;
+
+  util::FlagSet flags;
+  bench::ScaleFlags scale;
+  scale.Register(&flags);
+  flags.Int32("threshold-lo", &threshold_lo, "first threshold of the sweep");
+  flags.Int32("threshold-hi", &threshold_hi, "last threshold of the sweep");
+  flags.Int32("threshold-step", &threshold_step, "sweep step");
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  scale.Apply(&base);
+
+  bench::PrintRunBanner(
+      "Figure 2: average archives lost per 1000 peers per day vs repair "
+      "threshold",
+      base);
+
+  util::Table tsv({"threshold", "newcomers", "young", "old", "elder",
+                   "total_losses"});
+  for (int threshold = threshold_lo; threshold <= threshold_hi;
+       threshold += threshold_step) {
+    bench::Scenario s = base;
+    s.options.repair_threshold = threshold;
+    const bench::Outcome out = bench::Run(s);
+    tsv.BeginRow();
+    tsv.Add(threshold);
+    for (int c = 0; c < metrics::kCategoryCount; ++c) {
+      tsv.Add(out.losses_per_1000_day[static_cast<size_t>(c)], 5);
+    }
+    tsv.Add(out.totals.losses);
+    std::fprintf(stderr, "threshold %d done in %.1fs (%lld losses total)\n",
+                 threshold, out.wall_seconds,
+                 static_cast<long long>(out.totals.losses));
+  }
+  tsv.RenderTsv(std::cout);
+  std::printf("\n");
+  tsv.RenderPretty(std::cout);
+  return 0;
+}

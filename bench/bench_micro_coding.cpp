@@ -1,0 +1,101 @@
+// Micro-benchmarks M1/M2: GF(2^8) kernels and Reed-Solomon coding at the
+// paper's configuration (k = m = 128, 1 MB blocks scaled down to keep the
+// bench fast; throughput is size-linear).
+
+#include <benchmark/benchmark.h>
+
+#include "erasure/reed_solomon.h"
+#include "gf/gf256.h"
+#include "util/rng.h"
+
+namespace {
+
+using p2p::erasure::ReedSolomon;
+using p2p::gf::GF256;
+
+void BM_GF256_MulAddBuf(benchmark::State& state) {
+  const size_t len = static_cast<size_t>(state.range(0));
+  p2p::util::Rng rng(1);
+  std::vector<uint8_t> src(len), dst(len);
+  for (auto& b : src) b = static_cast<uint8_t>(rng.NextU32());
+  for (auto& b : dst) b = static_cast<uint8_t>(rng.NextU32());
+  for (auto _ : state) {
+    GF256::MulAddBuf(dst.data(), src.data(), 0x57, len);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(len));
+}
+BENCHMARK(BM_GF256_MulAddBuf)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_GF256_ScalarMul(benchmark::State& state) {
+  p2p::util::Rng rng(2);
+  uint8_t acc = 1;
+  for (auto _ : state) {
+    acc = GF256::Mul(acc, static_cast<uint8_t>(rng.NextU32() | 1));
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_GF256_ScalarMul);
+
+struct RsFixture {
+  std::unique_ptr<ReedSolomon> rs;
+  std::vector<std::vector<uint8_t>> shards;
+  std::vector<uint8_t*> ptrs;
+  size_t shard_size;
+
+  RsFixture(int k, int m, size_t size) : shard_size(size) {
+    rs = ReedSolomon::Create(k, m).value();
+    p2p::util::Rng rng(3);
+    shards.resize(static_cast<size_t>(rs->n()));
+    for (auto& s : shards) {
+      s.resize(size);
+      for (auto& b : s) b = static_cast<uint8_t>(rng.NextU32());
+    }
+    for (auto& s : shards) ptrs.push_back(s.data());
+  }
+};
+
+void BM_RS_Encode_Paper(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  RsFixture fx(128, 128, size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.rs->Encode(fx.ptrs, fx.shard_size).ok());
+  }
+  // Data encoded per iteration: k shards of `size` bytes.
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 128 *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_RS_Encode_Paper)->Arg(1024)->Arg(16384);
+
+void BM_RS_Decode_Paper_WorstCase(benchmark::State& state) {
+  // Worst case: all 128 data shards lost, recovered from the 128 parity.
+  const size_t size = static_cast<size_t>(state.range(0));
+  RsFixture fx(128, 128, size);
+  (void)fx.rs->Encode(fx.ptrs, fx.shard_size);
+  std::vector<bool> present(256, true);
+  for (int i = 0; i < 128; ++i) present[static_cast<size_t>(i)] = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.rs->Decode(fx.ptrs, present, fx.shard_size).ok());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 128 *
+                          static_cast<int64_t>(size));
+}
+BENCHMARK(BM_RS_Decode_Paper_WorstCase)->Arg(1024)->Arg(16384);
+
+void BM_RS_DecodeMatrixInversion(benchmark::State& state) {
+  // The O(k^3) part alone: decode with one missing shard forces the
+  // submatrix inversion each call.
+  RsFixture fx(128, 128, 64);
+  (void)fx.rs->Encode(fx.ptrs, fx.shard_size);
+  std::vector<bool> present(256, true);
+  present[0] = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx.rs->Decode(fx.ptrs, present, fx.shard_size).ok());
+  }
+}
+BENCHMARK(BM_RS_DecodeMatrixInversion);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,39 @@
+// Micro-benchmark M4b: DHT lookup cost in RPCs and wall time.
+
+#include <benchmark/benchmark.h>
+
+#include "dht/kademlia.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace p2p;
+
+void BM_DhtLookup(benchmark::State& state) {
+  const int nodes = static_cast<int>(state.range(0));
+  util::Rng rng(1);
+  dht::KademliaNetwork net;
+  std::vector<dht::NodeId> ids;
+  for (int i = 0; i < nodes; ++i) ids.push_back(net.JoinRandom(&rng));
+  // Pre-store values under distinct keys.
+  for (uint32_t i = 0; i < 64; ++i) {
+    (void)net.Put(ids[0], dht::MasterBlockKey(i), {1, 2, 3});
+  }
+  uint32_t key = 0;
+  const auto before = net.stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        net.Get(ids[static_cast<size_t>(key) % ids.size()],
+                dht::MasterBlockKey(key % 64)));
+    ++key;
+  }
+  const auto after = net.stats();
+  state.counters["rpc_per_lookup"] =
+      static_cast<double>(after.lookup_rpc_total - before.lookup_rpc_total) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DhtLookup)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Micro-benchmark M4: simulator substrate throughput - calendar queue event
+// rates and whole-network rounds per second at a small scale.
+
+#include <benchmark/benchmark.h>
+
+#include "backup/network.h"
+#include "churn/profile.h"
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+
+namespace {
+
+using namespace p2p;
+
+void BM_CalendarQueueScheduleDrain(benchmark::State& state) {
+  const int events_per_round = static_cast<int>(state.range(0));
+  sim::CalendarQueue<uint64_t> queue;
+  sim::Round now = 0;
+  util::Rng rng(1);
+  for (auto _ : state) {
+    for (int i = 0; i < events_per_round; ++i) {
+      queue.Schedule(now + 1 + static_cast<sim::Round>(rng.UniformInt(0, 63)),
+                     static_cast<uint64_t>(i));
+    }
+    uint64_t acc = 0;
+    queue.DrainInto(now, [&acc](uint64_t v) { acc += v; });
+    benchmark::DoNotOptimize(acc);
+    ++now;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          events_per_round);
+}
+BENCHMARK(BM_CalendarQueueScheduleDrain)->Arg(64)->Arg(1024);
+
+void BM_NetworkRoundsPerSecond(benchmark::State& state) {
+  const uint32_t peers = static_cast<uint32_t>(state.range(0));
+  sim::EngineOptions eopts;
+  eopts.seed = 7;
+  eopts.end_round = INT64_MAX / 2;
+  sim::Engine engine(eopts);
+  const auto profiles = churn::ProfileSet::Paper();
+  backup::SystemOptions opts;
+  opts.num_peers = peers;
+  backup::BackupNetwork network(&engine, &profiles, opts);
+  // Warm-up: let the initial placement storm settle.
+  for (int i = 0; i < 200; ++i) engine.Step();
+  for (auto _ : state) {
+    engine.Step();
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["repairs"] =
+      static_cast<double>(network.totals().repairs);
+}
+BENCHMARK(BM_NetworkRoundsPerSecond)->Arg(1000)->Arg(5000)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,96 @@
+#include "archive/archive.h"
+
+#include "util/serialize.h"
+
+namespace p2p {
+namespace archive {
+
+namespace {
+// Fixed header: magic(4) version(2) id(8) entry_count(4).
+constexpr uint64_t kHeaderBytes = 4 + 2 + 8 + 4;
+}  // namespace
+
+Archive::Archive(uint64_t id, uint64_t max_bytes)
+    : id_(id), max_bytes_(max_bytes), size_bytes_(kHeaderBytes) {}
+
+uint64_t Archive::EntrySerializedSize(const Entry& e) {
+  // path-len varint (<=5 for sane paths) + path + kind + sizes + digests +
+  // payload-len varint + payload; we over-approximate varints at 10 bytes.
+  return 10 + e.path.size() + 1 + 8 + 32 + 32 + 10 + e.payload.size();
+}
+
+util::Status Archive::Append(Entry entry) {
+  const uint64_t add = EntrySerializedSize(entry);
+  if (size_bytes_ + add > max_bytes_) {
+    return util::Status::ResourceExhausted(
+        "archive full: appending would exceed the size bound");
+  }
+  size_bytes_ += add;
+  entries_.push_back(std::move(entry));
+  return util::Status::OK();
+}
+
+std::vector<uint8_t> Archive::Serialize() const {
+  util::Writer w;
+  w.PutU32(kMagic);
+  w.PutU16(kVersion);
+  w.PutU64(id_);
+  w.PutU32(static_cast<uint32_t>(entries_.size()));
+  for (const Entry& e : entries_) {
+    w.PutString(e.path);
+    w.PutU8(static_cast<uint8_t>(e.kind));
+    w.PutU64(e.original_size);
+    w.PutRaw(e.content_digest.data(), e.content_digest.size());
+    w.PutRaw(e.base_digest.data(), e.base_digest.size());
+    w.PutBytes(e.payload);
+  }
+  return w.TakeData();
+}
+
+util::Result<Archive> Archive::Deserialize(const std::vector<uint8_t>& bytes) {
+  util::Reader r(bytes);
+  P2P_ASSIGN_OR_RETURN(const uint32_t magic, r.GetU32());
+  if (magic != kMagic) return util::Status::Corruption("bad archive magic");
+  P2P_ASSIGN_OR_RETURN(const uint16_t version, r.GetU16());
+  if (version != kVersion) {
+    return util::Status::Corruption("unsupported archive version " +
+                                    std::to_string(version));
+  }
+  P2P_ASSIGN_OR_RETURN(const uint64_t id, r.GetU64());
+  P2P_ASSIGN_OR_RETURN(const uint32_t count, r.GetU32());
+  Archive out(id, UINT64_MAX);  // size re-accounted below; no bound on read
+  for (uint32_t i = 0; i < count; ++i) {
+    Entry e;
+    P2P_ASSIGN_OR_RETURN(e.path, r.GetString());
+    P2P_ASSIGN_OR_RETURN(const uint8_t kind, r.GetU8());
+    if (kind > static_cast<uint8_t>(EntryKind::kDelta)) {
+      return util::Status::Corruption("unknown entry kind");
+    }
+    e.kind = static_cast<EntryKind>(kind);
+    P2P_ASSIGN_OR_RETURN(e.original_size, r.GetU64());
+    P2P_RETURN_IF_ERROR(r.GetRaw(e.content_digest.data(), e.content_digest.size()));
+    P2P_RETURN_IF_ERROR(r.GetRaw(e.base_digest.data(), e.base_digest.size()));
+    P2P_ASSIGN_OR_RETURN(e.payload, r.GetBytes());
+    if (e.kind == EntryKind::kFull) {
+      if (crypto::Sha256::Hash(e.payload) != e.content_digest) {
+        return util::Status::Corruption("entry payload digest mismatch: " + e.path);
+      }
+      if (e.original_size != e.payload.size()) {
+        return util::Status::Corruption("entry size mismatch: " + e.path);
+      }
+    }
+    P2P_RETURN_IF_ERROR(out.Append(std::move(e)));
+  }
+  if (!r.AtEnd()) return util::Status::Corruption("trailing bytes after archive");
+  return out;
+}
+
+util::Result<const Entry*> Archive::Find(const std::string& path) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    if (it->path == path) return &*it;
+  }
+  return util::Status::NotFound("no entry for path: " + path);
+}
+
+}  // namespace archive
+}  // namespace p2p

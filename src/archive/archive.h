@@ -1,0 +1,91 @@
+// The archive container (paper, section 2.2.1).
+//
+// "During the backup task, new data (either the content of complete files or
+// the diffs between versions) is collected on the file-system, and is stored
+// in a single file (archive). A new archive is created when the previous one
+// reaches a given size. Usually, meta-data is stored in a different archive."
+//
+// An Archive is a self-describing byte container: a header, a table of
+// entries (full files or deltas against an earlier version), and payloads.
+// It can be encrypted with a per-archive session key and split into erasure
+// shards for placement.
+
+#ifndef P2P_ARCHIVE_ARCHIVE_H_
+#define P2P_ARCHIVE_ARCHIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace p2p {
+namespace archive {
+
+/// How an entry's payload encodes its content.
+enum class EntryKind : uint8_t {
+  kFull = 0,   ///< payload is the file content
+  kDelta = 1,  ///< payload is a delta against `base_digest`
+};
+
+/// \brief One backed-up file (or file version) inside an archive.
+struct Entry {
+  std::string path;
+  EntryKind kind = EntryKind::kFull;
+  uint64_t original_size = 0;       ///< size of the reconstructed content
+  crypto::Digest content_digest{};  ///< digest of the reconstructed content
+  crypto::Digest base_digest{};     ///< for kDelta: digest of the base version
+  std::vector<uint8_t> payload;
+};
+
+/// \brief A bounded-size container of entries, the unit of backup placement.
+class Archive {
+ public:
+  /// Paper parameter: archives are closed when they reach 128 MB.
+  static constexpr uint64_t kDefaultMaxBytes = 128ull * 1024 * 1024;
+  /// Serialization magic ("P2BA").
+  static constexpr uint32_t kMagic = 0x41423250;
+  /// Format version.
+  static constexpr uint16_t kVersion = 1;
+
+  /// Creates an empty archive with the given id and size bound.
+  explicit Archive(uint64_t id, uint64_t max_bytes = kDefaultMaxBytes);
+
+  /// Appends an entry; fails with ResourceExhausted when the serialized size
+  /// would exceed the bound (the caller then opens a new archive).
+  util::Status Append(Entry entry);
+
+  /// Serializes header + entries into one byte buffer.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses a serialized archive; verifies magic, version and per-entry
+  /// payload digests, failing with Corruption on any mismatch.
+  static util::Result<Archive> Deserialize(const std::vector<uint8_t>& bytes);
+
+  /// Archive id (unique per owner).
+  uint64_t id() const { return id_; }
+  /// Entries in insertion order.
+  const std::vector<Entry>& entries() const { return entries_; }
+  /// Serialized size so far (header + entries).
+  uint64_t size_bytes() const { return size_bytes_; }
+  /// Upper bound on serialized size.
+  uint64_t max_bytes() const { return max_bytes_; }
+
+  /// Looks up the most recent entry for `path`; NotFound if absent.
+  util::Result<const Entry*> Find(const std::string& path) const;
+
+ private:
+  static uint64_t EntrySerializedSize(const Entry& e);
+
+  uint64_t id_;
+  uint64_t max_bytes_;
+  uint64_t size_bytes_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace archive
+}  // namespace p2p
+
+#endif  // P2P_ARCHIVE_ARCHIVE_H_

@@ -1,0 +1,94 @@
+#include "archive/builder.h"
+
+#include "archive/delta.h"
+#include "util/serialize.h"
+
+namespace p2p {
+namespace archive {
+
+BackupBuilder::BackupBuilder(uint64_t max_archive_bytes)
+    : max_archive_bytes_(max_archive_bytes) {}
+
+void BackupBuilder::OpenNewArchive() {
+  current_.clear();
+  current_.emplace_back(next_archive_id_++, max_archive_bytes_);
+}
+
+util::Status BackupBuilder::AppendEntry(Entry entry) {
+  if (current_.empty()) OpenNewArchive();
+  CatalogRow row{entry.path, current_.front().id(), entry.kind,
+                 entry.original_size, entry.content_digest};
+  util::Status st = current_.front().Append(entry);
+  if (st.IsResourceExhausted()) {
+    done_.push_back(std::move(current_.front()));
+    OpenNewArchive();
+    row.archive_id = current_.front().id();
+    st = current_.front().Append(std::move(entry));
+  }
+  if (!st.ok()) return st;
+  catalog_.push_back(std::move(row));
+  return util::Status::OK();
+}
+
+util::Status BackupBuilder::AddFile(const std::string& path,
+                                    std::vector<uint8_t> content) {
+  Entry e;
+  e.path = path;
+  e.kind = EntryKind::kFull;
+  e.original_size = content.size();
+  e.content_digest = crypto::Sha256::Hash(content);
+  e.payload = std::move(content);
+  return AppendEntry(std::move(e));
+}
+
+util::Status BackupBuilder::AddFileVersion(const std::string& path,
+                                           const std::vector<uint8_t>& content,
+                                           const std::vector<uint8_t>& base) {
+  std::vector<uint8_t> delta = ComputeDelta(base, content);
+  if (delta.size() >= content.size()) {
+    return AddFile(path, content);  // delta did not pay off
+  }
+  Entry e;
+  e.path = path;
+  e.kind = EntryKind::kDelta;
+  e.original_size = content.size();
+  e.content_digest = crypto::Sha256::Hash(content);
+  e.base_digest = crypto::Sha256::Hash(base);
+  e.payload = std::move(delta);
+  return AppendEntry(std::move(e));
+}
+
+std::vector<Archive> BackupBuilder::TakeArchives() {
+  std::vector<Archive> out = std::move(done_);
+  done_.clear();
+  if (!current_.empty() && !current_.front().entries().empty()) {
+    out.push_back(std::move(current_.front()));
+    current_.clear();
+  }
+  return out;
+}
+
+Archive BackupBuilder::BuildMetadataArchive() const {
+  util::Writer w;
+  w.PutU32(static_cast<uint32_t>(catalog_.size()));
+  for (const CatalogRow& row : catalog_) {
+    w.PutString(row.path);
+    w.PutU64(row.archive_id);
+    w.PutU8(static_cast<uint8_t>(row.kind));
+    w.PutU64(row.original_size);
+    w.PutRaw(row.content_digest.data(), row.content_digest.size());
+  }
+  Archive meta(kMetadataArchiveId, UINT64_MAX);
+  Entry e;
+  e.path = "__catalog__";
+  e.kind = EntryKind::kFull;
+  e.payload = w.TakeData();
+  e.original_size = e.payload.size();
+  e.content_digest = crypto::Sha256::Hash(e.payload);
+  // Appending to an unbounded archive cannot fail.
+  (void)meta.Append(std::move(e));
+  return meta;
+}
+
+}  // namespace archive
+}  // namespace p2p

@@ -1,0 +1,71 @@
+// Backup-side collection of files into bounded archives (paper 2.2.1):
+// full contents for new files, deltas for changed files, plus a separate
+// meta-data archive indexing everything ("meta-data is stored in a different
+// archive, with a better redundancy, to speed up the restoration task").
+
+#ifndef P2P_ARCHIVE_BUILDER_H_
+#define P2P_ARCHIVE_BUILDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "archive/archive.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace p2p {
+namespace archive {
+
+/// \brief Accumulates files into a sequence of size-bounded archives.
+class BackupBuilder {
+ public:
+  /// `max_archive_bytes` bounds each produced archive (paper: 128 MB).
+  explicit BackupBuilder(uint64_t max_archive_bytes = Archive::kDefaultMaxBytes);
+
+  /// Adds a new file with full content.
+  util::Status AddFile(const std::string& path, std::vector<uint8_t> content);
+
+  /// Adds a changed file; stores a delta against `base` when the delta is
+  /// smaller than the full content, the full content otherwise.
+  util::Status AddFileVersion(const std::string& path,
+                              const std::vector<uint8_t>& content,
+                              const std::vector<uint8_t>& base);
+
+  /// Closes the current archive and returns all data archives built so far.
+  /// The builder can keep accepting files afterwards (new archive ids).
+  std::vector<Archive> TakeArchives();
+
+  /// Builds the meta-data archive: one entry indexing every file added,
+  /// mapping path -> (archive id, entry digest, size, kind).
+  Archive BuildMetadataArchive() const;
+
+  /// Number of entries added so far.
+  size_t entry_count() const { return catalog_.size(); }
+
+ private:
+  struct CatalogRow {
+    std::string path;
+    uint64_t archive_id;
+    EntryKind kind;
+    uint64_t original_size;
+    crypto::Digest content_digest;
+  };
+
+  util::Status AppendEntry(Entry entry);
+  void OpenNewArchive();
+
+  uint64_t max_archive_bytes_;
+  uint64_t next_archive_id_ = 0;
+  std::vector<Archive> done_;
+  std::vector<Archive> current_;  // 0 or 1 elements; vector avoids optional
+  std::vector<CatalogRow> catalog_;
+};
+
+/// Id conventionally reserved for the meta-data archive.
+constexpr uint64_t kMetadataArchiveId = UINT64_MAX;
+
+}  // namespace archive
+}  // namespace p2p
+
+#endif  // P2P_ARCHIVE_BUILDER_H_

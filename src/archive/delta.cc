@@ -1,0 +1,137 @@
+#include "archive/delta.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "crypto/sha256.h"
+#include "util/serialize.h"
+
+namespace p2p {
+namespace archive {
+namespace {
+
+// Delta op stream: magic byte, then ops until end.
+constexpr uint8_t kDeltaMagic = 0xD1;
+constexpr uint8_t kOpCopy = 0x01;
+constexpr uint8_t kOpInsert = 0x02;
+
+struct BlockRef {
+  uint64_t offset;
+  crypto::Digest strong;
+};
+
+}  // namespace
+
+RollingHash::RollingHash(const uint8_t* data, size_t window) : window_(window) {
+  for (size_t i = 0; i < window; ++i) {
+    a_ += data[i];
+    b_ += a_;
+  }
+}
+
+void RollingHash::Roll(uint8_t out_byte, uint8_t in_byte) {
+  a_ += in_byte;
+  a_ -= out_byte;
+  b_ += a_;
+  b_ -= static_cast<uint32_t>(window_) * out_byte;
+}
+
+uint32_t RollingHash::Of(const uint8_t* data, size_t len) {
+  RollingHash h(data, len);
+  return h.value();
+}
+
+std::vector<uint8_t> ComputeDelta(const std::vector<uint8_t>& base,
+                                  const std::vector<uint8_t>& target,
+                                  const DeltaOptions& options) {
+  const size_t bs = options.block_size;
+  util::Writer w;
+  w.PutU8(kDeltaMagic);
+
+  // Index the base by block.
+  std::unordered_multimap<uint32_t, BlockRef> index;
+  if (base.size() >= bs) {
+    index.reserve(base.size() / bs * 2);
+    for (size_t off = 0; off + bs <= base.size(); off += bs) {
+      index.emplace(RollingHash::Of(base.data() + off, bs),
+                    BlockRef{off, crypto::Sha256::Hash(base.data() + off, bs)});
+    }
+  }
+
+  std::vector<uint8_t> pending;  // literal run awaiting emission
+  auto flush_pending = [&]() {
+    if (pending.empty()) return;
+    w.PutU8(kOpInsert);
+    w.PutBytes(pending);
+    pending.clear();
+  };
+
+  size_t pos = 0;
+  if (!index.empty() && target.size() >= bs) {
+    RollingHash roll(target.data(), bs);
+    while (true) {
+      bool matched = false;
+      auto [it, end] = index.equal_range(roll.value());
+      if (it != end) {
+        const crypto::Digest strong = crypto::Sha256::Hash(target.data() + pos, bs);
+        for (; it != end; ++it) {
+          if (it->second.strong == strong) {
+            flush_pending();
+            w.PutU8(kOpCopy);
+            w.PutVarint(it->second.offset);
+            w.PutVarint(bs);
+            matched = true;
+            break;
+          }
+        }
+      }
+      if (matched) {
+        pos += bs;
+        if (pos + bs > target.size()) break;
+        roll = RollingHash(target.data() + pos, bs);
+      } else {
+        pending.push_back(target[pos]);
+        if (pos + bs >= target.size()) {
+          ++pos;
+          break;
+        }
+        roll.Roll(target[pos], target[pos + bs]);
+        ++pos;
+      }
+    }
+  }
+  // Tail (and the no-index case): everything left is literal.
+  pending.insert(pending.end(), target.begin() + static_cast<long>(pos),
+                 target.end());
+  flush_pending();
+  return w.TakeData();
+}
+
+util::Result<std::vector<uint8_t>> ApplyDelta(const std::vector<uint8_t>& base,
+                                              const std::vector<uint8_t>& delta) {
+  util::Reader r(delta);
+  P2P_ASSIGN_OR_RETURN(const uint8_t magic, r.GetU8());
+  if (magic != kDeltaMagic) return util::Status::Corruption("bad delta magic");
+  std::vector<uint8_t> out;
+  while (!r.AtEnd()) {
+    P2P_ASSIGN_OR_RETURN(const uint8_t op, r.GetU8());
+    if (op == kOpCopy) {
+      P2P_ASSIGN_OR_RETURN(const uint64_t offset, r.GetVarint());
+      P2P_ASSIGN_OR_RETURN(const uint64_t len, r.GetVarint());
+      if (offset + len > base.size() || offset + len < offset) {
+        return util::Status::Corruption("delta copy beyond base");
+      }
+      out.insert(out.end(), base.begin() + static_cast<long>(offset),
+                 base.begin() + static_cast<long>(offset + len));
+    } else if (op == kOpInsert) {
+      P2P_ASSIGN_OR_RETURN(const std::vector<uint8_t> bytes, r.GetBytes());
+      out.insert(out.end(), bytes.begin(), bytes.end());
+    } else {
+      return util::Status::Corruption("unknown delta op");
+    }
+  }
+  return out;
+}
+
+}  // namespace archive
+}  // namespace p2p

@@ -1,0 +1,62 @@
+// Block-matching delta encoding ("the diffs between versions", paper 2.2.1).
+//
+// The encoder is the classic rsync scheme: the base version is indexed by
+// fixed-size blocks under a rolling Adler-style weak hash plus a SHA-256
+// strong hash; the new version is scanned with the rolling hash and encoded
+// as COPY(base_offset, len) / INSERT(bytes) operations.
+
+#ifndef P2P_ARCHIVE_DELTA_H_
+#define P2P_ARCHIVE_DELTA_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/result.h"
+
+namespace p2p {
+namespace archive {
+
+/// \brief Rolling checksum over a fixed-size window (Adler-32 family).
+class RollingHash {
+ public:
+  /// Initializes over the first `window` bytes of `data`.
+  RollingHash(const uint8_t* data, size_t window);
+
+  /// Slides the window one byte: removes `out_byte`, appends `in_byte`.
+  void Roll(uint8_t out_byte, uint8_t in_byte);
+
+  /// Current 32-bit checksum.
+  uint32_t value() const { return (b_ << 16) | (a_ & 0xffff); }
+
+  /// One-shot checksum of a whole block.
+  static uint32_t Of(const uint8_t* data, size_t len);
+
+ private:
+  uint32_t a_ = 0;
+  uint32_t b_ = 0;
+  size_t window_;
+};
+
+/// Options for delta computation.
+struct DeltaOptions {
+  /// Block granularity of base matching; smaller finds more matches but
+  /// produces bigger indexes.
+  size_t block_size = 2048;
+};
+
+/// Computes a delta transforming `base` into `target`. The result is a
+/// self-contained op stream (see ApplyDelta); for incompressible or
+/// unrelated inputs it degrades to one big INSERT.
+std::vector<uint8_t> ComputeDelta(const std::vector<uint8_t>& base,
+                                  const std::vector<uint8_t>& target,
+                                  const DeltaOptions& options = {});
+
+/// Reconstructs the target from `base` and `delta`; fails with Corruption on
+/// malformed deltas or out-of-range copies.
+util::Result<std::vector<uint8_t>> ApplyDelta(const std::vector<uint8_t>& base,
+                                              const std::vector<uint8_t>& delta);
+
+}  // namespace archive
+}  // namespace p2p
+
+#endif  // P2P_ARCHIVE_DELTA_H_

@@ -1,0 +1,134 @@
+#include "archive/master_block.h"
+
+#include <cstring>
+
+#include "util/serialize.h"
+
+namespace p2p {
+namespace archive {
+namespace {
+
+constexpr uint32_t kMasterMagic = 0x424d3250;  // "P2MB"
+constexpr char kCipherLabel[] = "p2p-backup/master-block/cipher";
+constexpr char kMacLabel[] = "p2p-backup/master-block/mac";
+
+}  // namespace
+
+std::vector<uint8_t> MasterBlock::Serialize() const {
+  util::Writer w;
+  w.PutU32(kMasterMagic);
+  w.PutU32(owner_id);
+  w.PutU64(sequence);
+  w.PutU32(static_cast<uint32_t>(archives.size()));
+  for (const ArchiveRecord& rec : archives) {
+    w.PutU64(rec.archive_id);
+    w.PutU32(rec.k);
+    w.PutU32(rec.m);
+    w.PutU64(rec.archive_size);
+    w.PutRaw(rec.archive_digest.data(), rec.archive_digest.size());
+    w.PutRaw(rec.merkle_root.data(), rec.merkle_root.size());
+    w.PutU8(rec.is_metadata ? 1 : 0);
+    w.PutU32(static_cast<uint32_t>(rec.block_hosts.size()));
+    for (uint32_t host : rec.block_hosts) w.PutU32(host);
+    w.PutRaw(rec.session_key.data(), rec.session_key.size());
+  }
+  return w.TakeData();
+}
+
+util::Result<MasterBlock> MasterBlock::Deserialize(
+    const std::vector<uint8_t>& bytes) {
+  util::Reader r(bytes);
+  P2P_ASSIGN_OR_RETURN(const uint32_t magic, r.GetU32());
+  if (magic != kMasterMagic) {
+    return util::Status::Corruption("bad master block magic");
+  }
+  MasterBlock mb;
+  P2P_ASSIGN_OR_RETURN(mb.owner_id, r.GetU32());
+  P2P_ASSIGN_OR_RETURN(mb.sequence, r.GetU64());
+  P2P_ASSIGN_OR_RETURN(const uint32_t count, r.GetU32());
+  mb.archives.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    ArchiveRecord rec;
+    P2P_ASSIGN_OR_RETURN(rec.archive_id, r.GetU64());
+    P2P_ASSIGN_OR_RETURN(rec.k, r.GetU32());
+    P2P_ASSIGN_OR_RETURN(rec.m, r.GetU32());
+    P2P_ASSIGN_OR_RETURN(rec.archive_size, r.GetU64());
+    P2P_RETURN_IF_ERROR(r.GetRaw(rec.archive_digest.data(), rec.archive_digest.size()));
+    P2P_RETURN_IF_ERROR(r.GetRaw(rec.merkle_root.data(), rec.merkle_root.size()));
+    P2P_ASSIGN_OR_RETURN(const uint8_t is_meta, r.GetU8());
+    rec.is_metadata = is_meta != 0;
+    P2P_ASSIGN_OR_RETURN(const uint32_t hosts, r.GetU32());
+    if (hosts != rec.k + rec.m) {
+      return util::Status::Corruption("host list size != k + m");
+    }
+    rec.block_hosts.reserve(hosts);
+    for (uint32_t h = 0; h < hosts; ++h) {
+      P2P_ASSIGN_OR_RETURN(const uint32_t host, r.GetU32());
+      rec.block_hosts.push_back(host);
+    }
+    P2P_RETURN_IF_ERROR(r.GetRaw(rec.session_key.data(), rec.session_key.size()));
+    mb.archives.push_back(std::move(rec));
+  }
+  if (!r.AtEnd()) return util::Status::Corruption("trailing master block bytes");
+  return mb;
+}
+
+std::vector<uint8_t> MasterBlock::Seal(const std::string& passphrase) const {
+  std::vector<uint8_t> plain = Serialize();
+  const crypto::Key256 cipher_key = crypto::DeriveKey(passphrase, kCipherLabel);
+  const crypto::Key256 mac_key = crypto::DeriveKey(passphrase, kMacLabel);
+  // Deterministic nonce derived from owner + sequence keeps sealing
+  // reproducible; each (owner, sequence) pair is sealed at most once.
+  crypto::Nonce96 nonce{};
+  util::Writer nw;
+  nw.PutU32(owner_id);
+  nw.PutU64(sequence);
+  std::memcpy(nonce.data(), nw.data().data(), nonce.size());
+  crypto::ChaCha20 cipher(cipher_key, nonce);
+  cipher.Apply(plain.data(), plain.size());
+
+  util::Writer out;
+  out.PutU32(owner_id);
+  out.PutU64(sequence);
+  out.PutBytes(plain);
+  const crypto::Digest tag = crypto::HmacSha256(
+      std::vector<uint8_t>(mac_key.begin(), mac_key.end()), out.data().data(),
+      out.data().size());
+  out.PutRaw(tag.data(), tag.size());
+  return out.TakeData();
+}
+
+util::Result<MasterBlock> MasterBlock::Open(const std::vector<uint8_t>& sealed,
+                                            const std::string& passphrase) {
+  if (sealed.size() < 32) return util::Status::Corruption("sealed block too short");
+  const size_t body_len = sealed.size() - 32;
+  const crypto::Key256 mac_key = crypto::DeriveKey(passphrase, kMacLabel);
+  const crypto::Digest tag = crypto::HmacSha256(
+      std::vector<uint8_t>(mac_key.begin(), mac_key.end()), sealed.data(), body_len);
+  if (std::memcmp(tag.data(), sealed.data() + body_len, 32) != 0) {
+    return util::Status::Corruption("master block MAC mismatch");
+  }
+  util::Reader r(sealed.data(), body_len);
+  P2P_ASSIGN_OR_RETURN(const uint32_t owner, r.GetU32());
+  P2P_ASSIGN_OR_RETURN(const uint64_t sequence, r.GetU64());
+  P2P_ASSIGN_OR_RETURN(std::vector<uint8_t> body, r.GetBytes());
+
+  const crypto::Key256 cipher_key = crypto::DeriveKey(passphrase, kCipherLabel);
+  crypto::Nonce96 nonce{};
+  util::Writer nw;
+  nw.PutU32(owner);
+  nw.PutU64(sequence);
+  std::memcpy(nonce.data(), nw.data().data(), nonce.size());
+  crypto::ChaCha20 cipher(cipher_key, nonce);
+  cipher.Apply(body.data(), body.size());
+
+  auto mb = Deserialize(body);
+  if (!mb.ok()) return mb.status();
+  if (mb->owner_id != owner || mb->sequence != sequence) {
+    return util::Status::Corruption("master block header/body mismatch");
+  }
+  return mb;
+}
+
+}  // namespace archive
+}  // namespace p2p

@@ -1,0 +1,65 @@
+// The master block (paper 2.2.1-2.2.2).
+//
+// "A master block is created. It contains the list of peers on which data
+// has been stored, the list of archives, in particular the ones containing
+// meta-data, and session keys, encrypted with the user public key."
+//
+// Restoration starts by fetching this block (from partners or a DHT),
+// decrypting it, and walking the archive records. Our sealing uses
+// ChaCha20 + HMAC-SHA-256 under a key derived from the user's passphrase -
+// a symmetric stand-in for the public-key wrapping the paper sketches
+// (the paper explicitly leaves cryptography as "standard").
+
+#ifndef P2P_ARCHIVE_MASTER_BLOCK_H_
+#define P2P_ARCHIVE_MASTER_BLOCK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/chacha20.h"
+#include "crypto/sha256.h"
+#include "util/result.h"
+
+namespace p2p {
+namespace archive {
+
+/// \brief Placement record of one archive: where each erasure block lives.
+struct ArchiveRecord {
+  uint64_t archive_id = 0;
+  uint32_t k = 0;                      ///< data blocks
+  uint32_t m = 0;                      ///< redundancy blocks
+  uint64_t archive_size = 0;           ///< plaintext archive size, bytes
+  crypto::Digest archive_digest{};     ///< digest of the plaintext archive
+  crypto::Digest merkle_root{};        ///< root over the encrypted shards
+  bool is_metadata = false;            ///< meta-data archives get priority
+  std::vector<uint32_t> block_hosts;   ///< host peer id per block, size k+m
+  crypto::Key256 session_key{};        ///< per-archive encryption key
+};
+
+/// \brief The owner's recovery root: every archive record plus session keys.
+struct MasterBlock {
+  uint32_t owner_id = 0;
+  uint64_t sequence = 0;  ///< bumped on every update; highest wins
+  std::vector<ArchiveRecord> archives;
+
+  /// Plain (unencrypted) serialization.
+  std::vector<uint8_t> Serialize() const;
+
+  /// Parses a plain serialization.
+  static util::Result<MasterBlock> Deserialize(const std::vector<uint8_t>& bytes);
+
+  /// Serializes, encrypts with a passphrase-derived ChaCha20 key and appends
+  /// an HMAC tag, producing the bytes published to partners / the DHT.
+  std::vector<uint8_t> Seal(const std::string& passphrase) const;
+
+  /// Verifies the tag and decrypts; fails with Corruption on tampering or a
+  /// wrong passphrase.
+  static util::Result<MasterBlock> Open(const std::vector<uint8_t>& sealed,
+                                        const std::string& passphrase);
+};
+
+}  // namespace archive
+}  // namespace p2p
+
+#endif  // P2P_ARCHIVE_MASTER_BLOCK_H_

@@ -1,0 +1,681 @@
+#include "backup/network.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace p2p {
+namespace backup {
+namespace {
+
+// Distinct RNG stream purposes (arbitrary fixed ids; see Engine::Stream).
+constexpr uint64_t kChurnStream = 0x11;
+constexpr uint64_t kPlacementStream = 0x22;
+
+// Upper bound on observers; sizes the id space above num_peers.
+constexpr uint32_t kMaxObservers = 64;
+
+}  // namespace
+
+BackupNetwork::BackupNetwork(sim::Engine* engine,
+                             const churn::ProfileSet* profiles,
+                             const SystemOptions& options)
+    : engine_(engine),
+      profiles_(profiles),
+      options_(options),
+      selection_(core::MakeSelection(options.selection)),
+      policy_(core::MakePolicy(options.policy, options.repair_threshold)),
+      acceptance_(options.acceptance_horizon),
+      churn_rng_(engine->Stream(kChurnStream)),
+      place_rng_(engine->Stream(kPlacementStream)),
+      monitor_(options.num_peers + kMaxObservers) {
+  P2P_CHECK(options.num_peers >= 16);
+  P2P_CHECK(options.k >= 1 && options.m >= 0);
+  P2P_CHECK(options.repair_threshold >= options.k);
+  P2P_CHECK(options.repair_threshold <= options.k + options.m);
+  P2P_CHECK(options.quota_blocks >= 1);
+  P2P_CHECK(options.partner_timeout >= 1);
+  P2P_CHECK(options.max_partner_factor >= 1.0);
+  const int n_total = options.k + options.m;
+  flag_level_ = policy_->FlagLevel(options.k, n_total);
+  partner_cap_ = static_cast<int>(options.max_partner_factor * n_total);
+
+  peers_.resize(options.num_peers);
+  partners_.resize(options.num_peers);
+  clients_.resize(options.num_peers);
+  mark_.assign(options.num_peers + kMaxObservers, 0);
+
+  BootstrapPopulation();
+  engine_->AddRoundHook([this](sim::Round now) { OnRound(now); });
+}
+
+void BackupNetwork::BootstrapPopulation() {
+  for (PeerId id = 0; id < options_.num_peers; ++id) {
+    InitPeer(id, 0);
+  }
+}
+
+size_t BackupNetwork::AddObserver(const std::string& name, sim::Round frozen_age) {
+  P2P_CHECK(engine_->now() == 0);
+  P2P_CHECK(observer_results_.size() < kMaxObservers);
+  const PeerId id = static_cast<PeerId>(peers_.size());
+  peers_.emplace_back();
+  partners_.emplace_back();
+  clients_.emplace_back();
+  PeerState& p = peers_.back();
+  p.is_observer = true;
+  p.frozen_age = frozen_age;
+  p.online = true;
+  p.needs_repair = true;
+  monitor_.RecordJoin(id, 0);
+  monitor_.RecordConnect(id, 0);
+  EnqueueRepair(id);
+  ObserverResult r;
+  r.name = name;
+  r.frozen_age = frozen_age;
+  r.cumulative_repairs = metrics::TimeSeries(options_.sample_interval);
+  observer_results_.push_back(std::move(r));
+  return observer_results_.size() - 1;
+}
+
+void BackupNetwork::InitPeer(PeerId id, sim::Round now) {
+  PeerState& p = peers_[id];
+  const uint32_t incarnation = p.incarnation;  // bumped by DepartPeer
+  p = PeerState();
+  p.incarnation = incarnation;
+  p.profile = profiles_->SampleIndex(churn_rng_);
+  p.join_round = now;
+
+  const churn::Profile& profile = (*profiles_)[p.profile];
+  const sim::Round lifetime = profile.lifetime->Sample(churn_rng_);
+  if (lifetime != sim::kNever) {
+    p.departure_round = now + lifetime;
+    departures_.Schedule(p.departure_round, Event{id, incarnation, 0});
+  }
+
+  // A fresh peer starts online (the user just installed / reinstalled).
+  p.online = true;
+  monitor_.RecordJoin(id, now);
+  monitor_.RecordConnect(id, now);
+  const sim::Round on_len = profile.sessions.SampleOnline(churn_rng_);
+  p.next_toggle = now + on_len;
+  toggles_.Schedule(p.next_toggle, Event{id, incarnation, p.next_toggle});
+
+  accounting_.PeerEntered(metrics::AgeCategory::kNewcomer);
+  const sim::Round boundary = metrics::NextBoundary(0);
+  if (boundary != sim::kNever) {
+    category_events_.Schedule(now + boundary, Event{id, incarnation, 0});
+  }
+
+  // The initial placement is "a repair where d = n" (paper 3.2).
+  p.needs_repair = true;
+  EnqueueRepair(id);
+}
+
+void BackupNetwork::DepartPeer(PeerId id, sim::Round now) {
+  PeerState& p = peers_[id];
+  ++totals_.departures;
+  accounting_.PeerLeft(CategoryAt(id, now));
+  monitor_.RecordDeparture(id, now);
+
+  // The machine is gone: every block it hosted disappears now.
+  SeverAsHost(id, now);
+
+  // Its own backup: partners learn of the departure and free the space -
+  // immediately in the paper, after a grace period as future work.
+  if (options_.departure_grace > 0 && !p.is_observer) {
+    // Sever the metadata now but keep the hosts' quota consumed ("ghost
+    // quota") until the grace period elapses.
+    while (!partners_[id].empty()) {
+      const uint32_t last = static_cast<uint32_t>(partners_[id].size()) - 1;
+      const PeerId host = partners_[id][last].peer;
+      quota_releases_.Schedule(now + options_.departure_grace,
+                               Event{host, peers_[host].incarnation, 0});
+      RemovePartnerAt(id, last, /*release_quota=*/false);
+    }
+  } else {
+    SeverAsOwner(id);
+  }
+
+  ++p.incarnation;  // invalidates every scheduled event of the old peer
+  InitPeer(id, now);  // immediate replacement (paper 4.1)
+}
+
+void BackupNetwork::OnRound(sim::Round now) {
+  departures_.DrainInto(now, [&](const Event& e) { ProcessDeparture(e, now); });
+  toggles_.DrainInto(now, [&](const Event& e) { ProcessToggle(e, now); });
+  timeouts_.DrainInto(now, [&](const Event& e) { ProcessTimeout(e, now); });
+  quota_releases_.DrainInto(now, [&](const Event& e) {
+    if (peers_[e.id].incarnation == e.incarnation && peers_[e.id].hosted > 0) {
+      --peers_[e.id].hosted;
+    }
+  });
+  category_events_.DrainInto(now, [&](const Event& e) { ProcessCategory(e, now); });
+  ProcessRepairs(now);
+  accounting_.AccumulateRound();
+  SampleSeries(now);
+}
+
+void BackupNetwork::ProcessToggle(const Event& e, sim::Round now) {
+  PeerState& p = peers_[e.id];
+  if (p.incarnation != e.incarnation || p.next_toggle != now || p.is_observer) {
+    return;  // stale
+  }
+  const churn::Profile& profile = (*profiles_)[p.profile];
+  if (p.online) {
+    p.online = false;
+    p.offline_since = now;
+    monitor_.RecordDisconnect(e.id, now);
+    if (instant_visibility()) {
+      // Every owner storing on this peer sees one fewer visible block.
+      for (const Link& c : clients_[e.id]) {
+        PeerState& owner = peers_[c.peer];
+        --owner.visible;
+        if (owner.visible < flag_level_) FlagForRepair(c.peer);
+      }
+    } else {
+      // If it stays unreachable past the timeout, partners presume
+      // departure.
+      timeouts_.Schedule(now + options_.partner_timeout + 1,
+                         Event{e.id, p.incarnation, now});
+    }
+    const sim::Round off_len = profile.sessions.SampleOffline(churn_rng_);
+    p.next_toggle = now + off_len;
+  } else {
+    p.online = true;
+    p.offline_since = -1;
+    monitor_.RecordConnect(e.id, now);
+    if (instant_visibility()) {
+      for (const Link& c : clients_[e.id]) ++peers_[c.peer].visible;
+    }
+    if (p.needs_repair) EnqueueRepair(e.id);
+    const sim::Round on_len = profile.sessions.SampleOnline(churn_rng_);
+    p.next_toggle = now + on_len;
+  }
+  toggles_.Schedule(p.next_toggle, Event{e.id, p.incarnation, p.next_toggle});
+}
+
+void BackupNetwork::ProcessDeparture(const Event& e, sim::Round now) {
+  PeerState& p = peers_[e.id];
+  if (p.incarnation != e.incarnation || p.departure_round != now) return;
+  DepartPeer(e.id, now);
+}
+
+void BackupNetwork::ProcessTimeout(const Event& e, sim::Round now) {
+  PeerState& p = peers_[e.id];
+  if (p.incarnation != e.incarnation) return;   // departed meanwhile
+  if (p.online || p.offline_since != e.stamp) return;  // reconnected since
+  // Unreachable for more than partner_timeout rounds: every owner storing on
+  // this peer writes the blocks off and will repair.
+  totals_.timeouts += static_cast<int64_t>(clients_[e.id].size());
+  SeverAsHost(e.id, now);
+}
+
+void BackupNetwork::ProcessCategory(const Event& e, sim::Round now) {
+  PeerState& p = peers_[e.id];
+  if (p.incarnation != e.incarnation) return;
+  const sim::Round age = now - p.join_round;
+  const metrics::AgeCategory from = metrics::CategoryOf(age - 1);
+  const metrics::AgeCategory to = metrics::CategoryOf(age);
+  if (from != to) accounting_.PeerAdvanced(from, to);
+  const sim::Round next = metrics::NextBoundary(age);
+  if (next != sim::kNever) {
+    category_events_.Schedule(p.join_round + next, Event{e.id, e.incarnation, 0});
+  }
+}
+
+void BackupNetwork::AddPartnership(PeerId owner, PeerId host) {
+  partners_[owner].push_back(
+      Link{host, static_cast<uint32_t>(clients_[host].size())});
+  clients_[host].push_back(
+      Link{owner, static_cast<uint32_t>(partners_[owner].size()) - 1});
+  PeerState& h = peers_[host];
+  if (!peers_[owner].is_observer) {
+    ++h.hosted;
+    h.newest_client_join = std::max(h.newest_client_join,
+                                    peers_[owner].join_round);
+  } else {
+    ++h.observer_clients;
+  }
+  if (instant_visibility() && h.online) ++peers_[owner].visible;
+}
+
+void BackupNetwork::RemovePartnerAt(PeerId owner, uint32_t index,
+                                    bool release_quota) {
+  const Link link = partners_[owner][index];
+  const PeerId host = link.peer;
+  const uint32_t j = link.back;
+  // Swap-remove the twin on the host side.
+  if (j + 1 != clients_[host].size()) {
+    const Link moved = clients_[host].back();
+    clients_[host][j] = moved;
+    partners_[moved.peer][moved.back].back = j;
+  }
+  clients_[host].pop_back();
+  // Swap-remove on the owner side.
+  if (index + 1 != partners_[owner].size()) {
+    const Link moved = partners_[owner].back();
+    partners_[owner][index] = moved;
+    clients_[moved.peer][moved.back].back = index;
+  }
+  partners_[owner].pop_back();
+  PeerState& h = peers_[host];
+  if (!peers_[owner].is_observer) {
+    if (release_quota && h.hosted > 0) --h.hosted;
+    if (peers_[owner].join_round >= h.newest_client_join) {
+      h.newest_client_join = -2;  // stale; recomputed lazily on demand
+    }
+  } else if (h.observer_clients > 0) {
+    --h.observer_clients;
+  }
+  if (instant_visibility() && h.online && peers_[owner].visible > 0) {
+    --peers_[owner].visible;
+  }
+}
+
+void BackupNetwork::SeverAsHost(PeerId host, sim::Round now) {
+  scratch_owners_.clear();
+  while (!clients_[host].empty()) {
+    const Link c = clients_[host].back();
+    scratch_owners_.push_back(c.peer);
+    RemovePartnerAt(c.peer, c.back);
+  }
+  for (PeerId owner : scratch_owners_) OnBlocksLost(owner, 1, now);
+}
+
+void BackupNetwork::SeverAsOwner(PeerId owner) {
+  while (!partners_[owner].empty()) {
+    RemovePartnerAt(owner, static_cast<uint32_t>(partners_[owner].size()) - 1);
+  }
+}
+
+void BackupNetwork::OnBlocksLost(PeerId owner, int count, sim::Round now) {
+  PeerState& p = peers_[owner];
+  BumpLossRate(owner, count, now);
+  if (!instant_visibility()) {
+    // Written-off blocks are gone for good: below k the archive cannot be
+    // decoded any more.
+    const int alive = static_cast<int>(partners_[owner].size());
+    if (p.backed_up && alive < options_.k) {
+      HandleArchiveLoss(owner, now);
+      return;
+    }
+  }
+  if (VisibleBasis(owner) < flag_level_ || p.episode_active) FlagForRepair(owner);
+}
+
+int BackupNetwork::VisibleBasis(PeerId id) const {
+  return instant_visibility() ? peers_[id].visible
+                              : static_cast<int>(partners_[id].size());
+}
+
+sim::Round BackupNetwork::EffectiveJoin(PeerId id) const {
+  const PeerState& p = peers_[id];
+  return p.is_observer ? engine_->now() - p.frozen_age : p.join_round;
+}
+
+sim::Round BackupNetwork::MarketAge(PeerId id) const {
+  return std::min(AgeOf(id), options_.acceptance_horizon);
+}
+
+sim::Round BackupNetwork::YoungestClientJoin(PeerId host) {
+  PeerState& h = peers_[host];
+  if (h.newest_client_join == -2) {
+    h.newest_client_join = -1;
+    for (const Link& c : clients_[host]) {
+      if (!peers_[c.peer].is_observer) {
+        h.newest_client_join =
+            std::max(h.newest_client_join, peers_[c.peer].join_round);
+      }
+    }
+  }
+  sim::Round youngest = h.newest_client_join;
+  if (h.observer_clients > 0) {
+    for (const Link& c : clients_[host]) {
+      if (peers_[c.peer].is_observer) {
+        youngest = std::max(youngest, EffectiveJoin(c.peer));
+      }
+    }
+  }
+  return youngest;
+}
+
+bool BackupNetwork::TryEvictYoungestClient(PeerId host, sim::Round newer_than,
+                                           sim::Round now) {
+  auto& cl = clients_[host];
+  int best = -1;
+  sim::Round best_age = newer_than;  // the victim must be strictly younger
+  for (uint32_t j = 0; j < cl.size(); ++j) {
+    const sim::Round a = MarketAge(cl[j].peer);
+    if (a < best_age) {
+      best_age = a;
+      best = static_cast<int>(j);
+    }
+  }
+  if (best < 0) return false;
+  const PeerId victim = cl[static_cast<size_t>(best)].peer;
+  RemovePartnerAt(victim, cl[static_cast<size_t>(best)].back);
+  OnBlocksLost(victim, 1, now);
+  return true;
+}
+
+bool BackupNetwork::TryPlaceBlock(PeerId owner, PeerId host, sim::Round now) {
+  PeerState& h = peers_[host];
+  if (h.hosted >= options_.quota_blocks) {
+    if (!options_.quota_market) return false;
+    const sim::Round owner_age = MarketAge(owner);
+    if (peers_[owner].is_observer) {
+      // Observers must experience the same market a real peer of their
+      // frozen age would, but their phantom blocks must not displace real
+      // ones: admissible only when an eviction would have been possible.
+      const sim::Round youngest =
+          std::min(engine_->now() - YoungestClientJoin(host),
+                   options_.acceptance_horizon);
+      if (youngest >= owner_age) return false;
+      AddPartnership(owner, host);
+      return true;
+    }
+    while (h.hosted >= options_.quota_blocks) {
+      if (!TryEvictYoungestClient(host, owner_age, now)) return false;
+    }
+  }
+  AddPartnership(owner, host);
+  return true;
+}
+
+int BackupNetwork::EvictOfflinePartners(PeerId owner, int count) {
+  int evicted = 0;
+  auto& links = partners_[owner];
+  for (uint32_t i = static_cast<uint32_t>(links.size()); i-- > 0;) {
+    if (evicted >= count) break;
+    if (!peers_[links[i].peer].online) {
+      RemovePartnerAt(owner, i);
+      ++evicted;
+    }
+  }
+  return evicted;
+}
+
+void BackupNetwork::HandleArchiveLoss(PeerId owner, sim::Round now) {
+  PeerState& p = peers_[owner];
+  ++totals_.losses;
+  if (p.is_observer) {
+    ++observer_results_[owner - options_.num_peers].losses;
+  } else {
+    accounting_.RecordLoss(CategoryAt(owner, now));
+  }
+  // The network copy is unrecoverable; the owner rebuilds the backup from
+  // its local data: drop what is left and start a fresh initial placement.
+  p.backed_up = false;
+  p.episode_active = false;
+  SeverAsOwner(owner);
+  FlagForRepair(owner);
+}
+
+void BackupNetwork::FlagForRepair(PeerId id) {
+  PeerState& p = peers_[id];
+  p.needs_repair = true;
+  if (p.online) EnqueueRepair(id);
+}
+
+void BackupNetwork::EnqueueRepair(PeerId id) {
+  PeerState& p = peers_[id];
+  if (p.in_repair_queue) return;
+  p.in_repair_queue = true;
+  repair_queue_.push_back(id);
+}
+
+void BackupNetwork::ProcessRepairs(sim::Round now) {
+  scratch_queue_.clear();
+  scratch_queue_.swap(repair_queue_);
+  engine_->ShuffleForRound(&scratch_queue_);
+  for (PeerId id : scratch_queue_) {
+    PeerState& p = peers_[id];
+    p.in_repair_queue = false;
+    if (!p.needs_repair) continue;
+    if (!p.online) continue;  // re-enqueued on reconnect
+    RunRepair(id, now);
+  }
+}
+
+void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
+  PeerState& p = peers_[id];
+  const int n = options_.k + options_.m;
+
+  // "The peer must first download k blocks to be able to decode the
+  // original data": with fewer than k blocks reachable, the repair fails
+  // and the archive is lost (paper 4.2.1 discussion of figure 2).
+  if (instant_visibility() && p.backed_up && p.visible < options_.k) {
+    HandleArchiveLoss(id, now);
+  }
+
+  if (!p.episode_active) {
+    const int basis = VisibleBasis(id);
+    if (p.backed_up) {
+      core::MaintenanceContext ctx;
+      ctx.k = options_.k;
+      ctx.n = n;
+      ctx.alive = basis;
+      ctx.partner_loss_rate = ReadLossRate(id, now);
+      ctx.rounds_since_repair =
+          p.last_repair < 0 ? sim::kNever : now - p.last_repair;
+      const core::MaintenanceDecision decision = policy_->Evaluate(ctx);
+      if (!decision.trigger) {
+        // Recovered above the trigger level (e.g. partners came back
+        // online) before the repair started: nothing to do.
+        p.needs_repair = false;
+        return;
+      }
+      if (instant_visibility()) {
+        // Write the missing blocks off: the repair REPLACES the partners
+        // that were unreachable when it was triggered ("replace the blocks
+        // which have disappeared"; meta-data is updated accordingly).
+        EvictOfflinePartners(id, n);
+      }
+    }
+    // A peer that is not yet backed up always proceeds: the initial
+    // placement is mandatory regardless of policy.
+    p.episode_active = true;
+    ++totals_.repairs;
+    if (p.is_observer) {
+      ++observer_results_[id - options_.num_peers].repairs;
+    } else {
+      accounting_.RecordRepair(CategoryAt(id, now), n - basis);
+    }
+  }
+
+  int needed = n - static_cast<int>(partners_[id].size());
+  if (needed > 0 && options_.max_blocks_per_round > 0) {
+    needed = std::min(needed, options_.max_blocks_per_round);
+  }
+  if (needed > 0) {
+    std::vector<core::Candidate> pool;
+    BuildPool(id, needed, &pool);
+    std::vector<uint32_t> chosen;
+    selection_->Choose(&pool, needed, place_rng_, &chosen);
+    int64_t placed = 0;
+    for (uint32_t host : chosen) {
+      if (TryPlaceBlock(id, host, now)) ++placed;
+    }
+    totals_.blocks_uploaded += placed;
+  }
+
+  if (static_cast<int>(partners_[id].size()) >= n) {
+    p.episode_active = false;
+    p.needs_repair = false;
+    p.last_repair = now;
+    p.backed_up = true;
+    // The refreshed set may still sit under the trigger level (newly placed
+    // partners can be offline until the upload completes): re-evaluate next
+    // round rather than waiting for a further loss event.
+    if (VisibleBasis(id) < flag_level_) FlagForRepair(id);
+  } else {
+    // Partial placement: keep trying in subsequent rounds.
+    EnqueueRepair(id);
+  }
+}
+
+int BackupNetwork::BuildPool(PeerId owner, int needed,
+                             std::vector<core::Candidate>* pool) {
+  const int target_pool = std::max(
+      needed, static_cast<int>(std::ceil(options_.pool_factor * needed)));
+  const int64_t max_draws =
+      static_cast<int64_t>(options_.sample_attempt_factor) * target_pool;
+  ++mark_epoch_;
+  mark_[owner] = mark_epoch_;
+  for (const Link& link : partners_[owner]) mark_[link.peer] = mark_epoch_;
+
+  const sim::Round now = engine_->now();
+  const sim::Round owner_age = AgeOf(owner);
+  pool->reserve(static_cast<size_t>(target_pool));
+  for (int64_t draw = 0;
+       draw < max_draws && static_cast<int>(pool->size()) < target_pool; ++draw) {
+    const PeerId c = static_cast<PeerId>(
+        place_rng_->UniformInt(0, static_cast<int64_t>(options_.num_peers) - 1));
+    if (mark_[c] == mark_epoch_) continue;
+    mark_[c] = mark_epoch_;
+    const PeerState& cand = peers_[c];
+    // Instant mode admits offline candidates: "the upload of generated
+    // blocks can be done later as new partners become available" (paper
+    // 3.1). Timeout mode must not: an offline partner would start timing
+    // out immediately.
+    if (!cand.online && !instant_visibility()) continue;
+    if (cand.hosted >= options_.quota_blocks) {
+      // Full hosts stay in the market for peers older than their youngest
+      // client (tit-for-tat displacement).
+      if (!options_.quota_market) continue;
+      const sim::Round youngest = std::min(now - YoungestClientJoin(c),
+                                           options_.acceptance_horizon);
+      if (youngest >= MarketAge(owner)) continue;
+    }
+    const sim::Round cand_age = now - cand.join_round;
+    if (options_.use_acceptance &&
+        !acceptance_.MutualAccept(owner_age, cand_age, place_rng_)) {
+      continue;
+    }
+    pool->push_back(core::Candidate{c, cand_age});
+  }
+  return static_cast<int>(pool->size());
+}
+
+void BackupNetwork::BumpLossRate(PeerId id, int events, sim::Round now) {
+  PeerState& p = peers_[id];
+  const double tau = static_cast<double>(options_.loss_rate_tau);
+  const double decay =
+      std::exp(-static_cast<double>(now - p.loss_rate_at) / tau);
+  p.loss_rate = p.loss_rate * decay + static_cast<double>(events) / tau;
+  p.loss_rate_at = now;
+}
+
+double BackupNetwork::ReadLossRate(PeerId id, sim::Round now) const {
+  const PeerState& p = peers_[id];
+  const double tau = static_cast<double>(options_.loss_rate_tau);
+  return p.loss_rate * std::exp(-static_cast<double>(now - p.loss_rate_at) / tau);
+}
+
+sim::Round BackupNetwork::AgeOf(PeerId id) const {
+  const PeerState& p = peers_[id];
+  if (p.is_observer) return p.frozen_age;
+  return engine_->now() - p.join_round;
+}
+
+metrics::AgeCategory BackupNetwork::CategoryAt(PeerId id, sim::Round now) const {
+  return metrics::CategoryOf(now - peers_[id].join_round);
+}
+
+void BackupNetwork::SampleSeries(sim::Round now) {
+  if (now < next_sample_) return;
+  next_sample_ = now + options_.sample_interval;
+  CategorySample sample;
+  sample.round = now;
+  for (int c = 0; c < metrics::kCategoryCount; ++c) {
+    const auto snap = accounting_.Snapshot(static_cast<metrics::AgeCategory>(c));
+    sample.cumulative_losses[static_cast<size_t>(c)] = snap.losses;
+    sample.cumulative_repairs[static_cast<size_t>(c)] = snap.repairs;
+    sample.mean_population[static_cast<size_t>(c)] =
+        accounting_.MeanPopulation(static_cast<metrics::AgeCategory>(c));
+  }
+  series_.push_back(sample);
+  for (ObserverResult& obs : observer_results_) {
+    obs.cumulative_repairs.Offer(now, static_cast<double>(obs.repairs));
+  }
+}
+
+BackupNetwork::PopulationStats BackupNetwork::ComputePopulationStats() const {
+  PopulationStats s;
+  const uint32_t p = options_.num_peers;
+  for (PeerId id = 0; id < p; ++id) {
+    s.mean_partners += static_cast<double>(partners_[id].size());
+    s.mean_visible += static_cast<double>(peers_[id].visible);
+    s.mean_hosted += static_cast<double>(peers_[id].hosted);
+    s.online_fraction += peers_[id].online ? 1.0 : 0.0;
+    s.backed_up += peers_[id].backed_up ? 1 : 0;
+  }
+  s.mean_partners /= p;
+  s.mean_visible /= p;
+  s.mean_hosted /= p;
+  s.online_fraction /= p;
+  return s;
+}
+
+BackupNetwork::PartnerSetStats BackupNetwork::ComputePartnerStats(
+    PeerId owner) const {
+  PartnerSetStats s;
+  s.count = static_cast<int>(partners_[owner].size());
+  if (s.count == 0) return s;
+  for (const Link& link : partners_[owner]) {
+    const PeerState& host = peers_[link.peer];
+    s.mean_nominal_availability += (*profiles_)[host.profile].availability;
+    s.mean_age_days +=
+        sim::RoundsToDays(engine_->now() - host.join_round);
+    if (host.profile < s.profile_counts.size()) {
+      ++s.profile_counts[host.profile];
+    }
+  }
+  s.mean_nominal_availability /= s.count;
+  s.mean_age_days /= s.count;
+  return s;
+}
+
+void BackupNetwork::CheckInvariants() const {
+  const int n = options_.k + options_.m;
+  const int bound = instant_visibility() ? partner_cap_ : n;
+  std::vector<int> hosted_check(peers_.size(), 0);
+  for (PeerId o = 0; o < peers_.size(); ++o) {
+    P2P_CHECK(static_cast<int>(partners_[o].size()) <= bound);
+    if (instant_visibility()) {
+      int visible_check = 0;
+      for (const Link& link : partners_[o]) {
+        if (peers_[link.peer].online) ++visible_check;
+      }
+      P2P_CHECK(peers_[o].visible == visible_check);
+    }
+    for (uint32_t i = 0; i < partners_[o].size(); ++i) {
+      const Link& link = partners_[o][i];
+      P2P_CHECK(link.peer < options_.num_peers);  // hosts are normal peers
+      P2P_CHECK(link.back < clients_[link.peer].size());
+      const Link& twin = clients_[link.peer][link.back];
+      P2P_CHECK(twin.peer == o && twin.back == i);
+      if (!peers_[o].is_observer) ++hosted_check[link.peer];
+    }
+    // Distinctness: no host appears twice for one owner.
+    std::vector<PeerId> hosts;
+    hosts.reserve(partners_[o].size());
+    for (const Link& link : partners_[o]) hosts.push_back(link.peer);
+    std::sort(hosts.begin(), hosts.end());
+    P2P_CHECK(std::adjacent_find(hosts.begin(), hosts.end()) == hosts.end());
+  }
+  for (PeerId h = 0; h < peers_.size(); ++h) {
+    if (options_.departure_grace == 0) {
+      P2P_CHECK(peers_[h].hosted == hosted_check[h]);
+    } else {
+      P2P_CHECK(peers_[h].hosted >= hosted_check[h]);  // ghost quota allowed
+    }
+    P2P_CHECK(peers_[h].hosted <= options_.quota_blocks ||
+              options_.quota_blocks == 0);
+  }
+}
+
+}  // namespace backup
+}  // namespace p2p

@@ -1,0 +1,259 @@
+// The simulated peer-to-peer backup network: the "state-of-the-art backup
+// system" of paper section 2.2 running the lifetime-aware placement protocol
+// of section 3.2 over the churn models of section 4.1.
+//
+// Implementation notes (performance):
+//  * All high-frequency dynamics (session toggles, departures, partner
+//    timeouts, category transitions) are calendar-queue events validated by
+//    peer incarnation, so a round costs O(events), not O(peers).
+//  * A partnership is a pair of cross-indexed links (owner side, host side)
+//    with O(1) swap-removal; a host departing with hundreds of clients
+//    severs all of them in linear time without scans.
+//  * "alive blocks" of an owner is by construction the size of its partner
+//    list: a block exists exactly while its partnership does.
+
+#ifndef P2P_BACKUP_NETWORK_H_
+#define P2P_BACKUP_NETWORK_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "backup/options.h"
+#include "churn/profile.h"
+#include "core/acceptance.h"
+#include "core/maintenance_policy.h"
+#include "core/selection.h"
+#include "metrics/accounting.h"
+#include "monitor/availability_monitor.h"
+#include "sim/engine.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace backup {
+
+/// Peer identifier; ids < num_peers are normal peers, ids above are
+/// observers.
+using PeerId = uint32_t;
+
+/// \brief A measurement peer with frozen age (paper, section 4.2.2):
+/// "An observer is a special peer, whose age does not increase ... Other
+/// peers cannot choose an observer as a partner, but the observer can choose
+/// other peers as partners, without however consuming their quota."
+struct ObserverResult {
+  std::string name;
+  sim::Round frozen_age = 0;
+  int64_t repairs = 0;
+  int64_t losses = 0;
+  metrics::TimeSeries cumulative_repairs;
+};
+
+/// One daily sample of the per-category accumulators (drives Figures 2/4).
+struct CategorySample {
+  sim::Round round = 0;
+  std::array<int64_t, metrics::kCategoryCount> cumulative_losses{};
+  std::array<int64_t, metrics::kCategoryCount> cumulative_repairs{};
+  std::array<double, metrics::kCategoryCount> mean_population{};
+};
+
+/// Aggregate outcome counters of one run.
+struct RunTotals {
+  int64_t repairs = 0;
+  int64_t losses = 0;
+  int64_t blocks_uploaded = 0;
+  int64_t departures = 0;
+  int64_t timeouts = 0;  ///< partnerships severed by the timeout rule
+};
+
+/// \brief The simulation network; attach to an Engine, add observers, run.
+class BackupNetwork {
+ public:
+  /// Wires the network into `engine` (registers the round hook). The engine
+  /// and profile set must outlive the network.
+  BackupNetwork(sim::Engine* engine, const churn::ProfileSet* profiles,
+                const SystemOptions& options);
+
+  /// Adds an observer with the given frozen age; call before the first
+  /// engine step. Returns its index into observers().
+  size_t AddObserver(const std::string& name, sim::Round frozen_age);
+
+  /// \name Results.
+  /// @{
+  const metrics::CategoryAccounting& accounting() const { return accounting_; }
+  const std::vector<ObserverResult>& observers() const { return observer_results_; }
+  const std::vector<CategorySample>& category_series() const { return series_; }
+  const RunTotals& totals() const { return totals_; }
+  /// @}
+
+  /// \name Introspection (tests, invariant checks).
+  /// @{
+  uint32_t total_ids() const { return static_cast<uint32_t>(peers_.size()); }
+  bool IsOnline(PeerId id) const { return peers_[id].online; }
+  bool IsBackedUp(PeerId id) const { return peers_[id].backed_up; }
+  int AliveBlocks(PeerId id) const {
+    return static_cast<int>(partners_[id].size());
+  }
+  int VisibleBlocks(PeerId id) const { return peers_[id].visible; }
+  int HostedBlocks(PeerId id) const { return peers_[id].hosted; }
+  sim::Round AgeOf(PeerId id) const;
+  uint32_t ProfileOf(PeerId id) const { return peers_[id].profile; }
+  const SystemOptions& options() const { return options_; }
+  /// Verifies every cross-index / quota / distinctness invariant; aborts on
+  /// violation. O(population * partners); used by tests.
+  void CheckInvariants() const;
+  /// Population-wide state summary (diagnostics and tests).
+  struct PopulationStats {
+    double mean_partners = 0.0;  ///< mean owner-side partner count
+    double mean_visible = 0.0;   ///< mean online partners per owner
+    double mean_hosted = 0.0;    ///< mean quota consumption per host
+    double online_fraction = 0.0;
+    int64_t backed_up = 0;       ///< peers whose initial placement completed
+  };
+  PopulationStats ComputePopulationStats() const;
+  /// Composition of one owner's current partner set (diagnostics).
+  struct PartnerSetStats {
+    int count = 0;
+    double mean_nominal_availability = 0.0;  ///< profile availability
+    double mean_age_days = 0.0;
+    std::array<int, 8> profile_counts{};  ///< by profile index
+  };
+  PartnerSetStats ComputePartnerStats(PeerId owner) const;
+  /// @}
+
+ private:
+  struct Link {
+    PeerId peer;    // the peer on the other side
+    uint32_t back;  // index of the twin link in the other side's vector
+  };
+
+  struct PeerState {
+    uint32_t profile = 0;
+    uint32_t incarnation = 0;
+    sim::Round join_round = 0;
+    sim::Round departure_round = sim::kNever;
+    sim::Round next_toggle = sim::kNever;
+    sim::Round offline_since = -1;
+    sim::Round last_repair = -1;
+    bool online = false;
+    bool is_observer = false;
+    bool backed_up = false;
+    bool needs_repair = false;
+    bool in_repair_queue = false;
+    bool episode_active = false;
+    sim::Round frozen_age = 0;  // observers only
+    int hosted = 0;             // quota consumed by non-observer clients
+    int visible = 0;            // partners online right now (instant mode)
+    int observer_clients = 0;   // observer-owned blocks on this host
+    // Join round of the youngest normal client; -1 none, -2 stale cache.
+    sim::Round newest_client_join = -1;
+    // Loss-rate EMA for adaptive/proactive policies.
+    double loss_rate = 0.0;
+    sim::Round loss_rate_at = 0;
+  };
+
+  struct Event {
+    PeerId id;
+    uint32_t incarnation;
+    sim::Round stamp;  // toggle: due round; timeout: offline_since; else 0
+  };
+
+  // --- lifecycle ---
+  void BootstrapPopulation();
+  void InitPeer(PeerId id, sim::Round now);
+  void DepartPeer(PeerId id, sim::Round now);
+
+  // --- round processing ---
+  void OnRound(sim::Round now);
+  void ProcessToggle(const Event& e, sim::Round now);
+  void ProcessDeparture(const Event& e, sim::Round now);
+  void ProcessTimeout(const Event& e, sim::Round now);
+  void ProcessCategory(const Event& e, sim::Round now);
+  void ProcessRepairs(sim::Round now);
+  void RunRepair(PeerId id, sim::Round now);
+  void SampleSeries(sim::Round now);
+
+  // --- partnership maintenance ---
+  void AddPartnership(PeerId owner, PeerId host);
+  void RemovePartnerAt(PeerId owner, uint32_t index, bool release_quota = true);
+  void SeverAsHost(PeerId host, sim::Round now);    // clients lose blocks
+  void SeverAsOwner(PeerId owner);                  // hosts free quota
+  void OnBlocksLost(PeerId owner, int count, sim::Round now);
+  void HandleArchiveLoss(PeerId owner, sim::Round now);
+
+  // --- repair helpers ---
+  void FlagForRepair(PeerId id);
+  void EnqueueRepair(PeerId id);
+  int BuildPool(PeerId owner, int needed, std::vector<core::Candidate>* pool);
+  void BumpLossRate(PeerId id, int events, sim::Round now);
+  double ReadLossRate(PeerId id, sim::Round now) const;
+  /// The quantity the repair policy watches: online partners in instant
+  /// mode, non-written-off partners in timeout mode.
+  int VisibleBasis(PeerId id) const;
+  /// Evicts up to `count` offline partners to make room under the partner
+  /// cap (instant mode). Returns the number evicted.
+  int EvictOfflinePartners(PeerId owner, int count);
+  /// Join round that orders peers by age for the quota market; observers
+  /// rank by their frozen age.
+  sim::Round EffectiveJoin(PeerId id) const;
+  /// Age saturated at the horizon L: the market currency. Peers older than
+  /// L are equivalent ("not much different") and can never displace each
+  /// other.
+  sim::Round MarketAge(PeerId id) const;
+  /// Youngest (largest) effective join among `host`'s clients; -1 if none.
+  /// Refreshes the lazy cache.
+  sim::Round YoungestClientJoin(PeerId host);
+  /// Quota-market eviction: drops the youngest client of `host` if it is
+  /// strictly younger than `newer_than`. Returns true when a slot opened.
+  bool TryEvictYoungestClient(PeerId host, sim::Round newer_than, sim::Round now);
+  /// Places one block on `host`, evicting through the quota market if the
+  /// host is full. Returns false when no capacity could be obtained.
+  bool TryPlaceBlock(PeerId owner, PeerId host, sim::Round now);
+  bool instant_visibility() const {
+    return options_.visibility == VisibilityModel::kInstantOnline;
+  }
+
+  metrics::AgeCategory CategoryAt(PeerId id, sim::Round now) const;
+
+  sim::Engine* engine_;
+  const churn::ProfileSet* profiles_;
+  SystemOptions options_;
+  std::unique_ptr<core::SelectionStrategy> selection_;
+  std::unique_ptr<core::MaintenancePolicy> policy_;
+  core::AcceptanceFunction acceptance_;
+  int flag_level_ = 0;     // visible level below which repair is evaluated
+  int partner_cap_ = 0;    // instant mode: max partners per owner
+
+  util::Rng* churn_rng_;
+  util::Rng* place_rng_;
+
+  std::vector<PeerState> peers_;
+  std::vector<std::vector<Link>> partners_;  // owner -> hosts of its blocks
+  std::vector<std::vector<Link>> clients_;   // host -> owners it stores for
+
+  sim::CalendarQueue<Event> toggles_;
+  sim::CalendarQueue<Event> departures_;
+  sim::CalendarQueue<Event> timeouts_;
+  sim::CalendarQueue<Event> category_events_;
+  sim::CalendarQueue<Event> quota_releases_;  // departure-grace quota ghosts
+
+  std::vector<PeerId> repair_queue_;
+  std::vector<PeerId> scratch_queue_;
+  std::vector<PeerId> scratch_owners_;
+
+  // Pool-sampling scratch: epoch-marked exclusion set.
+  std::vector<uint32_t> mark_;
+  uint32_t mark_epoch_ = 0;
+
+  monitor::AvailabilityMonitor monitor_;
+  metrics::CategoryAccounting accounting_;
+  std::vector<ObserverResult> observer_results_;
+  std::vector<CategorySample> series_;
+  RunTotals totals_;
+  sim::Round next_sample_ = 0;
+};
+
+}  // namespace backup
+}  // namespace p2p
+
+#endif  // P2P_BACKUP_NETWORK_H_

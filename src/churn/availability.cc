@@ -1,0 +1,47 @@
+#include "churn/availability.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2p {
+namespace churn {
+
+SessionProcess::SessionProcess(double mean_online_rounds, double mean_offline_rounds)
+    : mean_online_(mean_online_rounds), mean_offline_(mean_offline_rounds) {
+  assert(mean_online_rounds >= 1.0 && mean_offline_rounds >= 1.0);
+}
+
+SessionProcess SessionProcess::DiurnalSessions(double availability,
+                                               double cycle_rounds) {
+  assert(availability > 0.0 && availability < 1.0);
+  // Clamp both means at one round; the clamp skews stationary availability
+  // only when a*cycle or (1-a)*cycle < 1, i.e. extreme availabilities on
+  // short cycles, where the Bernoulli preset is the better choice anyway.
+  const double on = std::max(1.0, availability * cycle_rounds);
+  const double off = std::max(1.0, (1.0 - availability) * cycle_rounds);
+  return SessionProcess(on, off);
+}
+
+SessionProcess SessionProcess::BernoulliRounds(double availability) {
+  assert(availability > 0.0 && availability < 1.0);
+  return SessionProcess(1.0 / (1.0 - availability), 1.0 / availability);
+}
+
+sim::Round SessionProcess::SampleOnline(util::Rng* rng) const {
+  return rng->Geometric(mean_online_);
+}
+
+sim::Round SessionProcess::SampleOffline(util::Rng* rng) const {
+  return rng->Geometric(mean_offline_);
+}
+
+double SessionProcess::StationaryAvailability() const {
+  return mean_online_ / (mean_online_ + mean_offline_);
+}
+
+bool SessionProcess::SampleInitialOnline(util::Rng* rng) const {
+  return rng->Bernoulli(StationaryAvailability());
+}
+
+}  // namespace churn
+}  // namespace p2p

@@ -1,0 +1,62 @@
+// Availability: the fraction of time a peer is online while it is a member
+// of the system (paper profile table: Durable 95%, Stable 87%, Unstable 75%,
+// Erratic 33%).
+//
+// The process is an alternating renewal of online/offline sessions with
+// geometric (memoryless, integer-round) durations. Two presets matter:
+//  * DiurnalSessions: mean cycle of ~1 day, matching home machines that are
+//    switched on/off daily; the library default.
+//  * BernoulliRounds: session means chosen so each round is an independent
+//    coin flip - the most literal reading of a round-based simulator.
+// Both have stationary online probability exactly equal to `availability`.
+
+#ifndef P2P_CHURN_AVAILABILITY_H_
+#define P2P_CHURN_AVAILABILITY_H_
+
+#include <string>
+
+#include "sim/clock.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace churn {
+
+/// \brief Alternating geometric on/off session process.
+class SessionProcess {
+ public:
+  /// Builds a process from mean online/offline session lengths (rounds >= 1).
+  SessionProcess(double mean_online_rounds, double mean_offline_rounds);
+
+  /// Process whose stationary online share is `availability`, with sessions
+  /// scaled to a mean on+off cycle of `cycle_rounds` (default one day).
+  static SessionProcess DiurnalSessions(double availability,
+                                        double cycle_rounds = sim::kRoundsPerDay);
+
+  /// Process equivalent to flipping an `availability` coin each round:
+  /// mean online run 1/(1-a), mean offline run 1/a.
+  static SessionProcess BernoulliRounds(double availability);
+
+  /// Draws the length of the next online session, in rounds (>= 1).
+  sim::Round SampleOnline(util::Rng* rng) const;
+
+  /// Draws the length of the next offline session, in rounds (>= 1).
+  sim::Round SampleOffline(util::Rng* rng) const;
+
+  /// Stationary probability of being online.
+  double StationaryAvailability() const;
+
+  /// True with the stationary probability: used to draw the initial state.
+  bool SampleInitialOnline(util::Rng* rng) const;
+
+  double mean_online() const { return mean_online_; }
+  double mean_offline() const { return mean_offline_; }
+
+ private:
+  double mean_online_;
+  double mean_offline_;
+};
+
+}  // namespace churn
+}  // namespace p2p
+
+#endif  // P2P_CHURN_AVAILABILITY_H_

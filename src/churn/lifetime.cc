@@ -1,0 +1,58 @@
+#include "churn/lifetime.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace p2p {
+namespace churn {
+
+sim::Round UnlimitedLifetime::Sample(util::Rng* rng) const {
+  rng->NextDouble();  // keep streams aligned across profile mixes
+  return sim::kNever;
+}
+
+double UnlimitedLifetime::MeanRounds() const {
+  return static_cast<double>(sim::kNever);
+}
+
+UniformLifetime::UniformLifetime(sim::Round lo, sim::Round hi) : lo_(lo), hi_(hi) {
+  assert(lo >= 1 && lo <= hi);
+}
+
+sim::Round UniformLifetime::Sample(util::Rng* rng) const {
+  return rng->UniformInt(lo_, hi_);
+}
+
+double UniformLifetime::MeanRounds() const {
+  return 0.5 * (static_cast<double>(lo_) + static_cast<double>(hi_));
+}
+
+ParetoLifetime::ParetoLifetime(double scale_rounds, double shape)
+    : scale_(scale_rounds), shape_(shape) {
+  assert(scale_rounds >= 1.0 && shape > 0.0);
+}
+
+sim::Round ParetoLifetime::Sample(util::Rng* rng) const {
+  const double v = rng->Pareto(scale_, shape_);
+  if (v >= static_cast<double>(sim::kNever)) return sim::kNever;
+  return std::max<sim::Round>(1, static_cast<sim::Round>(v));
+}
+
+double ParetoLifetime::MeanRounds() const {
+  if (shape_ <= 1.0) return static_cast<double>(sim::kNever);  // infinite mean
+  return scale_ * shape_ / (shape_ - 1.0);
+}
+
+ExponentialLifetime::ExponentialLifetime(double mean_rounds) : mean_(mean_rounds) {
+  assert(mean_rounds >= 1.0);
+}
+
+sim::Round ExponentialLifetime::Sample(util::Rng* rng) const {
+  return std::max<sim::Round>(1, static_cast<sim::Round>(rng->Exponential(mean_)));
+}
+
+double ExponentialLifetime::MeanRounds() const { return mean_; }
+
+}  // namespace churn
+}  // namespace p2p

@@ -1,0 +1,91 @@
+// Lifetime distributions: how long a peer stays in the system before leaving
+// definitively. The paper's profile table uses bounded ranges; the Pareto
+// model realizes the heavy-tailed lifetimes of [5] ("lifetimes in a
+// peer-to-peer system follow a Pareto distribution") for ablation studies.
+
+#ifndef P2P_CHURN_LIFETIME_H_
+#define P2P_CHURN_LIFETIME_H_
+
+#include <memory>
+#include <string>
+
+#include "sim/clock.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace churn {
+
+/// \brief Distribution of total peer lifetime, in rounds.
+class LifetimeModel {
+ public:
+  virtual ~LifetimeModel() = default;
+
+  /// Draws a lifetime; sim::kNever means the peer never departs.
+  virtual sim::Round Sample(util::Rng* rng) const = 0;
+
+  /// Mean lifetime in rounds (sim::kNever for unbounded models); used by
+  /// analytic sanity checks and the proactive-repair estimator.
+  virtual double MeanRounds() const = 0;
+
+  /// Display name for reports.
+  virtual std::string name() const = 0;
+};
+
+/// Peer never departs (the paper's Durable profile: "unlimited").
+class UnlimitedLifetime : public LifetimeModel {
+ public:
+  sim::Round Sample(util::Rng* rng) const override;
+  double MeanRounds() const override;
+  std::string name() const override { return "unlimited"; }
+};
+
+/// Uniform lifetime over [lo, hi] rounds (the paper's range notation,
+/// e.g. Stable "1.5 - 3.5 years").
+class UniformLifetime : public LifetimeModel {
+ public:
+  UniformLifetime(sim::Round lo, sim::Round hi);
+  sim::Round Sample(util::Rng* rng) const override;
+  double MeanRounds() const override;
+  std::string name() const override { return "uniform"; }
+
+ private:
+  sim::Round lo_;
+  sim::Round hi_;
+};
+
+/// Pareto lifetime with minimum `scale` rounds and tail exponent `shape`.
+/// Under this model, expected residual lifetime grows linearly with age -
+/// the precise sense in which "the longer a peer has been in the system, the
+/// longer it is expected to stay".
+class ParetoLifetime : public LifetimeModel {
+ public:
+  ParetoLifetime(double scale_rounds, double shape);
+  sim::Round Sample(util::Rng* rng) const override;
+  double MeanRounds() const override;
+  std::string name() const override { return "pareto"; }
+
+  double shape() const { return shape_; }
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+/// Memoryless exponential lifetime (a pessimistic control: age carries no
+/// information, so lifetime-aware selection should show no benefit).
+class ExponentialLifetime : public LifetimeModel {
+ public:
+  explicit ExponentialLifetime(double mean_rounds);
+  sim::Round Sample(util::Rng* rng) const override;
+  double MeanRounds() const override;
+  std::string name() const override { return "exponential"; }
+
+ private:
+  double mean_;
+};
+
+}  // namespace churn
+}  // namespace p2p
+
+#endif  // P2P_CHURN_LIFETIME_H_

@@ -1,0 +1,72 @@
+// Peer behaviour profiles (paper, section 4.1.1):
+//
+//   Profile   Proportion  Life expectancy   Availability
+//   Durable   10%         unlimited         95%
+//   Stable    25%         1.5 - 3.5 years   87%
+//   Unstable  30%         3 - 18 months     75%
+//   Erratic   35%         1 - 3 months      33%
+//
+// "Each peer belongs to a profile and it cannot change during the
+// simulation. A peer cannot know to which profile an other peer belongs."
+
+#ifndef P2P_CHURN_PROFILE_H_
+#define P2P_CHURN_PROFILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "churn/availability.h"
+#include "churn/lifetime.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace churn {
+
+/// \brief One behaviour class: lifetime distribution + availability process.
+struct Profile {
+  std::string name;
+  double proportion = 0.0;  ///< population share in [0, 1]
+  std::shared_ptr<const LifetimeModel> lifetime;
+  SessionProcess sessions{1.0, 1.0};
+  double availability = 0.0;  ///< nominal availability, for reporting
+};
+
+/// \brief A complete population mix; proportions must sum to 1.
+class ProfileSet {
+ public:
+  /// Validates and wraps a list of profiles.
+  static util::Result<ProfileSet> Create(std::vector<Profile> profiles);
+
+  /// The four-profile mix of the paper's evaluation, with availability
+  /// sessions built by `session_factory` (defaults to diurnal sessions).
+  static ProfileSet Paper();
+
+  /// Same mix but with Bernoulli per-round availability.
+  static ProfileSet PaperBernoulli();
+
+  /// A mix with every profile's lifetime replaced by one shared Pareto
+  /// model (ablation A2); availabilities keep the paper values.
+  static ProfileSet ParetoMix(double scale_rounds, double shape);
+
+  /// Number of profiles.
+  size_t size() const { return profiles_.size(); }
+
+  /// Profile by index.
+  const Profile& operator[](size_t i) const { return profiles_[i]; }
+
+  /// Draws a profile index according to the proportions.
+  uint32_t SampleIndex(util::Rng* rng) const;
+
+ private:
+  explicit ProfileSet(std::vector<Profile> profiles);
+
+  std::vector<Profile> profiles_;
+  std::vector<double> cumulative_;
+};
+
+}  // namespace churn
+}  // namespace p2p
+
+#endif  // P2P_CHURN_PROFILE_H_

@@ -1,0 +1,31 @@
+#include "core/acceptance.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace p2p {
+namespace core {
+
+AcceptanceFunction::AcceptanceFunction(sim::Round horizon) : horizon_(horizon) {
+  P2P_CHECK(horizon >= 1);
+}
+
+double AcceptanceFunction::Probability(sim::Round s1, sim::Round s2) const {
+  const double L = static_cast<double>(horizon_);
+  const double c1 = static_cast<double>(std::min(s1, horizon_));
+  const double c2 = static_cast<double>(std::min(s2, horizon_));
+  const double p = (L - (c1 - c2) + 1.0) / L;
+  return std::min(p, 1.0);
+}
+
+bool AcceptanceFunction::MutualAccept(sim::Round s1, sim::Round s2,
+                                      util::Rng* rng) const {
+  // Evaluate both draws unconditionally to keep the stream aligned.
+  const bool a12 = rng->Bernoulli(Probability(s1, s2));
+  const bool a21 = rng->Bernoulli(Probability(s2, s1));
+  return a12 && a21;
+}
+
+}  // namespace core
+}  // namespace p2p

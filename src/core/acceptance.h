@@ -1,0 +1,58 @@
+// The partnership acceptance function - the heart of the paper's scheme
+// (section 3.2):
+//
+//   f(p1, p2) = min( (L - (min(s1, L) - min(s2, L)) + 1) / L , 1 )
+//
+// where s1, s2 are the ages (rounds since first connection) of the choosing
+// peer and the candidate, and L is the stability horizon (90 days: "peers
+// which have been in the system for longer times are not much different").
+//
+// Properties guaranteed (and property-tested in tests/core_acceptance_test.cc):
+//  * the result is never zero; its minimum is 1/L ("the probability to be
+//    accepted as a partner is never nul, even for newcomers"),
+//  * the result is exactly one whenever p2 is at least as old as p1
+//    ("peers should always accept older peers as partners"),
+//  * the function is asymmetric below the horizon.
+
+#ifndef P2P_CORE_ACCEPTANCE_H_
+#define P2P_CORE_ACCEPTANCE_H_
+
+#include "sim/clock.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace core {
+
+/// \brief Evaluates the paper's acceptance probability between two peers.
+class AcceptanceFunction {
+ public:
+  /// `horizon` is L, in rounds; the paper uses 90 days.
+  explicit AcceptanceFunction(sim::Round horizon = 90 * sim::kRoundsPerDay);
+
+  /// Probability that a peer of age `s1` accepts a partnership proposed by /
+  /// with a peer of age `s2`.
+  double Probability(sim::Round s1, sim::Round s2) const;
+
+  /// Draws both directions: the partnership forms only when p1 accepts p2
+  /// and p2 accepts p1 ("both peers must agree on their partnership").
+  /// Consumes exactly two Bernoulli draws from `rng`.
+  bool MutualAccept(sim::Round s1, sim::Round s2, util::Rng* rng) const;
+
+  /// The horizon L in rounds.
+  sim::Round horizon() const { return horizon_; }
+
+ private:
+  sim::Round horizon_;
+};
+
+/// \brief Degenerate acceptance that always says yes; the age-oblivious
+/// baseline used in the ablation benches.
+class AlwaysAccept {
+ public:
+  double Probability(sim::Round, sim::Round) const { return 1.0; }
+};
+
+}  // namespace core
+}  // namespace p2p
+
+#endif  // P2P_CORE_ACCEPTANCE_H_

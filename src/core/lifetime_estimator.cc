@@ -1,0 +1,44 @@
+#include "core/lifetime_estimator.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2p {
+namespace core {
+
+AgeRankEstimator::AgeRankEstimator(sim::Round horizon) : horizon_(horizon) {
+  assert(horizon >= 1);
+}
+
+double AgeRankEstimator::StabilityScore(sim::Round age) const {
+  return static_cast<double>(std::min(age, horizon_));
+}
+
+double AgeRankEstimator::ExpectedResidualRounds(sim::Round age) const {
+  // The rank estimator has no parametric model; a linear optimistic proxy
+  // (you will stay at least as long as you already did) is the classic
+  // doubling heuristic for heavy-tailed lifetimes.
+  return static_cast<double>(std::max<sim::Round>(age, 1));
+}
+
+ParetoResidualEstimator::ParetoResidualEstimator(double scale_rounds, double shape)
+    : scale_(scale_rounds), shape_(shape) {
+  assert(scale_rounds >= 1.0 && shape > 0.0);
+}
+
+double ParetoResidualEstimator::StabilityScore(sim::Round age) const {
+  return ExpectedResidualRounds(age);
+}
+
+double ParetoResidualEstimator::ExpectedResidualRounds(sim::Round age) const {
+  const double a = std::max(static_cast<double>(age), scale_);
+  if (shape_ <= 1.0) {
+    // Infinite mean: residual expectation diverges; still monotone in age.
+    return a * 1e6;
+  }
+  // E[T | T > a] = shape/(shape-1) * a, so the residual is a/(shape-1).
+  return a / (shape_ - 1.0);
+}
+
+}  // namespace core
+}  // namespace p2p

@@ -1,0 +1,71 @@
+// Lifetime estimation from observable age - the paper's "new criteria, the
+// age, to estimate the reliability of a peer".
+//
+// The protocol itself only needs a ranking ("the longer a node has been in
+// the system, the more stable it will be considered"); AgeRankEstimator is
+// that ranking, saturated at the horizon L. ParetoResidualEstimator gives
+// the quantitative justification: under Pareto(scale, shape) lifetimes the
+// expected residual lifetime grows linearly in age, so ranking by age is
+// ranking by expected remaining lifetime.
+
+#ifndef P2P_CORE_LIFETIME_ESTIMATOR_H_
+#define P2P_CORE_LIFETIME_ESTIMATOR_H_
+
+#include <memory>
+#include <string>
+
+#include "sim/clock.h"
+
+namespace p2p {
+namespace core {
+
+/// \brief Maps observable age to a stability score (monotone, arbitrary
+/// scale: only the induced ranking matters to selection).
+class LifetimeEstimator {
+ public:
+  virtual ~LifetimeEstimator() = default;
+
+  /// Stability score; larger means expected to stay longer.
+  virtual double StabilityScore(sim::Round age) const = 0;
+
+  /// Expected remaining lifetime in rounds given current age (may be an
+  /// upper-bound heuristic; used by adaptive policies and reports).
+  virtual double ExpectedResidualRounds(sim::Round age) const = 0;
+
+  /// Display name.
+  virtual std::string name() const = 0;
+};
+
+/// The paper's criterion: score = min(age, L). Peers older than the horizon
+/// are "not much different" from each other.
+class AgeRankEstimator : public LifetimeEstimator {
+ public:
+  explicit AgeRankEstimator(sim::Round horizon = 90 * sim::kRoundsPerDay);
+  double StabilityScore(sim::Round age) const override;
+  double ExpectedResidualRounds(sim::Round age) const override;
+  std::string name() const override { return "age-rank"; }
+
+ private:
+  sim::Round horizon_;
+};
+
+/// Residual lifetime under Pareto(scale, shape) lifetimes:
+/// E[T - a | T > a] = (max(a, scale) + ... ) - for shape > 1,
+/// E[T | T > a] = shape/(shape-1) * max(a, scale), so the residual grows
+/// linearly with age - the formal version of the paper's fidelity property.
+class ParetoResidualEstimator : public LifetimeEstimator {
+ public:
+  ParetoResidualEstimator(double scale_rounds, double shape);
+  double StabilityScore(sim::Round age) const override;
+  double ExpectedResidualRounds(sim::Round age) const override;
+  std::string name() const override { return "pareto-residual"; }
+
+ private:
+  double scale_;
+  double shape_;
+};
+
+}  // namespace core
+}  // namespace p2p
+
+#endif  // P2P_CORE_LIFETIME_ESTIMATOR_H_

@@ -1,0 +1,69 @@
+#include "core/maintenance_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace p2p {
+namespace core {
+
+FixedThresholdPolicy::FixedThresholdPolicy(int threshold) : threshold_(threshold) {
+  P2P_CHECK(threshold >= 1);
+}
+
+MaintenanceDecision FixedThresholdPolicy::Evaluate(
+    const MaintenanceContext& ctx) const {
+  MaintenanceDecision d;
+  d.trigger = ctx.alive < threshold_;
+  d.restore_to = ctx.n;
+  return d;
+}
+
+AdaptiveThresholdPolicy::AdaptiveThresholdPolicy(const Options& options)
+    : options_(options) {}
+
+MaintenanceDecision AdaptiveThresholdPolicy::Evaluate(
+    const MaintenanceContext& ctx) const {
+  const double expected_losses = ctx.partner_loss_rate *
+                                 static_cast<double>(options_.reaction_rounds) *
+                                 options_.safety_factor;
+  const int margin = std::clamp(static_cast<int>(std::ceil(expected_losses)),
+                                options_.floor_margin, options_.ceiling_margin);
+  MaintenanceDecision d;
+  d.trigger = ctx.alive < ctx.k + margin;
+  d.restore_to = ctx.n;
+  return d;
+}
+
+ProactivePolicy::ProactivePolicy(const Options& options) : options_(options) {}
+
+MaintenanceDecision ProactivePolicy::Evaluate(const MaintenanceContext& ctx) const {
+  MaintenanceDecision d;
+  d.restore_to = ctx.n;
+  if (ctx.alive < options_.emergency_threshold) {
+    d.trigger = true;
+    return d;
+  }
+  d.trigger = (ctx.n - ctx.alive) >= options_.batch_blocks;
+  return d;
+}
+
+std::unique_ptr<MaintenancePolicy> MakePolicy(PolicyKind kind, int fixed_threshold) {
+  switch (kind) {
+    case PolicyKind::kFixedThreshold:
+      return std::make_unique<FixedThresholdPolicy>(fixed_threshold);
+    case PolicyKind::kAdaptiveThreshold:
+      return std::make_unique<AdaptiveThresholdPolicy>(
+          AdaptiveThresholdPolicy::Options{});
+    case PolicyKind::kProactive: {
+      ProactivePolicy::Options opts;
+      opts.emergency_threshold = fixed_threshold;
+      return std::make_unique<ProactivePolicy>(opts);
+    }
+  }
+  return std::make_unique<FixedThresholdPolicy>(fixed_threshold);
+}
+
+}  // namespace core
+}  // namespace p2p

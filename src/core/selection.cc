@@ -1,0 +1,77 @@
+#include "core/selection.h"
+
+#include <algorithm>
+
+namespace p2p {
+namespace core {
+namespace {
+
+// Shuffle-then-stable-sort gives a deterministic random tie-break.
+void ShuffleThenSort(std::vector<Candidate>* pool, util::Rng* rng,
+                     bool oldest_first) {
+  rng->Shuffle(pool);
+  std::stable_sort(pool->begin(), pool->end(),
+                   [oldest_first](const Candidate& a, const Candidate& b) {
+                     return oldest_first ? a.age > b.age : a.age < b.age;
+                   });
+}
+
+void TakeFront(const std::vector<Candidate>& pool, int d,
+               std::vector<uint32_t>* out) {
+  const size_t take = std::min<size_t>(static_cast<size_t>(d), pool.size());
+  for (size_t i = 0; i < take; ++i) out->push_back(pool[i].id);
+}
+
+}  // namespace
+
+void OldestFirstSelection::Choose(std::vector<Candidate>* pool, int d,
+                                  util::Rng* rng, std::vector<uint32_t>* out) const {
+  ShuffleThenSort(pool, rng, /*oldest_first=*/true);
+  TakeFront(*pool, d, out);
+}
+
+void RandomSelection::Choose(std::vector<Candidate>* pool, int d, util::Rng* rng,
+                             std::vector<uint32_t>* out) const {
+  rng->Shuffle(pool);
+  TakeFront(*pool, d, out);
+}
+
+void YoungestFirstSelection::Choose(std::vector<Candidate>* pool, int d,
+                                    util::Rng* rng,
+                                    std::vector<uint32_t>* out) const {
+  ShuffleThenSort(pool, rng, /*oldest_first=*/false);
+  TakeFront(*pool, d, out);
+}
+
+std::unique_ptr<SelectionStrategy> MakeSelection(SelectionKind kind) {
+  switch (kind) {
+    case SelectionKind::kOldestFirst:
+      return std::make_unique<OldestFirstSelection>();
+    case SelectionKind::kRandom:
+      return std::make_unique<RandomSelection>();
+    case SelectionKind::kYoungestFirst:
+      return std::make_unique<YoungestFirstSelection>();
+  }
+  return std::make_unique<OldestFirstSelection>();
+}
+
+SelectionKind SelectionKindFromName(const std::string& name) {
+  if (name.rfind("random", 0) == 0) return SelectionKind::kRandom;
+  if (name.rfind("young", 0) == 0) return SelectionKind::kYoungestFirst;
+  return SelectionKind::kOldestFirst;
+}
+
+std::string SelectionKindName(SelectionKind kind) {
+  switch (kind) {
+    case SelectionKind::kOldestFirst:
+      return "oldest";
+    case SelectionKind::kRandom:
+      return "random";
+    case SelectionKind::kYoungestFirst:
+      return "youngest";
+  }
+  return "oldest";
+}
+
+}  // namespace core
+}  // namespace p2p

@@ -1,0 +1,89 @@
+// Partner selection strategies: given the pool of mutually-accepting
+// candidates, decide who receives the d new blocks.
+//
+// The paper sorts the pool by age and picks the oldest ("Nodes are selected
+// according to their stability ... the protocol uses the ages of the peers
+// in the system to sort them"). Alternatives here serve as baselines in the
+// ablation benches: uniform random (age-oblivious) and youngest-first
+// (adversarial).
+
+#ifndef P2P_CORE_SELECTION_H_
+#define P2P_CORE_SELECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace core {
+
+/// A placement candidate: id plus the age the monitor reports for it.
+struct Candidate {
+  uint32_t id = 0;
+  sim::Round age = 0;
+};
+
+/// Which strategy to instantiate (wired to flags in benches).
+enum class SelectionKind {
+  kOldestFirst,    ///< the paper's scheme
+  kRandom,         ///< age-oblivious baseline
+  kYoungestFirst,  ///< adversarial baseline
+};
+
+/// \brief Chooses up to d candidates from a pool.
+class SelectionStrategy {
+ public:
+  virtual ~SelectionStrategy() = default;
+
+  /// Selects min(d, pool.size()) candidate ids into `out` (appended in
+  /// selection order). May reorder `pool`. `rng` breaks ties / randomizes.
+  virtual void Choose(std::vector<Candidate>* pool, int d, util::Rng* rng,
+                      std::vector<uint32_t>* out) const = 0;
+
+  /// Display name.
+  virtual std::string name() const = 0;
+};
+
+/// Sorts by age descending; ties broken randomly (so equal-age newcomers do
+/// not all dogpile onto the lowest peer id).
+class OldestFirstSelection : public SelectionStrategy {
+ public:
+  void Choose(std::vector<Candidate>* pool, int d, util::Rng* rng,
+              std::vector<uint32_t>* out) const override;
+  std::string name() const override { return "oldest-first"; }
+};
+
+/// Uniform random selection from the pool.
+class RandomSelection : public SelectionStrategy {
+ public:
+  void Choose(std::vector<Candidate>* pool, int d, util::Rng* rng,
+              std::vector<uint32_t>* out) const override;
+  std::string name() const override { return "random"; }
+};
+
+/// Sorts by age ascending; the pessimal counterpart of the paper's scheme.
+class YoungestFirstSelection : public SelectionStrategy {
+ public:
+  void Choose(std::vector<Candidate>* pool, int d, util::Rng* rng,
+              std::vector<uint32_t>* out) const override;
+  std::string name() const override { return "youngest-first"; }
+};
+
+/// Factory for the enum.
+std::unique_ptr<SelectionStrategy> MakeSelection(SelectionKind kind);
+
+/// Parses "oldest" / "random" / "youngest" (prefix-insensitive names used by
+/// bench flags); returns kOldestFirst for unknown strings.
+SelectionKind SelectionKindFromName(const std::string& name);
+
+/// Canonical flag name of a kind.
+std::string SelectionKindName(SelectionKind kind);
+
+}  // namespace core
+}  // namespace p2p
+
+#endif  // P2P_CORE_SELECTION_H_

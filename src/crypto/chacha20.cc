@@ -1,0 +1,103 @@
+#include "crypto/chacha20.h"
+
+#include <cstring>
+#include <string>
+
+#include "crypto/sha256.h"
+
+namespace p2p {
+namespace crypto {
+namespace {
+
+inline uint32_t Rotl(uint32_t x, int n) { return (x << n) | (x >> (32 - n)); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b;
+  d ^= a;
+  d = Rotl(d, 16);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 12);
+  a += b;
+  d ^= a;
+  d = Rotl(d, 8);
+  c += d;
+  b ^= c;
+  b = Rotl(b, 7);
+}
+
+inline uint32_t Load32LE(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | static_cast<uint32_t>(p[1]) << 8 |
+         static_cast<uint32_t>(p[2]) << 16 | static_cast<uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
+ChaCha20::ChaCha20(const Key256& key, const Nonce96& nonce, uint32_t counter) {
+  // "expand 32-byte k" constants.
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = Load32LE(key.data() + 4 * i);
+  state_[12] = counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = Load32LE(nonce.data() + 4 * i);
+}
+
+void ChaCha20::Block(const uint32_t state[16], uint8_t out[64]) {
+  uint32_t x[16];
+  std::memcpy(x, state, sizeof(x));
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(x[0], x[4], x[8], x[12]);
+    QuarterRound(x[1], x[5], x[9], x[13]);
+    QuarterRound(x[2], x[6], x[10], x[14]);
+    QuarterRound(x[3], x[7], x[11], x[15]);
+    QuarterRound(x[0], x[5], x[10], x[15]);
+    QuarterRound(x[1], x[6], x[11], x[12]);
+    QuarterRound(x[2], x[7], x[8], x[13]);
+    QuarterRound(x[3], x[4], x[9], x[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    const uint32_t v = x[i] + state[i];
+    out[4 * i] = static_cast<uint8_t>(v);
+    out[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    out[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    out[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+}
+
+void ChaCha20::Apply(uint8_t* data, size_t len) {
+  size_t i = 0;
+  while (i < len) {
+    if (pending_used_ == 64) {
+      Block(state_, pending_);
+      ++state_[12];  // block counter
+      pending_used_ = 0;
+    }
+    const size_t take = std::min<size_t>(64 - pending_used_, len - i);
+    for (size_t j = 0; j < take; ++j) data[i + j] ^= pending_[pending_used_ + j];
+    pending_used_ += take;
+    i += take;
+  }
+}
+
+std::vector<uint8_t> ChaCha20::Transform(const std::vector<uint8_t>& in) {
+  std::vector<uint8_t> out = in;
+  Apply(out.data(), out.size());
+  return out;
+}
+
+Key256 DeriveKey(const std::string& passphrase, const std::string& label) {
+  Sha256 hasher;
+  hasher.Update(label);
+  const uint8_t sep = 0;
+  hasher.Update(&sep, 1);
+  hasher.Update(passphrase);
+  const Digest d = hasher.Finish();
+  Key256 key;
+  std::memcpy(key.data(), d.data(), key.size());
+  return key;
+}
+
+}  // namespace crypto
+}  // namespace p2p

@@ -1,0 +1,81 @@
+#include "crypto/merkle.h"
+
+namespace p2p {
+namespace crypto {
+
+Digest MerkleTree::HashLeaf(const std::vector<uint8_t>& data) {
+  Sha256 hasher;
+  const uint8_t tag = 0x00;
+  hasher.Update(&tag, 1);
+  hasher.Update(data);
+  return hasher.Finish();
+}
+
+Digest MerkleTree::HashNode(const Digest& left, const Digest& right) {
+  Sha256 hasher;
+  const uint8_t tag = 0x01;
+  hasher.Update(&tag, 1);
+  hasher.Update(left.data(), left.size());
+  hasher.Update(right.data(), right.size());
+  return hasher.Finish();
+}
+
+util::Result<MerkleTree> MerkleTree::Build(
+    const std::vector<std::vector<uint8_t>>& leaves) {
+  if (leaves.empty()) {
+    return util::Status::InvalidArgument("Merkle tree needs at least one leaf");
+  }
+  MerkleTree tree;
+  std::vector<Digest> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(HashLeaf(leaf));
+  tree.levels_.push_back(level);
+  while (tree.levels_.back().size() > 1) {
+    const auto& prev = tree.levels_.back();
+    std::vector<Digest> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      if (i + 1 < prev.size()) {
+        next.push_back(HashNode(prev[i], prev[i + 1]));
+      } else {
+        next.push_back(prev[i]);  // odd node promoted unchanged
+      }
+    }
+    tree.levels_.push_back(std::move(next));
+  }
+  return tree;
+}
+
+util::Result<MerklePath> MerkleTree::Path(size_t index) const {
+  if (index >= leaf_count()) {
+    return util::Status::OutOfRange("leaf index beyond tree size");
+  }
+  MerklePath path;
+  size_t pos = index;
+  for (size_t lvl = 0; lvl + 1 < levels_.size(); ++lvl) {
+    const auto& level = levels_[lvl];
+    const size_t sibling = pos ^ 1;
+    if (sibling < level.size()) {
+      MerkleStep step;
+      step.sibling = level[sibling];
+      step.sibling_is_left = (sibling < pos);
+      path.push_back(step);
+    }
+    pos >>= 1;
+  }
+  return path;
+}
+
+bool MerkleTree::Verify(const Digest& root, size_t /*index*/,
+                        const std::vector<uint8_t>& leaf_data,
+                        const MerklePath& path) {
+  Digest acc = HashLeaf(leaf_data);
+  for (const auto& step : path) {
+    acc = step.sibling_is_left ? HashNode(step.sibling, acc)
+                               : HashNode(acc, step.sibling);
+  }
+  return acc == root;
+}
+
+}  // namespace crypto
+}  // namespace p2p

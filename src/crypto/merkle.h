@@ -1,0 +1,70 @@
+// Merkle trees over archive blocks.
+//
+// The owner keeps only the root; a partner proves possession of block i by
+// returning the block digest plus its authentication path. Together with the
+// challenge protocol in proof_of_storage.h this realizes the "proofs of
+// storage" the paper's monitoring step assumes (section 3.2, citing [18]).
+
+#ifndef P2P_CRYPTO_MERKLE_H_
+#define P2P_CRYPTO_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/result.h"
+
+namespace p2p {
+namespace crypto {
+
+/// One step of an authentication path: sibling digest + side flag.
+struct MerkleStep {
+  Digest sibling;
+  bool sibling_is_left = false;
+};
+
+/// Authentication path from a leaf to the root.
+using MerklePath = std::vector<MerkleStep>;
+
+/// \brief Binary Merkle tree with domain-separated leaf/node hashing.
+///
+/// Leaves are H(0x00 || data); interior nodes H(0x01 || left || right).
+/// Odd nodes are promoted unchanged (Bitcoin-style duplication is avoided to
+/// keep proofs unambiguous).
+class MerkleTree {
+ public:
+  /// Builds a tree over the given leaf payloads; at least one leaf required.
+  static util::Result<MerkleTree> Build(
+      const std::vector<std::vector<uint8_t>>& leaves);
+
+  /// Root digest.
+  const Digest& root() const { return levels_.back().front(); }
+
+  /// Number of leaves.
+  size_t leaf_count() const { return levels_.front().size(); }
+
+  /// Authentication path for leaf `index`.
+  util::Result<MerklePath> Path(size_t index) const;
+
+  /// Verifies that `leaf_data` is the leaf at `index` of the tree with the
+  /// given root, following `path`. Static: verifiers hold only the root.
+  static bool Verify(const Digest& root, size_t index,
+                     const std::vector<uint8_t>& leaf_data, const MerklePath& path);
+
+  /// Hashes a leaf payload with the leaf domain tag.
+  static Digest HashLeaf(const std::vector<uint8_t>& data);
+
+  /// Hashes two children with the interior-node domain tag.
+  static Digest HashNode(const Digest& left, const Digest& right);
+
+ private:
+  MerkleTree() = default;
+
+  // levels_[0] = leaf digests, levels_.back() = {root}.
+  std::vector<std::vector<Digest>> levels_;
+};
+
+}  // namespace crypto
+}  // namespace p2p
+
+#endif  // P2P_CRYPTO_MERKLE_H_

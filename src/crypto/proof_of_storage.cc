@@ -1,0 +1,45 @@
+#include "crypto/proof_of_storage.h"
+
+#include <cstring>
+
+namespace p2p {
+namespace crypto {
+namespace {
+
+Digest ComputeResponse(const std::vector<uint8_t>& block, uint64_t nonce) {
+  std::vector<uint8_t> key(8);
+  for (int i = 0; i < 8; ++i) key[static_cast<size_t>(i)] =
+      static_cast<uint8_t>(nonce >> (8 * i));
+  return HmacSha256(key, block.data(), block.size());
+}
+
+}  // namespace
+
+StorageAuditor::StorageAuditor(const std::vector<uint8_t>& block, int count,
+                               util::Rng* rng) {
+  nonces_.reserve(static_cast<size_t>(count));
+  expected_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    const uint64_t nonce = rng->NextU64();
+    nonces_.push_back(nonce);
+    expected_.push_back(ComputeResponse(block, nonce));
+  }
+}
+
+StorageChallenge StorageAuditor::NextChallenge() {
+  last_issued_ = next_;
+  next_ = (next_ + 1) % nonces_.size();
+  return StorageChallenge{nonces_[last_issued_]};
+}
+
+bool StorageAuditor::Verify(const StorageProof& proof) const {
+  return proof.response == expected_[last_issued_];
+}
+
+StorageProof StorageAuditor::Respond(const std::vector<uint8_t>& block,
+                                     const StorageChallenge& challenge) {
+  return StorageProof{ComputeResponse(block, challenge.nonce)};
+}
+
+}  // namespace crypto
+}  // namespace p2p

@@ -1,0 +1,66 @@
+// Challenge-response proofs of storage.
+//
+// During maintenance every peer "checks whether [partners] are online and
+// have its data (see [18] for proofs of storage)" (paper, section 3.2). The
+// owner sends a random nonce; the holder answers with
+// HMAC(nonce, stored block); the owner verifies against either the block
+// itself or a precomputed response table generated at upload time, so the
+// owner does not need to retain the block.
+
+#ifndef P2P_CRYPTO_PROOF_OF_STORAGE_H_
+#define P2P_CRYPTO_PROOF_OF_STORAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace crypto {
+
+/// A challenge nonce.
+struct StorageChallenge {
+  uint64_t nonce = 0;
+};
+
+/// A response digest produced by the block holder.
+struct StorageProof {
+  Digest response{};
+};
+
+/// \brief Owner-side verifier with precomputed challenges.
+///
+/// At upload time the owner draws `count` nonces and stores only the expected
+/// digests (32 bytes each); afterwards it can audit the holder `count` times
+/// without keeping the block. This is the classic lightweight scheme the
+/// paper's monitoring protocol assumes.
+class StorageAuditor {
+ public:
+  /// Precomputes `count` (nonce, expected digest) pairs for `block`.
+  StorageAuditor(const std::vector<uint8_t>& block, int count, util::Rng* rng);
+
+  /// Returns the next unused challenge; cycles when exhausted.
+  StorageChallenge NextChallenge();
+
+  /// Verifies a proof for the challenge most recently issued.
+  bool Verify(const StorageProof& proof) const;
+
+  /// Number of precomputed challenges.
+  int challenge_count() const { return static_cast<int>(nonces_.size()); }
+
+  /// Holder-side: computes the proof for `challenge` over the stored block.
+  static StorageProof Respond(const std::vector<uint8_t>& block,
+                              const StorageChallenge& challenge);
+
+ private:
+  std::vector<uint64_t> nonces_;
+  std::vector<Digest> expected_;
+  size_t next_ = 0;
+  size_t last_issued_ = 0;
+};
+
+}  // namespace crypto
+}  // namespace p2p
+
+#endif  // P2P_CRYPTO_PROOF_OF_STORAGE_H_

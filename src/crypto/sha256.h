@@ -1,0 +1,66 @@
+// SHA-256 (FIPS 180-4), implemented from the specification.
+//
+// Used for block integrity digests, content addressing of archives, Merkle
+// trees and the proof-of-storage challenges. Verified against the NIST test
+// vectors in tests/crypto_test.cc.
+
+#ifndef P2P_CRYPTO_SHA256_H_
+#define P2P_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace p2p {
+namespace crypto {
+
+/// A 32-byte SHA-256 digest.
+using Digest = std::array<uint8_t, 32>;
+
+/// \brief Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256();
+
+  /// Absorbs `len` bytes.
+  void Update(const uint8_t* data, size_t len);
+  /// Absorbs a byte vector.
+  void Update(const std::vector<uint8_t>& data) { Update(data.data(), data.size()); }
+  /// Absorbs the bytes of a string.
+  void Update(const std::string& s) {
+    Update(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+  /// Finalizes and returns the digest; the hasher must not be reused after.
+  Digest Finish();
+
+  /// One-shot convenience.
+  static Digest Hash(const uint8_t* data, size_t len);
+  static Digest Hash(const std::vector<uint8_t>& data) {
+    return Hash(data.data(), data.size());
+  }
+  static Digest Hash(const std::string& s) {
+    return Hash(reinterpret_cast<const uint8_t*>(s.data()), s.size());
+  }
+
+ private:
+  void Compress(const uint8_t block[64]);
+
+  uint32_t h_[8];
+  uint8_t buffer_[64];
+  size_t buffered_ = 0;
+  uint64_t total_ = 0;
+};
+
+/// Renders a digest as lowercase hex.
+std::string DigestToHex(const Digest& d);
+
+/// HMAC-SHA-256 (RFC 2104) over `data` with `key`.
+Digest HmacSha256(const std::vector<uint8_t>& key, const uint8_t* data, size_t len);
+
+}  // namespace crypto
+}  // namespace p2p
+
+#endif  // P2P_CRYPTO_SHA256_H_

@@ -1,0 +1,189 @@
+#include "dht/kademlia.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/logging.h"
+
+namespace p2p {
+namespace dht {
+
+KademliaNetwork::KademliaNetwork(const DhtOptions& options) : options_(options) {}
+
+util::Status KademliaNetwork::Join(const NodeId& id, const NodeId& bootstrap) {
+  if (nodes_.count(id) > 0) {
+    return util::Status::InvalidArgument("duplicate DHT node id");
+  }
+  Node node;
+  node.table = std::make_unique<RoutingTable>(id, options_.k_bucket);
+  const bool first = nodes_.empty();
+  if (!first) {
+    if (nodes_.count(bootstrap) == 0) {
+      return util::Status::NotFound("bootstrap node unknown");
+    }
+    node.table->Observe(bootstrap);
+  }
+  nodes_.emplace(id, std::move(node));
+  if (!first) {
+    // Locate yourself: populates the new node's buckets and announces it.
+    IterativeLookup(id, id, nullptr);
+  }
+  return util::Status::OK();
+}
+
+NodeId KademliaNetwork::JoinRandom(util::Rng* rng) {
+  NodeId id = RandomId(rng);
+  NodeId bootstrap{};
+  if (!nodes_.empty()) {
+    // Any deterministic pick works; take the first node.
+    bootstrap = nodes_.begin()->first;
+  }
+  while (!Join(id, bootstrap).ok()) id = RandomId(rng);
+  return id;
+}
+
+util::Status KademliaNetwork::Crash(const NodeId& id) {
+  if (nodes_.erase(id) == 0) return util::Status::NotFound("no such DHT node");
+  return util::Status::OK();
+}
+
+std::vector<NodeId> KademliaNetwork::RpcFindNode(const NodeId& callee,
+                                                 const NodeId& caller,
+                                                 const Key& target) {
+  ++stats_.find_node_rpcs;
+  Node& node = nodes_.at(callee);
+  node.table->Observe(caller);
+  std::vector<NodeId> out;
+  node.table->FindClosest(target, options_.k_bucket, &out);
+  return out;
+}
+
+bool KademliaNetwork::RpcFindValue(const NodeId& callee, const NodeId& caller,
+                                   const Key& target, std::vector<uint8_t>* value,
+                                   std::vector<NodeId>* closer) {
+  ++stats_.find_value_rpcs;
+  Node& node = nodes_.at(callee);
+  node.table->Observe(caller);
+  auto it = node.store.find(target);
+  if (it != node.store.end()) {
+    *value = it->second;
+    return true;
+  }
+  node.table->FindClosest(target, options_.k_bucket, closer);
+  return false;
+}
+
+void KademliaNetwork::RpcStore(const NodeId& callee, const NodeId& caller,
+                               const Key& key, const std::vector<uint8_t>& value) {
+  ++stats_.store_rpcs;
+  Node& node = nodes_.at(callee);
+  node.table->Observe(caller);
+  node.store[key] = value;
+}
+
+std::vector<NodeId> KademliaNetwork::IterativeLookup(
+    const NodeId& from, const Key& target, std::vector<uint8_t>* want_value) {
+  ++stats_.lookups;
+  const int64_t rpcs_before = stats_.find_node_rpcs + stats_.find_value_rpcs;
+
+  auto closer = [&target](const NodeId& a, const NodeId& b) {
+    return CloserTo(target, a, b);
+  };
+  std::set<NodeId, decltype(closer)> shortlist(closer);
+  std::set<NodeId> queried;
+  std::set<NodeId> alive;
+
+  Node& origin = nodes_.at(from);
+  std::vector<NodeId> seed;
+  origin.table->FindClosest(target, options_.k_bucket, &seed);
+  for (const NodeId& id : seed) shortlist.insert(id);
+
+  for (int round = 0; round < options_.max_rounds; ++round) {
+    // Pick up to alpha closest unqueried candidates.
+    std::vector<NodeId> batch;
+    for (const NodeId& id : shortlist) {
+      if (static_cast<int>(batch.size()) >= options_.alpha) break;
+      if (queried.count(id) == 0) batch.push_back(id);
+    }
+    if (batch.empty()) break;
+
+    for (const NodeId& id : batch) {
+      queried.insert(id);
+      if (nodes_.count(id) == 0) {
+        origin.table->Remove(id);  // dead contact
+        continue;
+      }
+      alive.insert(id);
+      std::vector<NodeId> closer_nodes;
+      if (want_value != nullptr) {
+        std::vector<uint8_t> value;
+        if (RpcFindValue(id, from, target, &value, &closer_nodes)) {
+          *want_value = std::move(value);
+          stats_.lookup_rpc_total +=
+              stats_.find_node_rpcs + stats_.find_value_rpcs - rpcs_before;
+          return {id};
+        }
+      } else {
+        closer_nodes = RpcFindNode(id, from, target);
+      }
+      for (const NodeId& c : closer_nodes) {
+        if (nodes_.count(from) > 0) origin.table->Observe(c);
+        shortlist.insert(c);
+      }
+    }
+  }
+
+  std::vector<NodeId> result;
+  for (const NodeId& id : shortlist) {
+    if (alive.count(id) > 0) {
+      result.push_back(id);
+      if (static_cast<int>(result.size()) >= options_.k_bucket) break;
+    }
+  }
+  stats_.lookup_rpc_total +=
+      stats_.find_node_rpcs + stats_.find_value_rpcs - rpcs_before;
+  return result;
+}
+
+util::Status KademliaNetwork::Put(const NodeId& from, const Key& key,
+                                  const std::vector<uint8_t>& value) {
+  if (nodes_.count(from) == 0) return util::Status::NotFound("unknown origin");
+  std::vector<NodeId> targets = IterativeLookup(from, key, nullptr);
+  if (targets.empty()) {
+    // Degenerate network (single node): store locally.
+    targets.push_back(from);
+  }
+  for (const NodeId& id : targets) RpcStore(id, from, key, value);
+  return util::Status::OK();
+}
+
+util::Result<std::vector<uint8_t>> KademliaNetwork::Get(const NodeId& from,
+                                                        const Key& key) {
+  if (nodes_.count(from) == 0) return util::Status::NotFound("unknown origin");
+  // Check the local store first (the origin may itself be a replica).
+  auto& self = nodes_.at(from);
+  auto it = self.store.find(key);
+  if (it != self.store.end()) return it->second;
+  // Empty values are not supported, so emptiness doubles as "not found".
+  std::vector<uint8_t> value;
+  IterativeLookup(from, key, &value);
+  if (!value.empty()) return value;
+  return util::Status::NotFound("key not found in DHT");
+}
+
+std::vector<NodeId> KademliaNetwork::OracleClosest(const Key& key,
+                                                   int count) const {
+  std::vector<NodeId> all;
+  all.reserve(nodes_.size());
+  for (const auto& [id, node] : nodes_) all.push_back(id);
+  std::sort(all.begin(), all.end(), [&key](const NodeId& a, const NodeId& b) {
+    return CloserTo(key, a, b);
+  });
+  if (static_cast<int>(all.size()) > count) {
+    all.resize(static_cast<size_t>(count));
+  }
+  return all;
+}
+
+}  // namespace dht
+}  // namespace p2p

@@ -1,0 +1,109 @@
+// An in-process Kademlia network: iterative lookups, STORE / FIND_VALUE,
+// node churn, and message accounting. The backup system publishes master
+// blocks here ("The master block is then uploaded to the network, for
+// example to all the partners storing the peer's data or to a DHT",
+// paper 2.2.1) and restoration fetches them back (2.2.2).
+//
+// RPCs are direct function calls (the simulation has no latency model);
+// every RPC is counted so lookup cost in messages/hops is still measurable.
+
+#ifndef P2P_DHT_KADEMLIA_H_
+#define P2P_DHT_KADEMLIA_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "dht/node_id.h"
+#include "dht/routing_table.h"
+#include "util/result.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace dht {
+
+/// DHT tuning parameters (classic Kademlia defaults).
+struct DhtOptions {
+  int k_bucket = 20;    ///< bucket capacity and replication factor
+  int alpha = 3;        ///< lookup parallelism
+  int max_rounds = 64;  ///< iterative-lookup round bound (safety)
+};
+
+/// Message-count statistics across the whole network.
+struct DhtStats {
+  int64_t find_node_rpcs = 0;
+  int64_t find_value_rpcs = 0;
+  int64_t store_rpcs = 0;
+  int64_t lookups = 0;
+  int64_t lookup_rpc_total = 0;  ///< RPCs spent in lookups (avg = /lookups)
+};
+
+/// \brief The simulated DHT: a set of nodes plus the iterative algorithms.
+class KademliaNetwork {
+ public:
+  explicit KademliaNetwork(const DhtOptions& options = DhtOptions());
+
+  /// Adds a node with the given id, bootstrapping through `bootstrap` (any
+  /// existing node id; ignored for the first node). Returns InvalidArgument
+  /// for duplicate ids.
+  util::Status Join(const NodeId& id, const NodeId& bootstrap);
+
+  /// Convenience: joins a node with a random id via a random existing node.
+  NodeId JoinRandom(util::Rng* rng);
+
+  /// Removes a node abruptly (crash): no goodbye messages, its stored
+  /// values are lost, other tables still reference it until lookups fail.
+  util::Status Crash(const NodeId& id);
+
+  /// Stores `value` under `key` on the k_bucket closest live nodes,
+  /// performing an iterative lookup from `from`.
+  util::Status Put(const NodeId& from, const Key& key,
+                   const std::vector<uint8_t>& value);
+
+  /// Iteratively looks up `key` from `from`; NotFound when no live replica
+  /// holds it.
+  util::Result<std::vector<uint8_t>> Get(const NodeId& from, const Key& key);
+
+  /// The ids of the `count` live nodes closest to `key` (global oracle view;
+  /// used by tests to verify lookup correctness).
+  std::vector<NodeId> OracleClosest(const Key& key, int count) const;
+
+  /// Number of live nodes.
+  size_t size() const { return nodes_.size(); }
+
+  /// Whether the node exists and is live.
+  bool Contains(const NodeId& id) const { return nodes_.count(id) > 0; }
+
+  /// Message counters.
+  const DhtStats& stats() const { return stats_; }
+
+ private:
+  struct Node {
+    std::unique_ptr<RoutingTable> table;
+    std::map<Key, std::vector<uint8_t>> store;
+  };
+
+  /// Iterative node lookup from `from`; returns up to k_bucket closest live
+  /// nodes (queried and responding). If `want_value` is non-null and some
+  /// node returns the value, it is placed there and the lookup stops early.
+  std::vector<NodeId> IterativeLookup(const NodeId& from, const Key& target,
+                                      std::vector<uint8_t>* want_value);
+
+  // --- RPC handlers (direct calls on the callee's state) ---
+  std::vector<NodeId> RpcFindNode(const NodeId& callee, const NodeId& caller,
+                                  const Key& target);
+  bool RpcFindValue(const NodeId& callee, const NodeId& caller, const Key& target,
+                    std::vector<uint8_t>* value, std::vector<NodeId>* closer);
+  void RpcStore(const NodeId& callee, const NodeId& caller, const Key& key,
+                const std::vector<uint8_t>& value);
+
+  DhtOptions options_;
+  std::map<NodeId, Node> nodes_;
+  DhtStats stats_;
+};
+
+}  // namespace dht
+}  // namespace p2p
+
+#endif  // P2P_DHT_KADEMLIA_H_

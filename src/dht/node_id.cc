@@ -1,0 +1,59 @@
+#include "dht/node_id.h"
+
+namespace p2p {
+namespace dht {
+
+NodeId Distance(const NodeId& a, const NodeId& b) {
+  NodeId d;
+  for (size_t i = 0; i < d.size(); ++i) d[i] = a[i] ^ b[i];
+  return d;
+}
+
+bool CloserTo(const NodeId& target, const NodeId& a, const NodeId& b) {
+  for (size_t i = 0; i < target.size(); ++i) {
+    const uint8_t da = a[i] ^ target[i];
+    const uint8_t db = b[i] ^ target[i];
+    if (da != db) return da < db;
+  }
+  return false;
+}
+
+int HighestBit(const NodeId& d) {
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (d[i] != 0) {
+      for (int bit = 7; bit >= 0; --bit) {
+        if (d[i] & (1u << bit)) {
+          return static_cast<int>(i) * 8 + (7 - bit);
+        }
+      }
+    }
+  }
+  return -1;
+}
+
+int CommonPrefix(const NodeId& a, const NodeId& b) {
+  const int msb = HighestBit(Distance(a, b));
+  return msb < 0 ? kIdBits : msb;
+}
+
+NodeId RandomId(util::Rng* rng) {
+  NodeId id;
+  for (size_t i = 0; i < id.size(); i += 8) {
+    const uint64_t w = rng->NextU64();
+    for (size_t j = 0; j < 8; ++j) {
+      id[i + j] = static_cast<uint8_t>(w >> (8 * j));
+    }
+  }
+  return id;
+}
+
+NodeId IdForName(const std::string& name) { return crypto::Sha256::Hash(name); }
+
+Key MasterBlockKey(uint32_t owner_id) {
+  return IdForName("master-block/" + std::to_string(owner_id));
+}
+
+std::string IdToHex(const NodeId& id) { return crypto::DigestToHex(id); }
+
+}  // namespace dht
+}  // namespace p2p

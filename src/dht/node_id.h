@@ -1,0 +1,56 @@
+// Kademlia node identifiers and the XOR metric (Maymounkov & Mazieres,
+// cited by the paper as [16]). Master blocks are published "to a DHT"
+// (paper 2.2.1); this is that DHT.
+
+#ifndef P2P_DHT_NODE_ID_H_
+#define P2P_DHT_NODE_ID_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "crypto/sha256.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace dht {
+
+/// 256-bit identifier in the Kademlia key space.
+using NodeId = std::array<uint8_t, 32>;
+
+/// Number of bits in an id (== number of k-buckets).
+constexpr int kIdBits = 256;
+
+/// XOR distance between two ids.
+NodeId Distance(const NodeId& a, const NodeId& b);
+
+/// Lexicographic comparison of XOR distances: is `a` closer to `target`
+/// than `b` is?
+bool CloserTo(const NodeId& target, const NodeId& a, const NodeId& b);
+
+/// Index of the highest set bit of `d` (0 = most significant); -1 for the
+/// zero id. Determines the k-bucket index: bucket = kIdBits - 1 - msb.
+int HighestBit(const NodeId& d);
+
+/// Length of the common bit prefix of two ids in [0, 256].
+int CommonPrefix(const NodeId& a, const NodeId& b);
+
+/// Random uniformly distributed id.
+NodeId RandomId(util::Rng* rng);
+
+/// Deterministic id for a named principal (SHA-256 of the name).
+NodeId IdForName(const std::string& name);
+
+/// Keys live in the same space as node ids.
+using Key = NodeId;
+
+/// Key under which a peer's master block is published.
+Key MasterBlockKey(uint32_t owner_id);
+
+/// Hex rendering (for logs and tests).
+std::string IdToHex(const NodeId& id);
+
+}  // namespace dht
+}  // namespace p2p
+
+#endif  // P2P_DHT_NODE_ID_H_

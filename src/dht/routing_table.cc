@@ -1,0 +1,64 @@
+#include "dht/routing_table.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace p2p {
+namespace dht {
+
+RoutingTable::RoutingTable(const NodeId& self, int k)
+    : self_(self), k_(k), buckets_(kIdBits) {
+  P2P_CHECK(k >= 1);
+}
+
+int RoutingTable::BucketIndex(const NodeId& id) const {
+  const int prefix = CommonPrefix(self_, id);
+  // prefix == 256 would be self; clamp defensively.
+  return std::min(prefix, kIdBits - 1);
+}
+
+void RoutingTable::Observe(const NodeId& id) {
+  if (id == self_) return;
+  auto& bucket = buckets_[static_cast<size_t>(BucketIndex(id))];
+  auto it = std::find(bucket.begin(), bucket.end(), id);
+  if (it != bucket.end()) {
+    bucket.erase(it);
+    bucket.push_back(id);  // refresh recency
+    return;
+  }
+  if (static_cast<int>(bucket.size()) < k_) {
+    bucket.push_back(id);
+    return;
+  }
+  // Bucket full: drop the newcomer (original Kademlia prefers long-lived
+  // contacts - exactly the paper's stability intuition).
+}
+
+void RoutingTable::Remove(const NodeId& id) {
+  auto& bucket = buckets_[static_cast<size_t>(BucketIndex(id))];
+  auto it = std::find(bucket.begin(), bucket.end(), id);
+  if (it != bucket.end()) bucket.erase(it);
+}
+
+void RoutingTable::FindClosest(const NodeId& target, int count,
+                               std::vector<NodeId>* out) const {
+  std::vector<NodeId> all;
+  for (const auto& bucket : buckets_) {
+    all.insert(all.end(), bucket.begin(), bucket.end());
+  }
+  std::sort(all.begin(), all.end(), [&target](const NodeId& a, const NodeId& b) {
+    return CloserTo(target, a, b);
+  });
+  const size_t take = std::min<size_t>(static_cast<size_t>(count), all.size());
+  out->insert(out->end(), all.begin(), all.begin() + static_cast<long>(take));
+}
+
+size_t RoutingTable::size() const {
+  size_t total = 0;
+  for (const auto& bucket : buckets_) total += bucket.size();
+  return total;
+}
+
+}  // namespace dht
+}  // namespace p2p

@@ -1,0 +1,51 @@
+// Kademlia k-bucket routing table.
+
+#ifndef P2P_DHT_ROUTING_TABLE_H_
+#define P2P_DHT_ROUTING_TABLE_H_
+
+#include <vector>
+
+#include "dht/node_id.h"
+
+namespace p2p {
+namespace dht {
+
+/// \brief Per-node routing state: one LRU bucket of up to `k` contacts per
+/// distance prefix.
+///
+/// Eviction is simplified relative to the original protocol: when a bucket
+/// is full the stalest contact is replaced only if the caller marked it dead
+/// (the simulation has no latency, so ping-and-wait adds nothing).
+class RoutingTable {
+ public:
+  /// `self` is the owning node; `k` the bucket capacity (paper-era default 20).
+  RoutingTable(const NodeId& self, int k);
+
+  /// Records contact with `id`; most-recently-seen moves to the bucket tail.
+  void Observe(const NodeId& id);
+
+  /// Removes a contact known to be dead.
+  void Remove(const NodeId& id);
+
+  /// Appends up to `count` contacts closest to `target` into `out`,
+  /// best-first.
+  void FindClosest(const NodeId& target, int count, std::vector<NodeId>* out) const;
+
+  /// Total contacts stored.
+  size_t size() const;
+
+  /// Bucket index for `id` (0 = farthest half of the space).
+  int BucketIndex(const NodeId& id) const;
+
+  const NodeId& self() const { return self_; }
+
+ private:
+  NodeId self_;
+  int k_;
+  std::vector<std::vector<NodeId>> buckets_;  // index = common prefix length
+};
+
+}  // namespace dht
+}  // namespace p2p
+
+#endif  // P2P_DHT_ROUTING_TABLE_H_

@@ -1,0 +1,80 @@
+#include "erasure/erasure_code.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace p2p {
+namespace erasure {
+
+Replication::Replication(int r) : copies_(r) { assert(r >= 1); }
+
+util::Status Replication::Encode(const std::vector<uint8_t*>& shards,
+                                 size_t shard_size) const {
+  if (static_cast<int>(shards.size()) != copies_) {
+    return util::Status::InvalidArgument("Encode expects r shard pointers");
+  }
+  for (int i = 1; i < copies_; ++i) {
+    std::memcpy(shards[static_cast<size_t>(i)], shards[0], shard_size);
+  }
+  return util::Status::OK();
+}
+
+util::Status Replication::Decode(const std::vector<uint8_t*>& shards,
+                                 const std::vector<bool>& present,
+                                 size_t shard_size) const {
+  if (static_cast<int>(shards.size()) != copies_ ||
+      static_cast<int>(present.size()) != copies_) {
+    return util::Status::InvalidArgument("Decode expects r shards and r flags");
+  }
+  int source = -1;
+  for (int i = 0; i < copies_; ++i) {
+    if (present[static_cast<size_t>(i)]) {
+      source = i;
+      break;
+    }
+  }
+  if (source < 0) {
+    return util::Status::FailedPrecondition("unrecoverable: all replicas lost");
+  }
+  for (int i = 0; i < copies_; ++i) {
+    if (i == source || present[static_cast<size_t>(i)]) continue;
+    std::memcpy(shards[static_cast<size_t>(i)], shards[static_cast<size_t>(source)],
+                shard_size);
+  }
+  return util::Status::OK();
+}
+
+std::vector<std::vector<uint8_t>> SplitIntoShards(const std::vector<uint8_t>& data,
+                                                  int k, size_t* shard_size) {
+  assert(k >= 1);
+  const size_t size = (data.size() + static_cast<size_t>(k) - 1) /
+                      static_cast<size_t>(k);
+  const size_t effective = size == 0 ? 1 : size;  // keep shards non-empty
+  if (shard_size != nullptr) *shard_size = effective;
+  std::vector<std::vector<uint8_t>> shards(static_cast<size_t>(k));
+  for (int i = 0; i < k; ++i) {
+    auto& shard = shards[static_cast<size_t>(i)];
+    shard.assign(effective, 0);
+    const size_t offset = static_cast<size_t>(i) * effective;
+    if (offset < data.size()) {
+      const size_t chunk = std::min(effective, data.size() - offset);
+      std::memcpy(shard.data(), data.data() + offset, chunk);
+    }
+  }
+  return shards;
+}
+
+std::vector<uint8_t> JoinShards(const std::vector<std::vector<uint8_t>>& shards,
+                                int k, size_t original_size) {
+  std::vector<uint8_t> out;
+  out.reserve(original_size);
+  for (int i = 0; i < k && out.size() < original_size; ++i) {
+    const auto& shard = shards[static_cast<size_t>(i)];
+    const size_t chunk = std::min(shard.size(), original_size - out.size());
+    out.insert(out.end(), shard.begin(), shard.begin() + static_cast<long>(chunk));
+  }
+  return out;
+}
+
+}  // namespace erasure
+}  // namespace p2p

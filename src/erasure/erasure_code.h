@@ -1,0 +1,80 @@
+// The coding interface used by the backup system, with the paper's
+// Reed-Solomon configuration as the primary implementation and plain
+// replication as the comparison baseline from the paper's introduction
+// ("with replication, using twice the storage ... data might be lost after
+// only two failures").
+
+#ifndef P2P_ERASURE_ERASURE_CODE_H_
+#define P2P_ERASURE_ERASURE_CODE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace p2p {
+namespace erasure {
+
+/// \brief Abstract (k, m) block code: k data shards, m redundancy shards,
+/// any k of the n = k + m shards recover the data.
+class ErasureCode {
+ public:
+  virtual ~ErasureCode() = default;
+
+  /// Number of data shards.
+  virtual int k() const = 0;
+  /// Number of redundancy shards.
+  virtual int m() const = 0;
+  /// Total shards.
+  int n() const { return k() + m(); }
+
+  /// Fills shards[k()..n()-1] from shards[0..k()-1]. `shards` must hold n()
+  /// pointers to buffers of `shard_size` bytes each.
+  virtual util::Status Encode(const std::vector<uint8_t*>& shards,
+                              size_t shard_size) const = 0;
+
+  /// Reconstructs every missing shard (present[i] == false) in place.
+  /// Requires at least k() present shards; fails with FailedPrecondition
+  /// otherwise (this is exactly the paper's unrecoverable-archive event).
+  virtual util::Status Decode(const std::vector<uint8_t*>& shards,
+                              const std::vector<bool>& present,
+                              size_t shard_size) const = 0;
+
+  /// Implementation name for reports ("rs-cauchy", "replication", ...).
+  virtual std::string name() const = 0;
+};
+
+/// \brief r-way replication presented through the same interface: k = 1 data
+/// shard, m = r - 1 copies. Loses data as soon as all r holders fail.
+class Replication : public ErasureCode {
+ public:
+  /// Creates an r-way replicator; r >= 1.
+  explicit Replication(int r);
+
+  int k() const override { return 1; }
+  int m() const override { return copies_ - 1; }
+  util::Status Encode(const std::vector<uint8_t*>& shards,
+                      size_t shard_size) const override;
+  util::Status Decode(const std::vector<uint8_t*>& shards,
+                      const std::vector<bool>& present,
+                      size_t shard_size) const override;
+  std::string name() const override { return "replication"; }
+
+ private:
+  int copies_;
+};
+
+/// Splits `data` into exactly `k` shards of equal size (zero-padded at the
+/// tail). Returns the shard size via `shard_size`.
+std::vector<std::vector<uint8_t>> SplitIntoShards(const std::vector<uint8_t>& data,
+                                                  int k, size_t* shard_size);
+
+/// Reassembles the first `original_size` bytes from `k` data shards.
+std::vector<uint8_t> JoinShards(const std::vector<std::vector<uint8_t>>& shards,
+                                int k, size_t original_size);
+
+}  // namespace erasure
+}  // namespace p2p
+
+#endif  // P2P_ERASURE_ERASURE_CODE_H_

@@ -1,0 +1,145 @@
+#include "erasure/matrix.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "gf/gf256.h"
+
+namespace p2p {
+namespace erasure {
+
+using gf::GF256;
+
+Matrix::Matrix(int rows, int cols)
+    : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols, 0) {
+  assert(rows > 0 && cols > 0);
+}
+
+Matrix Matrix::Identity(int size) {
+  Matrix m(size, size);
+  for (int i = 0; i < size; ++i) m.set(i, i, 1);
+  return m;
+}
+
+Matrix Matrix::Cauchy(int m, int k) {
+  assert(m >= 1 && k >= 1 && m + k <= 256);
+  Matrix out(m, k);
+  for (int i = 0; i < m; ++i) {
+    const uint8_t xi = static_cast<uint8_t>(k + i);
+    for (int j = 0; j < k; ++j) {
+      const uint8_t yj = static_cast<uint8_t>(j);
+      out.set(i, j, GF256::Inv(GF256::Add(xi, yj)));
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Vandermonde(int rows, int cols) {
+  assert(rows >= 1 && cols >= 1 && rows <= 255);
+  Matrix out(rows, cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      out.set(r, c, GF256::Pow(static_cast<uint8_t>(r), c));
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Times(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int i = 0; i < cols_; ++i) {
+      const uint8_t a = at(r, i);
+      if (a == 0) continue;
+      GF256::MulAddBuf(out.mutable_row(r), other.row(i), a,
+                       static_cast<size_t>(other.cols_));
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<int>& row_indices) const {
+  Matrix out(static_cast<int>(row_indices.size()), cols_);
+  for (size_t i = 0; i < row_indices.size(); ++i) {
+    const int r = row_indices[i];
+    assert(r >= 0 && r < rows_);
+    for (int c = 0; c < cols_; ++c) out.set(static_cast<int>(i), c, at(r, c));
+  }
+  return out;
+}
+
+util::Result<Matrix> Matrix::Inverted() const {
+  if (rows_ != cols_) {
+    return util::Status::InvalidArgument("cannot invert a non-square matrix");
+  }
+  const int n = rows_;
+  Matrix work = *this;
+  Matrix inv = Identity(n);
+  for (int col = 0; col < n; ++col) {
+    // Find a pivot at or below the diagonal.
+    int pivot = -1;
+    for (int r = col; r < n; ++r) {
+      if (work.at(r, col) != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return util::Status::Corruption("singular matrix");
+    if (pivot != col) {
+      for (int c = 0; c < n; ++c) {
+        std::swap(*(work.mutable_row(pivot) + c), *(work.mutable_row(col) + c));
+        std::swap(*(inv.mutable_row(pivot) + c), *(inv.mutable_row(col) + c));
+      }
+    }
+    // Scale the pivot row to make the diagonal 1.
+    const uint8_t d = work.at(col, col);
+    if (d != 1) {
+      const uint8_t dinv = GF256::Inv(d);
+      GF256::MulBuf(work.mutable_row(col), work.row(col), dinv,
+                    static_cast<size_t>(n));
+      GF256::MulBuf(inv.mutable_row(col), inv.row(col), dinv,
+                    static_cast<size_t>(n));
+    }
+    // Eliminate the column everywhere else.
+    for (int r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const uint8_t f = work.at(r, col);
+      if (f == 0) continue;
+      GF256::MulAddBuf(work.mutable_row(r), work.row(col), f,
+                       static_cast<size_t>(n));
+      GF256::MulAddBuf(inv.mutable_row(r), inv.row(col), f,
+                       static_cast<size_t>(n));
+    }
+  }
+  return inv;
+}
+
+util::Status Matrix::MakeTopSquareIdentity() {
+  const int n = cols_;
+  if (rows_ < n) {
+    return util::Status::InvalidArgument("matrix has fewer rows than columns");
+  }
+  std::vector<int> top(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) top[static_cast<size_t>(i)] = i;
+  auto inv_result = SelectRows(top).Inverted();
+  if (!inv_result.ok()) return inv_result.status();
+  *this = Times(*inv_result);
+  return util::Status::OK();
+}
+
+std::string Matrix::ToString() const {
+  std::string out;
+  char buf[8];
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      std::snprintf(buf, sizeof(buf), "%02x ", at(r, c));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace erasure
+}  // namespace p2p

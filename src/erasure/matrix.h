@@ -1,0 +1,77 @@
+// Dense matrices over GF(2^8): the linear algebra behind Reed-Solomon
+// encoding (generator matrices) and decoding (submatrix inversion).
+
+#ifndef P2P_ERASURE_MATRIX_H_
+#define P2P_ERASURE_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace p2p {
+namespace erasure {
+
+/// \brief Row-major dense matrix over GF(2^8).
+class Matrix {
+ public:
+  /// Creates a rows x cols zero matrix.
+  Matrix(int rows, int cols);
+
+  /// Returns the identity matrix of the given size.
+  static Matrix Identity(int size);
+
+  /// Returns the m x k Cauchy matrix C[i][j] = 1/(x_i + y_j) where
+  /// x_i = k + i and y_j = j; requires k + m <= 256 so all labels are
+  /// distinct field elements. Every square submatrix is invertible.
+  static Matrix Cauchy(int m, int k);
+
+  /// Returns the rows x cols Vandermonde matrix V[i][j] = i^j (elements of
+  /// GF(2^8)); rows must be <= 255 for distinct evaluation points.
+  static Matrix Vandermonde(int rows, int cols);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+
+  /// Element access (unchecked in release builds).
+  uint8_t at(int r, int c) const { return data_[static_cast<size_t>(r) * cols_ + c]; }
+  void set(int r, int c, uint8_t v) { data_[static_cast<size_t>(r) * cols_ + c] = v; }
+
+  /// Pointer to the start of row r.
+  const uint8_t* row(int r) const { return data_.data() + static_cast<size_t>(r) * cols_; }
+  uint8_t* mutable_row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+
+  /// Matrix product this * other; requires cols() == other.rows().
+  Matrix Times(const Matrix& other) const;
+
+  /// Returns a new matrix made of the given rows of this one, in order.
+  Matrix SelectRows(const std::vector<int>& row_indices) const;
+
+  /// Returns the inverse, or InvalidArgument for non-square input and
+  /// Corruption for singular input. Gauss-Jordan elimination, O(n^3).
+  util::Result<Matrix> Inverted() const;
+
+  /// In-place Gaussian elimination that transforms the top square of the
+  /// matrix to identity (used to build systematic generators from
+  /// Vandermonde). Fails with Corruption if the top square is singular.
+  util::Status MakeTopSquareIdentity();
+
+  /// Human-readable hex dump, for debugging and golden tests.
+  std::string ToString() const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace erasure
+}  // namespace p2p
+
+#endif  // P2P_ERASURE_MATRIX_H_

@@ -1,0 +1,121 @@
+#include "erasure/reed_solomon.h"
+
+#include <cstring>
+
+#include "gf/gf256.h"
+
+namespace p2p {
+namespace erasure {
+
+using gf::GF256;
+
+util::Result<std::unique_ptr<ReedSolomon>> ReedSolomon::Create(int k, int m,
+                                                               MatrixKind kind) {
+  if (k < 1 || m < 0) {
+    return util::Status::InvalidArgument("ReedSolomon requires k >= 1, m >= 0");
+  }
+  const int limit = kind == MatrixKind::kCauchy ? 256 : 255;
+  if (k + m > limit) {
+    return util::Status::InvalidArgument(
+        "ReedSolomon over GF(256): k + m must be <= " + std::to_string(limit) +
+        " for this construction");
+  }
+  Matrix generator(k + m, k);
+  if (kind == MatrixKind::kCauchy) {
+    for (int i = 0; i < k; ++i) generator.set(i, i, 1);
+    if (m > 0) {
+      const Matrix cauchy = Matrix::Cauchy(m, k);
+      for (int r = 0; r < m; ++r) {
+        std::memcpy(generator.mutable_row(k + r), cauchy.row(r),
+                    static_cast<size_t>(k));
+      }
+    }
+  } else {
+    generator = Matrix::Vandermonde(k + m, k);
+    P2P_RETURN_IF_ERROR(generator.MakeTopSquareIdentity());
+  }
+  return std::unique_ptr<ReedSolomon>(
+      new ReedSolomon(k, m, kind, std::move(generator)));
+}
+
+ReedSolomon::ReedSolomon(int k, int m, MatrixKind kind, Matrix generator)
+    : k_(k), m_(m), kind_(kind), generator_(std::move(generator)) {}
+
+util::Status ReedSolomon::Encode(const std::vector<uint8_t*>& shards,
+                                 size_t shard_size) const {
+  if (static_cast<int>(shards.size()) != n()) {
+    return util::Status::InvalidArgument("Encode expects n shard pointers");
+  }
+  for (int p = 0; p < m_; ++p) {
+    uint8_t* out = shards[static_cast<size_t>(k_ + p)];
+    std::memset(out, 0, shard_size);
+    const uint8_t* coeffs = generator_.row(k_ + p);
+    for (int d = 0; d < k_; ++d) {
+      GF256::MulAddBuf(out, shards[static_cast<size_t>(d)], coeffs[d], shard_size);
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status ReedSolomon::Decode(const std::vector<uint8_t*>& shards,
+                                 const std::vector<bool>& present,
+                                 size_t shard_size) const {
+  if (static_cast<int>(shards.size()) != n() ||
+      static_cast<int>(present.size()) != n()) {
+    return util::Status::InvalidArgument("Decode expects n shards and n flags");
+  }
+  std::vector<int> available;
+  available.reserve(static_cast<size_t>(n()));
+  for (int i = 0; i < n(); ++i) {
+    if (present[static_cast<size_t>(i)]) available.push_back(i);
+  }
+  if (static_cast<int>(available.size()) < k_) {
+    return util::Status::FailedPrecondition(
+        "unrecoverable: only " + std::to_string(available.size()) + " of " +
+        std::to_string(k_) + " required shards are present");
+  }
+
+  bool all_data_present = true;
+  for (int i = 0; i < k_; ++i) {
+    if (!present[static_cast<size_t>(i)]) {
+      all_data_present = false;
+      break;
+    }
+  }
+
+  if (!all_data_present) {
+    // Invert the generator rows of k available shards, then rebuild the
+    // missing data shards as linear combinations of the available ones.
+    available.resize(static_cast<size_t>(k_));
+    const Matrix sub = generator_.SelectRows(available);
+    auto inv_result = sub.Inverted();
+    if (!inv_result.ok()) return inv_result.status();
+    const Matrix& inv = *inv_result;
+    for (int d = 0; d < k_; ++d) {
+      if (present[static_cast<size_t>(d)]) continue;
+      uint8_t* out = shards[static_cast<size_t>(d)];
+      std::memset(out, 0, shard_size);
+      // Row d of inv * [available shards] reconstructs data shard d.
+      for (int j = 0; j < k_; ++j) {
+        GF256::MulAddBuf(out, shards[static_cast<size_t>(available[j])],
+                         inv.at(d, j), shard_size);
+      }
+    }
+  }
+
+  // With all data shards in place, recompute any missing parity shards.
+  for (int p = 0; p < m_; ++p) {
+    const int idx = k_ + p;
+    if (present[static_cast<size_t>(idx)]) continue;
+    uint8_t* out = shards[static_cast<size_t>(idx)];
+    std::memset(out, 0, shard_size);
+    const uint8_t* coeffs = generator_.row(idx);
+    for (int d = 0; d < k_; ++d) {
+      GF256::MulAddBuf(out, shards[static_cast<size_t>(d)], coeffs[d], shard_size);
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace erasure
+}  // namespace p2p

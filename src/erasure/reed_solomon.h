@@ -1,0 +1,67 @@
+// Systematic Reed-Solomon over GF(2^8).
+//
+// The generator is the (k+m) x k matrix [I ; C] where C is an m x k Cauchy
+// matrix on distinct field labels. Any k rows of [I ; C] form an invertible
+// matrix, so any k of the n shards decode the archive - the property the
+// paper's redundancy argument relies on (k = m = 128, n = 256 uses the whole
+// field). A classic Vandermonde-derived construction is provided as an
+// alternative for n <= 255, cross-checked in tests.
+
+#ifndef P2P_ERASURE_REED_SOLOMON_H_
+#define P2P_ERASURE_REED_SOLOMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "erasure/erasure_code.h"
+#include "erasure/matrix.h"
+#include "util/result.h"
+
+namespace p2p {
+namespace erasure {
+
+/// \brief Systematic RS codec with a pluggable generator construction.
+class ReedSolomon : public ErasureCode {
+ public:
+  /// Generator construction.
+  enum class MatrixKind {
+    kCauchy,       ///< [I ; Cauchy], valid for k + m <= 256.
+    kVandermonde,  ///< Vandermonde made systematic, valid for k + m <= 255.
+  };
+
+  /// Creates a codec; fails with InvalidArgument when (k, m) is out of range
+  /// for the chosen construction.
+  static util::Result<std::unique_ptr<ReedSolomon>> Create(
+      int k, int m, MatrixKind kind = MatrixKind::kCauchy);
+
+  int k() const override { return k_; }
+  int m() const override { return m_; }
+
+  util::Status Encode(const std::vector<uint8_t*>& shards,
+                      size_t shard_size) const override;
+
+  util::Status Decode(const std::vector<uint8_t*>& shards,
+                      const std::vector<bool>& present,
+                      size_t shard_size) const override;
+
+  std::string name() const override {
+    return kind_ == MatrixKind::kCauchy ? "rs-cauchy" : "rs-vandermonde";
+  }
+
+  /// The full n x k generator matrix (top k x k block is the identity).
+  const Matrix& generator() const { return generator_; }
+
+ private:
+  ReedSolomon(int k, int m, MatrixKind kind, Matrix generator);
+
+  int k_;
+  int m_;
+  MatrixKind kind_;
+  Matrix generator_;
+};
+
+}  // namespace erasure
+}  // namespace p2p
+
+#endif  // P2P_ERASURE_REED_SOLOMON_H_

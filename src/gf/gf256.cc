@@ -1,0 +1,114 @@
+#include "gf/gf256.h"
+
+#include <cassert>
+
+namespace p2p {
+namespace gf {
+namespace {
+
+// log/exp tables plus the full 256x256 product table (64 KiB, L2-resident).
+// Built once at process start; read-only afterwards.
+struct Tables {
+  uint8_t exp[512];   // doubled so Mul can skip the mod-255 reduction
+  int log[256];       // log[0] unused
+  uint8_t mul[256][256];
+
+  Tables() {
+    uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      log[x] = i;
+      x <<= 1;
+      if (x & 0x100) x ^= GF256::kPrimitivePoly;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = -1;
+    for (int a = 0; a < 256; ++a) {
+      mul[0][a] = 0;
+      mul[a][0] = 0;
+    }
+    for (int a = 1; a < 256; ++a) {
+      for (int b = 1; b < 256; ++b) {
+        mul[a][b] = exp[log[a] + log[b]];
+      }
+    }
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint8_t GF256::Mul(uint8_t a, uint8_t b) { return T().mul[a][b]; }
+
+uint8_t GF256::Div(uint8_t a, uint8_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  return T().exp[T().log[a] - T().log[b] + 255];
+}
+
+uint8_t GF256::Inv(uint8_t a) {
+  assert(a != 0);
+  return T().exp[255 - T().log[a]];
+}
+
+uint8_t GF256::Pow(uint8_t a, int e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  int le = (T().log[a] * static_cast<int64_t>(e)) % 255;
+  if (le < 0) le += 255;
+  return T().exp[le];
+}
+
+int GF256::Log(uint8_t a) {
+  assert(a != 0);
+  return T().log[a];
+}
+
+uint8_t GF256::Exp(int e) {
+  int r = e % 255;
+  if (r < 0) r += 255;
+  return T().exp[r];
+}
+
+void GF256::MulAddBuf(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  if (c == 0) return;
+  if (c == 1) {
+    AddBuf(dst, src, len);
+    return;
+  }
+  const uint8_t* row = T().mul[c];
+  for (size_t i = 0; i < len; ++i) dst[i] ^= row[src[i]];
+}
+
+void GF256::MulBuf(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len) {
+  if (c == 0) {
+    for (size_t i = 0; i < len; ++i) dst[i] = 0;
+    return;
+  }
+  if (c == 1) {
+    for (size_t i = 0; i < len; ++i) dst[i] = src[i];
+    return;
+  }
+  const uint8_t* row = T().mul[c];
+  for (size_t i = 0; i < len; ++i) dst[i] = row[src[i]];
+}
+
+void GF256::AddBuf(uint8_t* dst, const uint8_t* src, size_t len) {
+  size_t i = 0;
+  // Word-at-a-time XOR for the bulk; the compiler vectorizes this further.
+  for (; i + 8 <= len; i += 8) {
+    uint64_t d, s;
+    __builtin_memcpy(&d, dst + i, 8);
+    __builtin_memcpy(&s, src + i, 8);
+    d ^= s;
+    __builtin_memcpy(dst + i, &d, 8);
+  }
+  for (; i < len; ++i) dst[i] ^= src[i];
+}
+
+}  // namespace gf
+}  // namespace p2p

@@ -1,0 +1,61 @@
+// Arithmetic in GF(2^8), the field underlying the Reed-Solomon codec.
+//
+// The field is constructed from the primitive polynomial
+// x^8 + x^4 + x^3 + x^2 + 1 (0x11D). Multiplication uses log/exp tables; the
+// buffer kernels additionally use a per-coefficient 256-entry product row so
+// the inner loop is one table lookup per byte.
+
+#ifndef P2P_GF_GF256_H_
+#define P2P_GF_GF256_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace p2p {
+namespace gf {
+
+/// \brief GF(2^8) element operations. All functions are pure and thread-safe.
+class GF256 {
+ public:
+  /// Field size.
+  static constexpr int kOrder = 256;
+  /// Primitive polynomial (with the x^8 term) used to build the field.
+  static constexpr uint16_t kPrimitivePoly = 0x11D;
+  /// Generator whose powers enumerate the multiplicative group.
+  static constexpr uint8_t kGenerator = 0x02;
+
+  /// Field addition (= subtraction = XOR).
+  static uint8_t Add(uint8_t a, uint8_t b) { return a ^ b; }
+
+  /// Field multiplication.
+  static uint8_t Mul(uint8_t a, uint8_t b);
+
+  /// Field division a / b; b must be non-zero.
+  static uint8_t Div(uint8_t a, uint8_t b);
+
+  /// Multiplicative inverse; a must be non-zero.
+  static uint8_t Inv(uint8_t a);
+
+  /// a raised to the (possibly negative) power e; Pow(0, 0) == 1.
+  static uint8_t Pow(uint8_t a, int e);
+
+  /// Discrete logarithm base kGenerator; a must be non-zero.
+  static int Log(uint8_t a);
+
+  /// kGenerator raised to e (e taken modulo 255).
+  static uint8_t Exp(int e);
+
+  /// dst[i] ^= c * src[i] for i in [0, len): the SPMV kernel of RS coding.
+  static void MulAddBuf(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len);
+
+  /// dst[i] = c * src[i] for i in [0, len).
+  static void MulBuf(uint8_t* dst, const uint8_t* src, uint8_t c, size_t len);
+
+  /// dst[i] ^= src[i] for i in [0, len).
+  static void AddBuf(uint8_t* dst, const uint8_t* src, size_t len);
+};
+
+}  // namespace gf
+}  // namespace p2p
+
+#endif  // P2P_GF_GF256_H_

@@ -1,0 +1,73 @@
+#include "gf/gf65536.h"
+
+#include <cassert>
+#include <vector>
+
+namespace p2p {
+namespace gf {
+namespace {
+
+struct Tables {
+  std::vector<uint16_t> exp;  // 2*65535 entries, doubled to skip reductions
+  std::vector<int> log;       // 65536 entries; log[0] unused
+
+  Tables() : exp(131070), log(65536, -1) {
+    uint32_t x = 1;
+    for (int i = 0; i < 65535; ++i) {
+      exp[static_cast<size_t>(i)] = static_cast<uint16_t>(x);
+      log[x] = i;
+      x <<= 1;
+      if (x & 0x10000) x ^= GF65536::kPrimitivePoly;
+    }
+    for (int i = 65535; i < 131070; ++i) {
+      exp[static_cast<size_t>(i)] = exp[static_cast<size_t>(i - 65535)];
+    }
+  }
+};
+
+const Tables& T() {
+  static const Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint16_t GF65536::Mul(uint16_t a, uint16_t b) {
+  if (a == 0 || b == 0) return 0;
+  return T().exp[static_cast<size_t>(T().log[a] + T().log[b])];
+}
+
+uint16_t GF65536::Div(uint16_t a, uint16_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  return T().exp[static_cast<size_t>(T().log[a] - T().log[b] + 65535)];
+}
+
+uint16_t GF65536::Inv(uint16_t a) {
+  assert(a != 0);
+  return T().exp[static_cast<size_t>(65535 - T().log[a])];
+}
+
+uint16_t GF65536::Pow(uint16_t a, int e) {
+  if (e == 0) return 1;
+  if (a == 0) return 0;
+  int64_t le = (static_cast<int64_t>(T().log[a]) * e) % 65535;
+  if (le < 0) le += 65535;
+  return T().exp[static_cast<size_t>(le)];
+}
+
+void GF65536::MulAddBuf(uint16_t* dst, const uint16_t* src, uint16_t c, size_t len) {
+  if (c == 0) return;
+  if (c == 1) {
+    for (size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  const int lc = T().log[c];
+  for (size_t i = 0; i < len; ++i) {
+    const uint16_t s = src[i];
+    if (s != 0) dst[i] ^= T().exp[static_cast<size_t>(lc + T().log[s])];
+  }
+}
+
+}  // namespace gf
+}  // namespace p2p

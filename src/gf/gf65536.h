@@ -1,0 +1,41 @@
+// Arithmetic in GF(2^16), used when a code needs n > 256 total blocks
+// (beyond the paper's k = m = 128 configuration).
+
+#ifndef P2P_GF_GF65536_H_
+#define P2P_GF_GF65536_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace p2p {
+namespace gf {
+
+/// \brief GF(2^16) element operations via log/exp tables (built once).
+class GF65536 {
+ public:
+  /// Field size.
+  static constexpr int kOrder = 65536;
+  /// Primitive polynomial x^16 + x^12 + x^3 + x + 1 (0x1100B).
+  static constexpr uint32_t kPrimitivePoly = 0x1100B;
+  /// Generator of the multiplicative group.
+  static constexpr uint16_t kGenerator = 0x0002;
+
+  /// Field addition (XOR).
+  static uint16_t Add(uint16_t a, uint16_t b) { return a ^ b; }
+  /// Field multiplication.
+  static uint16_t Mul(uint16_t a, uint16_t b);
+  /// Field division a / b; b must be non-zero.
+  static uint16_t Div(uint16_t a, uint16_t b);
+  /// Multiplicative inverse; a must be non-zero.
+  static uint16_t Inv(uint16_t a);
+  /// a raised to the (possibly negative) power e; Pow(0,0) == 1.
+  static uint16_t Pow(uint16_t a, int e);
+
+  /// dst[i] ^= c * src[i] over uint16 lanes (len in elements, not bytes).
+  static void MulAddBuf(uint16_t* dst, const uint16_t* src, uint16_t c, size_t len);
+};
+
+}  // namespace gf
+}  // namespace p2p
+
+#endif  // P2P_GF_GF65536_H_

@@ -1,0 +1,35 @@
+#include "metrics/categories.h"
+
+namespace p2p {
+namespace metrics {
+
+const char* CategoryName(AgeCategory c) {
+  switch (c) {
+    case AgeCategory::kNewcomer:
+      return "Newcomers";
+    case AgeCategory::kYoung:
+      return "Young peers";
+    case AgeCategory::kOld:
+      return "Old peers";
+    case AgeCategory::kElder:
+      return "Elder peers";
+  }
+  return "?";
+}
+
+const char* CategoryToken(AgeCategory c) {
+  switch (c) {
+    case AgeCategory::kNewcomer:
+      return "newcomer";
+    case AgeCategory::kYoung:
+      return "young";
+    case AgeCategory::kOld:
+      return "old";
+    case AgeCategory::kElder:
+      return "elder";
+  }
+  return "?";
+}
+
+}  // namespace metrics
+}  // namespace p2p

@@ -1,0 +1,62 @@
+// Age categories of the paper's evaluation (section 4.2.1):
+//
+//   Elder peers   > 18 months
+//   Old peers     6 - 18 months
+//   Young peers   3 - 6 months
+//   Newcomers     < 3 months
+//
+// "during the life of a peer, its category changes depending on its age,
+// whereas its profile does not change."
+
+#ifndef P2P_METRICS_CATEGORIES_H_
+#define P2P_METRICS_CATEGORIES_H_
+
+#include <array>
+#include <string>
+
+#include "sim/clock.h"
+
+namespace p2p {
+namespace metrics {
+
+/// The four reporting buckets, ordered youngest to oldest.
+enum class AgeCategory : int {
+  kNewcomer = 0,
+  kYoung = 1,
+  kOld = 2,
+  kElder = 3,
+};
+
+/// Number of categories.
+constexpr int kCategoryCount = 4;
+
+/// Category boundaries in rounds: 3 months, 6 months, 18 months.
+constexpr std::array<sim::Round, 3> kCategoryBoundaries = {
+    3 * sim::kRoundsPerMonth, 6 * sim::kRoundsPerMonth, 18 * sim::kRoundsPerMonth};
+
+/// Classifies an age.
+constexpr AgeCategory CategoryOf(sim::Round age) {
+  if (age < kCategoryBoundaries[0]) return AgeCategory::kNewcomer;
+  if (age < kCategoryBoundaries[1]) return AgeCategory::kYoung;
+  if (age < kCategoryBoundaries[2]) return AgeCategory::kOld;
+  return AgeCategory::kElder;
+}
+
+/// The age at which a peer leaves its current category (kNever for Elder).
+constexpr sim::Round NextBoundary(sim::Round age) {
+  for (sim::Round b : kCategoryBoundaries) {
+    if (age < b) return b;
+  }
+  return sim::kNever;
+}
+
+/// Paper label ("Newcomers", "Young peers", ...).
+const char* CategoryName(AgeCategory c);
+
+/// Lowercase token for TSV columns ("newcomer", "young", "old", "elder").
+const char* CategoryToken(AgeCategory c);
+
+}  // namespace metrics
+}  // namespace p2p
+
+#endif  // P2P_METRICS_CATEGORIES_H_

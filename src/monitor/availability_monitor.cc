@@ -1,0 +1,93 @@
+#include "monitor/availability_monitor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace p2p {
+namespace monitor {
+
+AvailabilityMonitor::AvailabilityMonitor(uint32_t capacity,
+                                         sim::Round history_window)
+    : history_window_(history_window), peers_(capacity) {}
+
+void AvailabilityMonitor::RecordJoin(PeerId peer, sim::Round now) {
+  P2P_CHECK(peer < peers_.size());
+  PeerHistory& h = peers_[peer];
+  h = PeerHistory();
+  h.first_seen = now;
+}
+
+void AvailabilityMonitor::RecordConnect(PeerId peer, sim::Round now) {
+  PeerHistory& h = peers_[peer];
+  P2P_CHECK(!h.departed);
+  if (h.first_seen < 0) h.first_seen = now;
+  if (h.online_since < 0) h.online_since = now;
+  h.last_seen = now;
+}
+
+void AvailabilityMonitor::RecordDisconnect(PeerId peer, sim::Round now) {
+  PeerHistory& h = peers_[peer];
+  if (h.online_since >= 0) {
+    if (now > h.online_since) h.sessions.emplace_back(h.online_since, now);
+    h.last_seen = now;  // online through the end of the previous round
+    h.online_since = -1;
+    Prune(&h, now);
+  }
+}
+
+void AvailabilityMonitor::RecordDeparture(PeerId peer, sim::Round now) {
+  RecordDisconnect(peer, now);
+  peers_[peer].departed = true;
+}
+
+bool AvailabilityMonitor::IsOnline(PeerId peer) const {
+  return peers_[peer].online_since >= 0;
+}
+
+sim::Round AvailabilityMonitor::LastSeen(PeerId peer, sim::Round now) const {
+  const PeerHistory& h = peers_[peer];
+  if (h.online_since >= 0) return now;
+  return h.last_seen;
+}
+
+sim::Round AvailabilityMonitor::Age(PeerId peer, sim::Round now) const {
+  const PeerHistory& h = peers_[peer];
+  if (h.first_seen < 0) return 0;
+  return now - h.first_seen;
+}
+
+double AvailabilityMonitor::AvailabilityOver(PeerId peer, sim::Round window,
+                                             sim::Round now) const {
+  P2P_CHECK(window > 0);
+  window = std::min(window, history_window_);
+  const sim::Round lo = now - window;
+  const PeerHistory& h = peers_[peer];
+  sim::Round online = 0;
+  for (const auto& [start, end] : h.sessions) {
+    online += std::max<sim::Round>(0, std::min(end, now) - std::max(start, lo));
+  }
+  if (h.online_since >= 0) {
+    online += now - std::max(h.online_since, lo);
+  }
+  return static_cast<double>(online) / static_cast<double>(window);
+}
+
+bool AvailabilityMonitor::PresumedDeparted(PeerId peer, sim::Round timeout,
+                                           sim::Round now) const {
+  const PeerHistory& h = peers_[peer];
+  if (h.departed) return true;
+  if (h.online_since >= 0) return false;
+  if (h.last_seen < 0) return h.first_seen >= 0 && now - h.first_seen > timeout;
+  return now - h.last_seen > timeout;
+}
+
+void AvailabilityMonitor::Prune(PeerHistory* h, sim::Round now) const {
+  const sim::Round lo = now - history_window_;
+  while (!h->sessions.empty() && h->sessions.front().second <= lo) {
+    h->sessions.pop_front();
+  }
+}
+
+}  // namespace monitor
+}  // namespace p2p

@@ -1,0 +1,87 @@
+// The round-based simulation engine (PeerSim mould, paper section 3.1):
+// "in a round, each peer is given the opportunity to execute some code ...
+// execution is sequential ... the order of peers is chosen randomly at each
+// round."
+//
+// The engine owns the clock, named deterministic RNG streams, a generic
+// low-frequency event queue, and the per-round hook list. Protocols keep
+// their own typed CalendarQueues for high-frequency events.
+
+#ifndef P2P_SIM_ENGINE_H_
+#define P2P_SIM_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace sim {
+
+/// Engine configuration.
+struct EngineOptions {
+  /// Master seed; every derived stream is a pure function of it.
+  uint64_t seed = 42;
+  /// The simulation stops before executing this round.
+  Round end_round = 50'000;  ///< paper: 50,000 rounds (~5.7 years)
+};
+
+/// \brief Deterministic round-based discrete simulator.
+class Engine {
+ public:
+  explicit Engine(const EngineOptions& options);
+
+  /// Current round (the one being executed, or the next to execute).
+  Round now() const { return now_; }
+
+  /// Configured final round (exclusive).
+  Round end_round() const { return options_.end_round; }
+
+  /// Registers a hook invoked once per round, in registration order, after
+  /// the generic event queue for that round has been drained.
+  void AddRoundHook(std::function<void(Round)> hook);
+
+  /// Schedules a one-shot callback in the generic queue; `at` >= now().
+  void ScheduleAt(Round at, std::function<void()> fn);
+
+  /// Returns a deterministic RNG stream for the given purpose id. The same
+  /// (seed, purpose) pair always yields the same stream, so adding a new
+  /// subsystem does not perturb existing ones.
+  util::Rng* Stream(uint64_t purpose);
+
+  /// Executes one round: drains due callbacks, then runs round hooks.
+  /// Returns false when end_round has been reached (nothing executed).
+  bool Step();
+
+  /// Runs Step() until end_round or RequestStop().
+  void Run();
+
+  /// Makes Run() return after the current round completes.
+  void RequestStop() { stop_requested_ = true; }
+
+  /// Shuffles `ids` in place with the scheduling stream: the per-round
+  /// random peer order mandated by the paper.
+  void ShuffleForRound(std::vector<uint32_t>* ids);
+
+ private:
+  // Reserved internal stream purposes (high ids to avoid collisions).
+  static constexpr uint64_t kScheduleStream = ~0ull;
+
+  EngineOptions options_;
+  Round now_ = 0;
+  bool stop_requested_ = false;
+  std::vector<std::function<void(Round)>> hooks_;
+  CalendarQueue<std::function<void()>> deferred_;
+  // unique_ptr keeps handed-out Rng* stable as new streams are registered.
+  std::vector<std::pair<uint64_t, std::unique_ptr<util::Rng>>> streams_;
+};
+
+}  // namespace sim
+}  // namespace p2p
+
+#endif  // P2P_SIM_ENGINE_H_

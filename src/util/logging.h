@@ -1,0 +1,43 @@
+// Leveled logging with printf-style formatting, plus CHECK macros for
+// invariants that must hold in release builds.
+
+#ifndef P2P_UTIL_LOGGING_H_
+#define P2P_UTIL_LOGGING_H_
+
+#include <cstdarg>
+#include <cstdlib>
+
+namespace p2p {
+namespace util {
+
+/// Severity levels in increasing order of importance.
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted (default kInfo).
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum level.
+LogLevel GetLogLevel();
+
+/// Emits one formatted log line to stderr if `level` passes the threshold.
+void Logf(LogLevel level, const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+/// Prints the failure and aborts; used by the P2P_CHECK macros.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* expr);
+
+}  // namespace util
+}  // namespace p2p
+
+#define P2P_LOG_DEBUG(...) ::p2p::util::Logf(::p2p::util::LogLevel::kDebug, __VA_ARGS__)
+#define P2P_LOG_INFO(...) ::p2p::util::Logf(::p2p::util::LogLevel::kInfo, __VA_ARGS__)
+#define P2P_LOG_WARN(...) ::p2p::util::Logf(::p2p::util::LogLevel::kWarn, __VA_ARGS__)
+#define P2P_LOG_ERROR(...) ::p2p::util::Logf(::p2p::util::LogLevel::kError, __VA_ARGS__)
+
+/// Aborts (in all build types) when `cond` is false. Use for invariants whose
+/// violation would silently corrupt simulation results.
+#define P2P_CHECK(cond)                                        \
+  do {                                                         \
+    if (!(cond)) ::p2p::util::CheckFailed(__FILE__, __LINE__, #cond); \
+  } while (0)
+
+#endif  // P2P_UTIL_LOGGING_H_

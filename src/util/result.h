@@ -1,0 +1,80 @@
+// Result<T>: value-or-Status, the return type of fallible producers.
+
+#ifndef P2P_UTIL_RESULT_H_
+#define P2P_UTIL_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace p2p {
+namespace util {
+
+/// \brief Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Construction from a value yields an OK result; construction from a non-OK
+/// status yields an error result. Accessing the value of an error result is a
+/// programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Constructs an OK result holding `value`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs an error result; `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires a non-OK status");
+  }
+
+  /// Returns true iff a value is held.
+  bool ok() const { return status_.ok(); }
+
+  /// Returns the status (OK when a value is held).
+  const Status& status() const { return status_; }
+
+  /// \name Value access; requires ok().
+  /// @{
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+  /// @}
+
+  /// Returns the held value or `fallback` when this result is an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace util
+}  // namespace p2p
+
+/// Evaluates a Result-returning expression, propagating errors; on success the
+/// value is moved into `lhs` (a declaration or assignable lvalue).
+#define P2P_ASSIGN_OR_RETURN(lhs, expr)              \
+  P2P_ASSIGN_OR_RETURN_IMPL_(                        \
+      P2P_RESULT_CONCAT_(_res, __LINE__), lhs, expr)
+#define P2P_RESULT_CONCAT_INNER_(a, b) a##b
+#define P2P_RESULT_CONCAT_(a, b) P2P_RESULT_CONCAT_INNER_(a, b)
+#define P2P_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value()
+
+#endif  // P2P_UTIL_RESULT_H_

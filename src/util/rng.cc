@@ -1,0 +1,158 @@
+#include "util/rng.h"
+
+namespace p2p {
+namespace util {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(uint64_t seed) {
+  // xoshiro256** must not start from the all-zero state; SplitMix64 seeding
+  // guarantees that and decorrelates nearby seeds.
+  uint64_t sm = seed;
+  for (auto& w : s_) w = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextU64() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    NextDouble();  // keep the stream aligned regardless of p
+    return false;
+  }
+  if (p >= 1.0) {
+    NextDouble();
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+  // Multiply-shift bounded draw (Lemire); one extra draw on rare rejections.
+  uint64_t x = NextU64();
+  __uint128_t m = static_cast<__uint128_t>(x) * span;
+  uint64_t l = static_cast<uint64_t>(m);
+  if (l < span) {
+    const uint64_t floor = (0 - span) % span;
+    while (l < floor) {
+      x = NextU64();
+      m = static_cast<__uint128_t>(x) * span;
+      l = static_cast<uint64_t>(m);
+    }
+  }
+  return lo + static_cast<int64_t>(m >> 64);
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * NextDouble();
+}
+
+double Rng::Exponential(double mean) {
+  assert(mean > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return -mean * std::log(u);
+}
+
+int64_t Rng::Geometric(double mean) {
+  assert(mean >= 1.0);
+  if (mean == 1.0) {
+    NextDouble();
+    return 1;
+  }
+  const double p = 1.0 / mean;
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  // Inverse CDF of the {1,2,...} geometric distribution.
+  const int64_t v = static_cast<int64_t>(std::ceil(std::log(u) / std::log1p(-p)));
+  return v < 1 ? 1 : v;
+}
+
+double Rng::Pareto(double scale, double shape) {
+  assert(scale > 0.0 && shape > 0.0);
+  double u;
+  do {
+    u = NextDouble();
+  } while (u <= 0.0);
+  return scale * std::pow(u, -1.0 / shape);
+}
+
+std::vector<uint32_t> Rng::SampleIndices(uint32_t universe, uint32_t count) {
+  if (count >= universe) {
+    std::vector<uint32_t> all(universe);
+    for (uint32_t i = 0; i < universe; ++i) all[i] = i;
+    Shuffle(&all);
+    return all;
+  }
+  // Partial Fisher-Yates over a sparse map keeps this O(count) in time and
+  // space even for large universes.
+  std::vector<uint32_t> out;
+  out.reserve(count);
+  std::vector<std::pair<uint32_t, uint32_t>> moved;  // (index, value) overlay
+  auto lookup = [&moved](uint32_t i) -> uint32_t {
+    for (const auto& kv : moved) {
+      if (kv.first == i) return kv.second;
+    }
+    return i;
+  };
+  for (uint32_t i = 0; i < count; ++i) {
+    const uint32_t j =
+        static_cast<uint32_t>(UniformInt(i, static_cast<int64_t>(universe) - 1));
+    const uint32_t vj = lookup(j);
+    const uint32_t vi = lookup(i);
+    out.push_back(vj);
+    // Record the swap: position j now holds what was at i.
+    bool found = false;
+    for (auto& kv : moved) {
+      if (kv.first == j) {
+        kv.second = vi;
+        found = true;
+        break;
+      }
+    }
+    if (!found) moved.emplace_back(j, vi);
+  }
+  return out;
+}
+
+Rng DeriveStream(uint64_t master_seed, uint64_t stream_id) {
+  // Mix the stream id through SplitMix64 twice so that consecutive ids do not
+  // produce correlated xoshiro seeds.
+  uint64_t sm = master_seed ^ (0x5851f42d4c957f2dull * (stream_id + 1));
+  const uint64_t a = SplitMix64(&sm);
+  const uint64_t b = SplitMix64(&sm);
+  return Rng(a ^ Rotl(b, 29));
+}
+
+}  // namespace util
+}  // namespace p2p

@@ -1,0 +1,87 @@
+// Deterministic pseudo-random number generation.
+//
+// Simulations must be exactly reproducible from a master seed, and different
+// subsystems (churn, placement, scheduling, ...) must not perturb each other's
+// random streams when one of them draws more or fewer numbers. `Rng` is a
+// xoshiro256** generator; `DeriveStream` deterministically derives independent
+// child generators from (seed, stream-id) pairs via SplitMix64.
+
+#ifndef P2P_UTIL_RNG_H_
+#define P2P_UTIL_RNG_H_
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace p2p {
+namespace util {
+
+/// Advances a SplitMix64 state and returns the next output; used for seeding.
+uint64_t SplitMix64(uint64_t* state);
+
+/// \brief Deterministic xoshiro256** PRNG with distribution helpers.
+///
+/// Not cryptographically secure (crypto lives in src/crypto). All helpers
+/// consume a bounded number of raw draws so streams stay aligned across
+/// platforms.
+class Rng {
+ public:
+  /// Seeds the generator; equal seeds yield equal sequences on all platforms.
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  /// Returns the next raw 64-bit output.
+  uint64_t NextU64();
+
+  /// Returns the next 32 bits.
+  uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
+
+  /// Returns a double uniform in [0, 1) with 53 random bits.
+  double NextDouble();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Returns an integer uniform in the inclusive range [lo, hi].
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Returns a double uniform in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Returns an exponential variate with the given mean (> 0).
+  double Exponential(double mean);
+
+  /// Returns a geometric variate in {1, 2, ...} with the given mean (>= 1):
+  /// the length of a run whose per-step stop probability is 1/mean.
+  int64_t Geometric(double mean);
+
+  /// Returns a Pareto variate with minimum `scale` (> 0) and tail exponent
+  /// `shape` (> 0): P(X > x) = (scale/x)^shape for x >= scale.
+  double Pareto(double scale, double shape);
+
+  /// Fisher-Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Draws `count` distinct indices uniformly from [0, universe); `count` is
+  /// clamped to `universe`. Order of the returned indices is random.
+  std::vector<uint32_t> SampleIndices(uint32_t universe, uint32_t count);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Derives an independent child generator from a master seed and a stream id;
+/// distinct (seed, stream) pairs yield statistically independent sequences.
+Rng DeriveStream(uint64_t master_seed, uint64_t stream_id);
+
+}  // namespace util
+}  // namespace p2p
+
+#endif  // P2P_UTIL_RNG_H_

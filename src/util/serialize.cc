@@ -1,0 +1,112 @@
+#include "util/serialize.h"
+
+#include <cstring>
+
+namespace p2p {
+namespace util {
+
+void Writer::PutU16(uint16_t v) {
+  PutU8(static_cast<uint8_t>(v));
+  PutU8(static_cast<uint8_t>(v >> 8));
+}
+
+void Writer::PutU32(uint32_t v) {
+  for (int i = 0; i < 4; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::PutU64(uint64_t v) {
+  for (int i = 0; i < 8; ++i) PutU8(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void Writer::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    PutU8(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  PutU8(static_cast<uint8_t>(v));
+}
+
+void Writer::PutBytes(const std::vector<uint8_t>& bytes) {
+  PutVarint(bytes.size());
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+void Writer::PutString(const std::string& s) {
+  PutVarint(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::PutRaw(const uint8_t* data, size_t len) {
+  buf_.insert(buf_.end(), data, data + len);
+}
+
+Result<uint8_t> Reader::GetU8() {
+  if (remaining() < 1) return Status::Corruption("truncated u8");
+  return data_[pos_++];
+}
+
+Result<uint16_t> Reader::GetU16() {
+  if (remaining() < 2) return Status::Corruption("truncated u16");
+  uint16_t v = static_cast<uint16_t>(data_[pos_]) |
+               static_cast<uint16_t>(data_[pos_ + 1]) << 8;
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> Reader::GetU32() {
+  if (remaining() < 4) return Status::Corruption("truncated u32");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> Reader::GetU64() {
+  if (remaining() < 8) return Status::Corruption("truncated u64");
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  pos_ += 8;
+  return v;
+}
+
+Result<uint64_t> Reader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (remaining() < 1) return Status::Corruption("truncated varint");
+    const uint8_t byte = data_[pos_++];
+    v |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) return v;
+    shift += 7;
+  }
+  return Status::Corruption("varint longer than 10 bytes");
+}
+
+Result<std::vector<uint8_t>> Reader::GetBytes() {
+  auto len = GetVarint();
+  if (!len.ok()) return len.status();
+  if (remaining() < *len) return Status::Corruption("truncated byte blob");
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + *len);
+  pos_ += *len;
+  return out;
+}
+
+Result<std::string> Reader::GetString() {
+  auto len = GetVarint();
+  if (!len.ok()) return len.status();
+  if (remaining() < *len) return Status::Corruption("truncated string");
+  std::string out(reinterpret_cast<const char*>(data_ + pos_), *len);
+  pos_ += *len;
+  return out;
+}
+
+Status Reader::GetRaw(uint8_t* out, size_t len) {
+  if (remaining() < len) return Status::Corruption("truncated raw bytes");
+  std::memcpy(out, data_ + pos_, len);
+  pos_ += len;
+  return Status::OK();
+}
+
+}  // namespace util
+}  // namespace p2p

@@ -1,0 +1,106 @@
+// Streaming statistics: running moments, quantile estimation, histograms and
+// time-series accumulators used by the metrics layer and the benches.
+
+#ifndef P2P_UTIL_STATS_H_
+#define P2P_UTIL_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace p2p {
+namespace util {
+
+/// \brief Single-pass mean / variance / extrema accumulator (Welford).
+class RunningStat {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningStat& other);
+
+  /// Number of observations added so far.
+  int64_t count() const { return count_; }
+  /// Mean of the observations; 0 when empty.
+  double mean() const { return count_ == 0 ? 0.0 : mean_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  double variance() const;
+  /// Square root of variance().
+  double stddev() const;
+  /// Smallest observation; +inf when empty.
+  double min() const { return min_; }
+  /// Largest observation; -inf when empty.
+  double max() const { return max_; }
+  /// Sum of all observations.
+  double sum() const { return sum_; }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// \brief Fixed-width linear histogram over [lo, hi) with under/overflow bins.
+class Histogram {
+ public:
+  /// Creates `bins` equal-width buckets spanning [lo, hi); requires lo < hi
+  /// and bins >= 1.
+  Histogram(double lo, double hi, int bins);
+
+  /// Records one observation.
+  void Add(double x);
+
+  /// Total number of recorded observations.
+  int64_t count() const { return count_; }
+  /// Count of the bucket with index `i` in [0, bins).
+  int64_t bucket(int i) const { return counts_[static_cast<size_t>(i) + 1]; }
+  /// Observations below `lo`.
+  int64_t underflow() const { return counts_.front(); }
+  /// Observations at or above `hi`.
+  int64_t overflow() const { return counts_.back(); }
+  /// Number of regular buckets.
+  int bins() const { return static_cast<int>(counts_.size()) - 2; }
+  /// Lower edge of bucket `i`.
+  double bucket_lo(int i) const { return lo_ + width_ * i; }
+
+  /// Estimates quantile `q` in [0,1] by linear interpolation within buckets.
+  double Quantile(double q) const;
+
+  /// Multi-line ASCII rendering, for quick looks in example binaries.
+  std::string ToAscii(int max_width = 60) const;
+
+ private:
+  double lo_;
+  double width_;
+  int64_t count_ = 0;
+  std::vector<int64_t> counts_;  // [underflow, b0..b{n-1}, overflow]
+};
+
+/// \brief Exact quantiles over a retained sample (for modest result sets).
+class QuantileSketch {
+ public:
+  /// Records one observation (kept in memory).
+  void Add(double x) {
+    values_.push_back(x);
+    sorted_ = false;
+  }
+  /// Number of observations.
+  int64_t count() const { return static_cast<int64_t>(values_.size()); }
+  /// Returns quantile `q` in [0,1] using nearest-rank on the sorted sample;
+  /// 0 when empty.
+  double Quantile(double q) const;
+
+ private:
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace util
+}  // namespace p2p
+
+#endif  // P2P_UTIL_STATS_H_

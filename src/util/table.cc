@@ -1,0 +1,75 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace p2p {
+namespace util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+void Table::BeginRow() { rows_.emplace_back(); }
+
+void Table::Add(const std::string& cell) {
+  if (rows_.empty()) BeginRow();
+  rows_.back().push_back(cell);
+}
+
+void Table::Add(const char* cell) { Add(std::string(cell)); }
+
+void Table::Add(int64_t v) { Add(std::to_string(v)); }
+
+void Table::Add(uint64_t v) { Add(std::to_string(v)); }
+
+void Table::Add(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  Add(std::string(buf));
+}
+
+void Table::RenderPretty(std::ostream& os) const {
+  std::vector<size_t> widths(headers_.size(), 0);
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto rule = [&]() {
+    os << '+';
+    for (size_t w : widths) os << std::string(w + 2, '-') << '+';
+    os << '\n';
+  };
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << ' ' << cell << std::string(widths[c] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+  rule();
+  emit(headers_);
+  rule();
+  for (const auto& row : rows_) emit(row);
+  rule();
+}
+
+void Table::RenderTsv(std::ostream& os) const {
+  os << "# ";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << '\t';
+    os << headers_[c];
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << '\t';
+      os << row[c];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace util
+}  // namespace p2p

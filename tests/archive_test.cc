@@ -1,0 +1,266 @@
+// Archive container, delta codec, backup builder and master block tests.
+
+#include <gtest/gtest.h>
+
+#include "archive/archive.h"
+#include "archive/builder.h"
+#include "archive/delta.h"
+#include "archive/master_block.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace archive {
+namespace {
+
+std::vector<uint8_t> RandomBytes(size_t n, util::Rng* rng) {
+  std::vector<uint8_t> out(n);
+  for (auto& b : out) b = static_cast<uint8_t>(rng->NextU32());
+  return out;
+}
+
+Entry FullEntry(const std::string& path, std::vector<uint8_t> content) {
+  Entry e;
+  e.path = path;
+  e.kind = EntryKind::kFull;
+  e.original_size = content.size();
+  e.content_digest = crypto::Sha256::Hash(content);
+  e.payload = std::move(content);
+  return e;
+}
+
+TEST(ArchiveTest, SerializeRoundTrip) {
+  util::Rng rng(1);
+  Archive a(7);
+  ASSERT_TRUE(a.Append(FullEntry("docs/a.txt", RandomBytes(100, &rng))).ok());
+  ASSERT_TRUE(a.Append(FullEntry("docs/b.bin", RandomBytes(5000, &rng))).ok());
+  const auto bytes = a.Serialize();
+  auto back = Archive::Deserialize(bytes).value();
+  EXPECT_EQ(back.id(), 7u);
+  ASSERT_EQ(back.entries().size(), 2u);
+  EXPECT_EQ(back.entries()[0].path, "docs/a.txt");
+  EXPECT_EQ(back.entries()[1].payload, a.entries()[1].payload);
+}
+
+TEST(ArchiveTest, SizeBoundEnforced) {
+  util::Rng rng(2);
+  Archive a(0, 4096);
+  ASSERT_TRUE(a.Append(FullEntry("x", RandomBytes(1000, &rng))).ok());
+  ASSERT_TRUE(a.Append(FullEntry("y", RandomBytes(1000, &rng))).ok());
+  EXPECT_TRUE(a.Append(FullEntry("z", RandomBytes(3000, &rng)))
+                  .IsResourceExhausted());
+  EXPECT_EQ(a.entries().size(), 2u);
+}
+
+TEST(ArchiveTest, CorruptPayloadDetected) {
+  util::Rng rng(3);
+  Archive a(1);
+  ASSERT_TRUE(a.Append(FullEntry("f", RandomBytes(64, &rng))).ok());
+  auto bytes = a.Serialize();
+  bytes[bytes.size() - 10] ^= 0xff;  // flip a payload byte
+  EXPECT_TRUE(Archive::Deserialize(bytes).status().IsCorruption());
+}
+
+TEST(ArchiveTest, BadMagicDetected) {
+  std::vector<uint8_t> bytes(32, 0);
+  EXPECT_TRUE(Archive::Deserialize(bytes).status().IsCorruption());
+}
+
+TEST(ArchiveTest, FindReturnsLatestVersion) {
+  util::Rng rng(4);
+  Archive a(1);
+  ASSERT_TRUE(a.Append(FullEntry("f", RandomBytes(8, &rng))).ok());
+  auto v2 = FullEntry("f", RandomBytes(8, &rng));
+  const auto v2_digest = v2.content_digest;
+  ASSERT_TRUE(a.Append(std::move(v2)).ok());
+  EXPECT_EQ(a.Find("f").value()->content_digest, v2_digest);
+  EXPECT_TRUE(a.Find("missing").status().IsNotFound());
+}
+
+TEST(RollingHashTest, RollMatchesRecompute) {
+  util::Rng rng(5);
+  auto data = RandomBytes(1000, &rng);
+  const size_t w = 48;
+  RollingHash roll(data.data(), w);
+  for (size_t pos = 0; pos + w < data.size(); ++pos) {
+    ASSERT_EQ(roll.value(), RollingHash::Of(data.data() + pos, w)) << pos;
+    roll.Roll(data[pos], data[pos + w]);
+  }
+}
+
+TEST(DeltaTest, IdenticalInputIsAllCopy) {
+  util::Rng rng(6);
+  auto base = RandomBytes(20'000, &rng);
+  auto delta = ComputeDelta(base, base);
+  EXPECT_LT(delta.size(), base.size() / 10);  // tiny vs full content
+  EXPECT_EQ(ApplyDelta(base, delta).value(), base);
+}
+
+TEST(DeltaTest, SmallEditReconstructs) {
+  util::Rng rng(7);
+  auto base = RandomBytes(50'000, &rng);
+  auto target = base;
+  target[25'000] ^= 0x5a;                        // point mutation
+  target.insert(target.begin() + 100, {9, 9, 9});  // small insertion
+  auto delta = ComputeDelta(base, target);
+  EXPECT_LT(delta.size(), target.size() / 2);
+  EXPECT_EQ(ApplyDelta(base, delta).value(), target);
+}
+
+TEST(DeltaTest, UnrelatedInputDegradesToInsert) {
+  util::Rng rng(8);
+  auto base = RandomBytes(4096, &rng);
+  auto target = RandomBytes(4096, &rng);
+  auto delta = ComputeDelta(base, target);
+  EXPECT_EQ(ApplyDelta(base, delta).value(), target);
+}
+
+TEST(DeltaTest, EmptyAndTinyInputs) {
+  std::vector<uint8_t> empty;
+  std::vector<uint8_t> tiny = {1, 2, 3};
+  EXPECT_EQ(ApplyDelta(empty, ComputeDelta(empty, tiny)).value(), tiny);
+  EXPECT_EQ(ApplyDelta(tiny, ComputeDelta(tiny, empty)).value(), empty);
+  EXPECT_EQ(ApplyDelta(tiny, ComputeDelta(tiny, tiny)).value(), tiny);
+}
+
+TEST(DeltaTest, RandomEditsProperty) {
+  util::Rng rng(9);
+  for (int trial = 0; trial < 25; ++trial) {
+    auto base = RandomBytes(10'000 + static_cast<size_t>(rng.UniformInt(0, 5000)),
+                            &rng);
+    auto target = base;
+    const int edits = static_cast<int>(rng.UniformInt(1, 10));
+    for (int e = 0; e < edits; ++e) {
+      const size_t pos = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(target.size()) - 1));
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          target[pos] ^= static_cast<uint8_t>(rng.NextU32() | 1);
+          break;
+        case 1:
+          target.insert(target.begin() + static_cast<long>(pos),
+                        static_cast<uint8_t>(rng.NextU32()));
+          break;
+        default:
+          target.erase(target.begin() + static_cast<long>(pos));
+          break;
+      }
+    }
+    auto delta = ComputeDelta(base, target);
+    ASSERT_EQ(ApplyDelta(base, delta).value(), target) << "trial " << trial;
+  }
+}
+
+TEST(DeltaTest, CorruptDeltaRejected) {
+  std::vector<uint8_t> base = {1, 2, 3};
+  std::vector<uint8_t> junk = {0x00, 0x01, 0x02};
+  EXPECT_TRUE(ApplyDelta(base, junk).status().IsCorruption());
+  // Copy beyond base bounds.
+  auto delta = ComputeDelta(base, base);
+  std::vector<uint8_t> evil = {0xD1, 0x01, 0x70, 0x70};  // copy(off=112,len=112)
+  EXPECT_TRUE(ApplyDelta(base, evil).status().IsCorruption());
+}
+
+TEST(BackupBuilderTest, SpillsIntoMultipleArchives) {
+  util::Rng rng(10);
+  BackupBuilder builder(/*max_archive_bytes=*/64 * 1024);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(builder
+                    .AddFile("file-" + std::to_string(i),
+                             RandomBytes(20'000, &rng))
+                    .ok());
+  }
+  auto archives = builder.TakeArchives();
+  EXPECT_GE(archives.size(), 3u);  // 200 KB over 64 KB archives
+  size_t total_entries = 0;
+  for (const auto& a : archives) {
+    EXPECT_LE(a.size_bytes(), 64u * 1024u);
+    total_entries += a.entries().size();
+  }
+  EXPECT_EQ(total_entries, 10u);
+}
+
+TEST(BackupBuilderTest, DeltaVersionStoredWhenSmaller) {
+  util::Rng rng(11);
+  BackupBuilder builder;
+  auto v1 = RandomBytes(50'000, &rng);
+  auto v2 = v1;
+  v2[100] ^= 0xff;
+  ASSERT_TRUE(builder.AddFile("doc", v1).ok());
+  ASSERT_TRUE(builder.AddFileVersion("doc", v2, v1).ok());
+  auto archives = builder.TakeArchives();
+  ASSERT_EQ(archives.size(), 1u);
+  ASSERT_EQ(archives[0].entries().size(), 2u);
+  const Entry& delta_entry = archives[0].entries()[1];
+  EXPECT_EQ(delta_entry.kind, EntryKind::kDelta);
+  EXPECT_LT(delta_entry.payload.size(), v2.size() / 2);
+  // The delta applies against v1 to give v2.
+  EXPECT_EQ(ApplyDelta(v1, delta_entry.payload).value(), v2);
+  EXPECT_EQ(delta_entry.content_digest, crypto::Sha256::Hash(v2));
+}
+
+TEST(BackupBuilderTest, MetadataArchiveIndexesEverything) {
+  util::Rng rng(12);
+  BackupBuilder builder;
+  ASSERT_TRUE(builder.AddFile("a", RandomBytes(10, &rng)).ok());
+  ASSERT_TRUE(builder.AddFile("b", RandomBytes(10, &rng)).ok());
+  EXPECT_EQ(builder.entry_count(), 2u);
+  Archive meta = builder.BuildMetadataArchive();
+  EXPECT_EQ(meta.id(), kMetadataArchiveId);
+  ASSERT_EQ(meta.entries().size(), 1u);
+  EXPECT_GT(meta.entries()[0].payload.size(), 0u);
+}
+
+MasterBlock SampleMasterBlock() {
+  MasterBlock mb;
+  mb.owner_id = 42;
+  mb.sequence = 3;
+  ArchiveRecord rec;
+  rec.archive_id = 1;
+  rec.k = 4;
+  rec.m = 2;
+  rec.archive_size = 1000;
+  rec.block_hosts = {10, 11, 12, 13, 14, 15};
+  rec.is_metadata = true;
+  mb.archives.push_back(rec);
+  return mb;
+}
+
+TEST(MasterBlockTest, PlainRoundTrip) {
+  const MasterBlock mb = SampleMasterBlock();
+  auto back = MasterBlock::Deserialize(mb.Serialize()).value();
+  EXPECT_EQ(back.owner_id, 42u);
+  EXPECT_EQ(back.sequence, 3u);
+  ASSERT_EQ(back.archives.size(), 1u);
+  EXPECT_EQ(back.archives[0].block_hosts,
+            (std::vector<uint32_t>{10, 11, 12, 13, 14, 15}));
+  EXPECT_TRUE(back.archives[0].is_metadata);
+}
+
+TEST(MasterBlockTest, SealOpenRoundTrip) {
+  const MasterBlock mb = SampleMasterBlock();
+  const auto sealed = mb.Seal("hunter2");
+  auto back = MasterBlock::Open(sealed, "hunter2").value();
+  EXPECT_EQ(back.owner_id, mb.owner_id);
+  EXPECT_EQ(back.archives[0].archive_size, 1000u);
+}
+
+TEST(MasterBlockTest, WrongPassphraseRejected) {
+  const auto sealed = SampleMasterBlock().Seal("right");
+  EXPECT_TRUE(MasterBlock::Open(sealed, "wrong").status().IsCorruption());
+}
+
+TEST(MasterBlockTest, TamperRejected) {
+  auto sealed = SampleMasterBlock().Seal("pw");
+  sealed[sealed.size() / 2] ^= 0x01;
+  EXPECT_TRUE(MasterBlock::Open(sealed, "pw").status().IsCorruption());
+}
+
+TEST(MasterBlockTest, HostCountMismatchRejected) {
+  MasterBlock mb = SampleMasterBlock();
+  mb.archives[0].block_hosts.pop_back();  // now k + m != hosts
+  EXPECT_TRUE(MasterBlock::Deserialize(mb.Serialize()).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace archive
+}  // namespace p2p

@@ -1,0 +1,244 @@
+// Tests of the paper's core contribution: the acceptance function's printed
+// properties, age-based selection, lifetime estimators and repair policies.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/acceptance.h"
+#include "core/lifetime_estimator.h"
+#include "core/maintenance_policy.h"
+#include "core/selection.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace core {
+namespace {
+
+constexpr sim::Round kL = 90 * sim::kRoundsPerDay;
+
+// --- Acceptance function: the three properties stated in section 3.2 ---
+
+TEST(AcceptanceTest, NeverZeroAndMinimumIsOneOverL) {
+  AcceptanceFunction f(kL);
+  // "its minimum is 1/L": an ancient peer evaluating a newborn.
+  EXPECT_NEAR(f.Probability(kL, 0), 1.0 / kL, 1e-12);
+  for (sim::Round s1 : {0L, 100L, kL / 2, kL, 10 * kL}) {
+    for (sim::Round s2 : {0L, 1L, kL / 3, kL, 100 * kL}) {
+      ASSERT_GT(f.Probability(s1, s2), 0.0);
+    }
+  }
+}
+
+TEST(AcceptanceTest, AlwaysOneForOlderCandidates) {
+  AcceptanceFunction f(kL);
+  // "The result is always one if peer p2 is older than peer p1."
+  for (sim::Round s1 : {0L, 5L, kL / 2, kL - 1}) {
+    for (sim::Round delta : {0L, 1L, 100L, kL}) {
+      ASSERT_DOUBLE_EQ(f.Probability(s1, s1 + delta), 1.0);
+    }
+  }
+}
+
+TEST(AcceptanceTest, AsymmetricBelowHorizon) {
+  AcceptanceFunction f(kL);
+  // "The function is not symmetric ... unless both peers are older than L."
+  const sim::Round old_age = kL / 2;
+  const sim::Round young_age = kL / 10;
+  EXPECT_LT(f.Probability(old_age, young_age), 1.0);
+  EXPECT_DOUBLE_EQ(f.Probability(young_age, old_age), 1.0);
+  // Both beyond the horizon: symmetric (both equal one).
+  EXPECT_DOUBLE_EQ(f.Probability(2 * kL, 3 * kL), 1.0);
+  EXPECT_DOUBLE_EQ(f.Probability(3 * kL, 2 * kL), 1.0);
+}
+
+TEST(AcceptanceTest, ExactFormulaSpotChecks) {
+  AcceptanceFunction f(kL);
+  // f = (L - (s1 - s2) + 1) / L for capped ages with s1 > s2.
+  const double L = static_cast<double>(kL);
+  EXPECT_NEAR(f.Probability(1000, 400), (L - 600 + 1) / L, 1e-12);
+  EXPECT_NEAR(f.Probability(kL + 500, 400), (L - (L - 400) + 1) / L, 1e-12);
+}
+
+TEST(AcceptanceTest, MonotoneInCandidateAge) {
+  AcceptanceFunction f(kL);
+  double prev = 0.0;
+  for (sim::Round s2 = 0; s2 <= kL; s2 += kL / 16) {
+    const double p = f.Probability(kL, s2);
+    ASSERT_GE(p, prev);
+    prev = p;
+  }
+}
+
+TEST(AcceptanceTest, MutualAcceptRequiresBothSides) {
+  AcceptanceFunction f(kL);
+  util::Rng rng(1);
+  // Old-old always pairs; probability of old-young pairing equals the
+  // one-sided probability (the young side always consents).
+  int pair_old_old = 0, pair_old_young = 0;
+  const int trials = 200'000;
+  for (int i = 0; i < trials; ++i) {
+    pair_old_old += f.MutualAccept(2 * kL, 3 * kL, &rng);
+    pair_old_young += f.MutualAccept(kL, kL / 100, &rng);
+  }
+  EXPECT_EQ(pair_old_old, trials);
+  const double expect = f.Probability(kL, kL / 100);
+  EXPECT_NEAR(pair_old_young / static_cast<double>(trials), expect,
+              3e-3);
+}
+
+// --- Lifetime estimators ---
+
+TEST(EstimatorTest, AgeRankSaturatesAtHorizon) {
+  AgeRankEstimator est(kL);
+  EXPECT_LT(est.StabilityScore(10), est.StabilityScore(100));
+  EXPECT_DOUBLE_EQ(est.StabilityScore(kL), est.StabilityScore(5 * kL));
+}
+
+TEST(EstimatorTest, ParetoResidualLinearInAge) {
+  ParetoResidualEstimator est(24.0, 2.0);
+  // E[T - a | T > a] = a / (shape - 1) = a for shape 2.
+  EXPECT_NEAR(est.ExpectedResidualRounds(1000), 1000.0, 1e-9);
+  EXPECT_NEAR(est.ExpectedResidualRounds(4000), 4000.0, 1e-9);
+  // Below the scale, conditioning clamps at the scale.
+  EXPECT_NEAR(est.ExpectedResidualRounds(1), 24.0, 1e-9);
+}
+
+TEST(EstimatorTest, HeavyTailStillMonotone) {
+  ParetoResidualEstimator est(24.0, 0.9);  // infinite mean regime
+  EXPECT_LT(est.StabilityScore(100), est.StabilityScore(1000));
+}
+
+// --- Selection strategies ---
+
+std::vector<Candidate> MakePool() {
+  return {{1, 10}, {2, 500}, {3, 250}, {4, 90}, {5, 1000}};
+}
+
+TEST(SelectionTest, OldestFirstPicksByAge) {
+  OldestFirstSelection sel;
+  util::Rng rng(2);
+  auto pool = MakePool();
+  std::vector<uint32_t> out;
+  sel.Choose(&pool, 2, &rng, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{5, 2}));
+}
+
+TEST(SelectionTest, YoungestFirstPicksInverse) {
+  YoungestFirstSelection sel;
+  util::Rng rng(3);
+  auto pool = MakePool();
+  std::vector<uint32_t> out;
+  sel.Choose(&pool, 2, &rng, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 4}));
+}
+
+TEST(SelectionTest, RandomCoversPool) {
+  RandomSelection sel;
+  util::Rng rng(4);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    auto pool = MakePool();
+    std::vector<uint32_t> out;
+    sel.Choose(&pool, 1, &rng, &out);
+    seen.insert(out[0]);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // every candidate selected at least once
+}
+
+TEST(SelectionTest, TiesBrokenRandomly) {
+  OldestFirstSelection sel;
+  util::Rng rng(5);
+  std::set<uint32_t> first_pick;
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Candidate> pool = {{1, 100}, {2, 100}, {3, 100}};
+    std::vector<uint32_t> out;
+    sel.Choose(&pool, 1, &rng, &out);
+    first_pick.insert(out[0]);
+  }
+  EXPECT_EQ(first_pick.size(), 3u);
+}
+
+TEST(SelectionTest, RequestMoreThanPool) {
+  OldestFirstSelection sel;
+  util::Rng rng(6);
+  auto pool = MakePool();
+  std::vector<uint32_t> out;
+  sel.Choose(&pool, 100, &rng, &out);
+  EXPECT_EQ(out.size(), 5u);
+}
+
+TEST(SelectionTest, FactoryAndNames) {
+  EXPECT_EQ(MakeSelection(SelectionKind::kOldestFirst)->name(), "oldest-first");
+  EXPECT_EQ(MakeSelection(SelectionKind::kRandom)->name(), "random");
+  EXPECT_EQ(MakeSelection(SelectionKind::kYoungestFirst)->name(),
+            "youngest-first");
+  EXPECT_EQ(SelectionKindFromName("random"), SelectionKind::kRandom);
+  EXPECT_EQ(SelectionKindFromName("youngest"), SelectionKind::kYoungestFirst);
+  EXPECT_EQ(SelectionKindFromName("oldest"), SelectionKind::kOldestFirst);
+  EXPECT_EQ(SelectionKindName(SelectionKind::kRandom), "random");
+}
+
+// --- Maintenance policies ---
+
+MaintenanceContext Ctx(int alive) {
+  MaintenanceContext ctx;
+  ctx.k = 128;
+  ctx.n = 256;
+  ctx.alive = alive;
+  return ctx;
+}
+
+TEST(PolicyTest, FixedThresholdTriggersStrictlyBelow) {
+  FixedThresholdPolicy policy(148);
+  EXPECT_FALSE(policy.Evaluate(Ctx(148)).trigger);
+  EXPECT_TRUE(policy.Evaluate(Ctx(147)).trigger);
+  EXPECT_EQ(policy.Evaluate(Ctx(147)).restore_to, 256);
+  EXPECT_EQ(policy.FlagLevel(128, 256), 148);
+}
+
+TEST(PolicyTest, AdaptiveThresholdFollowsLossRate) {
+  AdaptiveThresholdPolicy policy(AdaptiveThresholdPolicy::Options{});
+  MaintenanceContext quiet = Ctx(140);
+  quiet.partner_loss_rate = 0.0;
+  EXPECT_FALSE(policy.Evaluate(quiet).trigger);  // only floor margin applies
+  MaintenanceContext bleeding = Ctx(140);
+  bleeding.partner_loss_rate = 0.5;  // heavy churn: margin rises
+  EXPECT_TRUE(policy.Evaluate(bleeding).trigger);
+}
+
+TEST(PolicyTest, AdaptiveFlagLevelBoundsEvaluate) {
+  AdaptiveThresholdPolicy policy(AdaptiveThresholdPolicy::Options{});
+  const int flag = policy.FlagLevel(128, 256);
+  // Above the flag level the policy must never trigger, whatever the rate.
+  for (double rate : {0.0, 0.1, 1.0, 100.0}) {
+    MaintenanceContext ctx = Ctx(flag);
+    ctx.partner_loss_rate = rate;
+    EXPECT_FALSE(policy.Evaluate(ctx).trigger) << rate;
+  }
+}
+
+TEST(PolicyTest, ProactiveBatchesAndEmergency) {
+  ProactivePolicy::Options opts;
+  opts.batch_blocks = 8;
+  opts.emergency_threshold = 136;
+  ProactivePolicy policy(opts);
+  EXPECT_FALSE(policy.Evaluate(Ctx(250)).trigger);  // 6 missing < batch
+  EXPECT_TRUE(policy.Evaluate(Ctx(248)).trigger);   // 8 missing = batch
+  EXPECT_TRUE(policy.Evaluate(Ctx(135)).trigger);   // emergency
+  EXPECT_GE(policy.FlagLevel(128, 256), 249);
+}
+
+TEST(PolicyTest, FactoryWiresThreshold) {
+  auto fixed = MakePolicy(PolicyKind::kFixedThreshold, 140);
+  EXPECT_TRUE(fixed->Evaluate(Ctx(139)).trigger);
+  EXPECT_FALSE(fixed->Evaluate(Ctx(140)).trigger);
+  auto adaptive = MakePolicy(PolicyKind::kAdaptiveThreshold, 140);
+  EXPECT_EQ(adaptive->name(), "adaptive-threshold");
+  auto proactive = MakePolicy(PolicyKind::kProactive, 140);
+  EXPECT_TRUE(proactive->Evaluate(Ctx(139)).trigger);  // emergency floor
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace p2p

@@ -1,0 +1,222 @@
+// Crypto substrate tests: published test vectors for SHA-256, HMAC and
+// ChaCha20, plus Merkle-tree and proof-of-storage behaviour.
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20.h"
+#include "crypto/merkle.h"
+#include "crypto/proof_of_storage.h"
+#include "crypto/sha256.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace crypto {
+namespace {
+
+TEST(Sha256Test, NistVectorEmpty) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string(""))),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, NistVectorAbc) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, NistVectorTwoBlocks) {
+  EXPECT_EQ(DigestToHex(Sha256::Hash(std::string(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(DigestToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  util::Rng rng(1);
+  std::vector<uint8_t> data(10'000);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextU32());
+  Sha256 h;
+  size_t pos = 0;
+  // Feed in awkward chunk sizes crossing block boundaries.
+  for (size_t chunk : {1u, 63u, 64u, 65u, 127u, 500u}) {
+    h.Update(data.data() + pos, chunk);
+    pos += chunk;
+  }
+  h.Update(data.data() + pos, data.size() - pos);
+  EXPECT_EQ(h.Finish(), Sha256::Hash(data));
+}
+
+TEST(HmacTest, Rfc4231Case1) {
+  // Key = 20 bytes of 0x0b, data = "Hi There".
+  std::vector<uint8_t> key(20, 0x0b);
+  const std::string data = "Hi There";
+  const Digest mac =
+      HmacSha256(key, reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  EXPECT_EQ(DigestToHex(mac),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  // Key = "Jefe", data = "what do ya want for nothing?".
+  const std::string key_s = "Jefe";
+  std::vector<uint8_t> key(key_s.begin(), key_s.end());
+  const std::string data = "what do ya want for nothing?";
+  const Digest mac =
+      HmacSha256(key, reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  EXPECT_EQ(DigestToHex(mac),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyHashedDown) {
+  std::vector<uint8_t> key(131, 0xaa);  // RFC 4231 case 6 key length
+  const std::string data = "Test Using Larger Than Block-Size Key - Hash Key First";
+  const Digest mac =
+      HmacSha256(key, reinterpret_cast<const uint8_t*>(data.data()), data.size());
+  EXPECT_EQ(DigestToHex(mac),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(ChaCha20Test, Rfc8439KeystreamVector) {
+  // RFC 8439 section 2.4.2 test vector.
+  Key256 key;
+  for (int i = 0; i < 32; ++i) key[static_cast<size_t>(i)] = static_cast<uint8_t>(i);
+  Nonce96 nonce{};
+  nonce[3] = 0x00;
+  nonce[7] = 0x4a;
+  // nonce = 00:00:00:00 00:00:00:4a 00:00:00:00
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you "
+      "only one tip for the future, sunscreen would be it.";
+  std::vector<uint8_t> buf(plaintext.begin(), plaintext.end());
+  ChaCha20 cipher(key, nonce, 1);
+  cipher.Apply(buf.data(), buf.size());
+  // First 16 bytes of the RFC ciphertext.
+  const uint8_t expect[16] = {0x6e, 0x2e, 0x35, 0x9a, 0x25, 0x68, 0xf9, 0x80,
+                              0x41, 0xba, 0x07, 0x28, 0xdd, 0x0d, 0x69, 0x81};
+  for (int i = 0; i < 16; ++i) ASSERT_EQ(buf[static_cast<size_t>(i)], expect[i]);
+}
+
+TEST(ChaCha20Test, EncryptDecryptRoundTrip) {
+  util::Rng rng(2);
+  Key256 key;
+  for (auto& b : key) b = static_cast<uint8_t>(rng.NextU32());
+  Nonce96 nonce{};
+  std::vector<uint8_t> data(5000);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.NextU32());
+  ChaCha20 enc(key, nonce);
+  auto ct = enc.Transform(data);
+  EXPECT_NE(ct, data);
+  ChaCha20 dec(key, nonce);
+  EXPECT_EQ(dec.Transform(ct), data);
+}
+
+TEST(ChaCha20Test, StreamingMatchesOneShot) {
+  Key256 key{};
+  key[0] = 7;
+  Nonce96 nonce{};
+  std::vector<uint8_t> a(300, 0), b(300, 0);
+  ChaCha20 one(key, nonce);
+  one.Apply(a.data(), a.size());
+  ChaCha20 two(key, nonce);
+  two.Apply(b.data(), 100);    // split across keystream blocks
+  two.Apply(b.data() + 100, 33);
+  two.Apply(b.data() + 133, 167);
+  EXPECT_EQ(a, b);
+}
+
+TEST(DeriveKeyTest, DeterministicAndLabelSeparated) {
+  const Key256 a = DeriveKey("pass", "label-1");
+  const Key256 b = DeriveKey("pass", "label-1");
+  const Key256 c = DeriveKey("pass", "label-2");
+  const Key256 d = DeriveKey("other", "label-1");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);
+}
+
+std::vector<std::vector<uint8_t>> MakeLeaves(int count, util::Rng* rng) {
+  std::vector<std::vector<uint8_t>> leaves(static_cast<size_t>(count));
+  for (auto& leaf : leaves) {
+    leaf.resize(32);
+    for (auto& b : leaf) b = static_cast<uint8_t>(rng->NextU32());
+  }
+  return leaves;
+}
+
+class MerkleTreeSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(MerkleTreeSizes, EveryLeafVerifies) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()));
+  auto leaves = MakeLeaves(GetParam(), &rng);
+  auto tree = MerkleTree::Build(leaves).value();
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto path = tree.Path(i).value();
+    EXPECT_TRUE(MerkleTree::Verify(tree.root(), i, leaves[i], path)) << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleTreeSizes,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 255, 256));
+
+TEST(MerkleTreeTest, TamperedLeafRejected) {
+  util::Rng rng(3);
+  auto leaves = MakeLeaves(16, &rng);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto path = tree.Path(5).value();
+  auto tampered = leaves[5];
+  tampered[0] ^= 1;
+  EXPECT_FALSE(MerkleTree::Verify(tree.root(), 5, tampered, path));
+}
+
+TEST(MerkleTreeTest, WrongIndexPathRejected) {
+  util::Rng rng(4);
+  auto leaves = MakeLeaves(16, &rng);
+  auto tree = MerkleTree::Build(leaves).value();
+  auto path = tree.Path(5).value();
+  EXPECT_FALSE(MerkleTree::Verify(tree.root(), 6, leaves[6], path));
+}
+
+TEST(MerkleTreeTest, EmptyRejected) {
+  EXPECT_TRUE(MerkleTree::Build({}).status().IsInvalidArgument());
+}
+
+TEST(ProofOfStorageTest, HonestHolderPasses) {
+  util::Rng rng(5);
+  std::vector<uint8_t> block(1024);
+  for (auto& b : block) b = static_cast<uint8_t>(rng.NextU32());
+  StorageAuditor auditor(block, 8, &rng);
+  for (int i = 0; i < 20; ++i) {  // cycles through the 8 challenges
+    const StorageChallenge ch = auditor.NextChallenge();
+    EXPECT_TRUE(auditor.Verify(StorageAuditor::Respond(block, ch)));
+  }
+}
+
+TEST(ProofOfStorageTest, CorruptedBlockFails) {
+  util::Rng rng(6);
+  std::vector<uint8_t> block(1024, 0x42);
+  StorageAuditor auditor(block, 4, &rng);
+  auto corrupted = block;
+  corrupted[1000] ^= 0x01;
+  const StorageChallenge ch = auditor.NextChallenge();
+  EXPECT_FALSE(auditor.Verify(StorageAuditor::Respond(corrupted, ch)));
+}
+
+TEST(ProofOfStorageTest, StaleResponseFails) {
+  util::Rng rng(7);
+  std::vector<uint8_t> block(128, 0x11);
+  StorageAuditor auditor(block, 4, &rng);
+  const StorageChallenge first = auditor.NextChallenge();
+  const StorageProof stale = StorageAuditor::Respond(block, first);
+  (void)auditor.NextChallenge();  // issue a new challenge
+  EXPECT_FALSE(auditor.Verify(stale));
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace p2p

@@ -1,0 +1,199 @@
+// Kademlia DHT tests: id space, routing tables, iterative lookups, value
+// storage under churn.
+
+#include <gtest/gtest.h>
+
+#include "dht/kademlia.h"
+#include "dht/node_id.h"
+#include "dht/routing_table.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace dht {
+namespace {
+
+TEST(NodeIdTest, DistanceProperties) {
+  util::Rng rng(1);
+  const NodeId a = RandomId(&rng);
+  const NodeId b = RandomId(&rng);
+  const NodeId zero{};
+  EXPECT_EQ(Distance(a, a), zero);
+  EXPECT_EQ(Distance(a, b), Distance(b, a));
+  EXPECT_FALSE(CloserTo(a, b, b));
+  EXPECT_TRUE(CloserTo(a, a, b));
+}
+
+TEST(NodeIdTest, HighestBitAndPrefix) {
+  NodeId x{};
+  EXPECT_EQ(HighestBit(x), -1);
+  x[0] = 0x80;
+  EXPECT_EQ(HighestBit(x), 0);
+  x[0] = 0x01;
+  EXPECT_EQ(HighestBit(x), 7);
+  NodeId y{};
+  y[5] = 0x10;
+  EXPECT_EQ(HighestBit(y), 40 + 3);
+  NodeId a{};
+  NodeId b{};
+  b[0] = 0x80;
+  EXPECT_EQ(CommonPrefix(a, b), 0);
+  EXPECT_EQ(CommonPrefix(a, a), kIdBits);
+}
+
+TEST(NodeIdTest, DeterministicNames) {
+  EXPECT_EQ(IdForName("x"), IdForName("x"));
+  EXPECT_NE(IdForName("x"), IdForName("y"));
+  EXPECT_EQ(MasterBlockKey(7), MasterBlockKey(7));
+  EXPECT_NE(MasterBlockKey(7), MasterBlockKey(8));
+}
+
+TEST(RoutingTableTest, ObserveAndFind) {
+  util::Rng rng(2);
+  const NodeId self = RandomId(&rng);
+  RoutingTable table(self, 4);
+  std::vector<NodeId> peers;
+  for (int i = 0; i < 64; ++i) {
+    peers.push_back(RandomId(&rng));
+    table.Observe(peers.back());
+  }
+  EXPECT_GT(table.size(), 0u);
+  EXPECT_LE(table.size(), 64u);
+  std::vector<NodeId> found;
+  table.FindClosest(peers[0], 4, &found);
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found[0], peers[0]);  // the target itself was observed
+}
+
+TEST(RoutingTableTest, SelfNeverInserted) {
+  util::Rng rng(3);
+  const NodeId self = RandomId(&rng);
+  RoutingTable table(self, 4);
+  table.Observe(self);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(RoutingTableTest, BucketCapacityEnforced) {
+  util::Rng rng(4);
+  const NodeId self{};  // all zeros: bucket index is the top-bit position
+  RoutingTable table(self, 2);
+  // Ids sharing no prefix with self (top bit set) land in bucket 0.
+  int inserted = 0;
+  for (int i = 0; i < 10; ++i) {
+    NodeId id = RandomId(&rng);
+    id[0] |= 0x80;
+    table.Observe(id);
+    ++inserted;
+  }
+  EXPECT_EQ(table.size(), 2u);  // capacity, not 10
+}
+
+TEST(RoutingTableTest, RemoveDeadContact) {
+  util::Rng rng(5);
+  const NodeId self = RandomId(&rng);
+  RoutingTable table(self, 4);
+  const NodeId peer = RandomId(&rng);
+  table.Observe(peer);
+  EXPECT_EQ(table.size(), 1u);
+  table.Remove(peer);
+  EXPECT_EQ(table.size(), 0u);
+}
+
+KademliaNetwork BuildNetwork(int nodes, util::Rng* rng) {
+  KademliaNetwork net;
+  for (int i = 0; i < nodes; ++i) net.JoinRandom(rng);
+  return net;
+}
+
+TEST(KademliaTest, PutGetRoundTrip) {
+  util::Rng rng(6);
+  KademliaNetwork net = BuildNetwork(100, &rng);
+  const NodeId origin = net.OracleClosest(IdForName("origin"), 1)[0];
+  const Key key = IdForName("some-key");
+  const std::vector<uint8_t> value = {1, 2, 3, 4};
+  ASSERT_TRUE(net.Put(origin, key, value).ok());
+  // Any node can retrieve it.
+  const NodeId other = net.OracleClosest(IdForName("other"), 1)[0];
+  EXPECT_EQ(net.Get(other, key).value(), value);
+}
+
+TEST(KademliaTest, MissingKeyNotFound) {
+  util::Rng rng(7);
+  KademliaNetwork net = BuildNetwork(50, &rng);
+  const NodeId origin = net.OracleClosest(IdForName("o"), 1)[0];
+  EXPECT_TRUE(net.Get(origin, IdForName("never-stored")).status().IsNotFound());
+}
+
+TEST(KademliaTest, LookupFindsGloballyClosestNodes) {
+  util::Rng rng(8);
+  KademliaNetwork net = BuildNetwork(200, &rng);
+  const Key key = IdForName("target");
+  const NodeId origin = net.OracleClosest(IdForName("x"), 1)[0];
+  // Store, then verify replicas landed on (a superset of) the true closest.
+  ASSERT_TRUE(net.Put(origin, key, {9}).ok());
+  const auto oracle = net.OracleClosest(key, 3);
+  int holders_in_oracle = 0;
+  for (const NodeId& id : oracle) {
+    if (net.Get(id, key).ok()) ++holders_in_oracle;
+  }
+  EXPECT_EQ(holders_in_oracle, 3);
+}
+
+TEST(KademliaTest, SurvivesCrashesBelowReplication) {
+  util::Rng rng(9);
+  KademliaNetwork net = BuildNetwork(150, &rng);
+  const NodeId origin = net.OracleClosest(IdForName("x"), 1)[0];
+  const Key key = MasterBlockKey(1);
+  ASSERT_TRUE(net.Put(origin, key, {42}).ok());
+  // Crash 10 of the ~20 replicas closest to the key.
+  auto closest = net.OracleClosest(key, 10);
+  for (const NodeId& id : closest) {
+    if (id != origin) {
+      ASSERT_TRUE(net.Crash(id).ok());
+    }
+  }
+  const NodeId reader = net.OracleClosest(IdForName("reader"), 1)[0];
+  EXPECT_TRUE(net.Get(reader, key).ok());
+}
+
+TEST(KademliaTest, ValueLostWhenAllReplicasCrash) {
+  util::Rng rng(10);
+  KademliaNetwork net = BuildNetwork(60, &rng);
+  const NodeId origin = net.OracleClosest(IdForName("x"), 1)[0];
+  const Key key = MasterBlockKey(2);
+  ASSERT_TRUE(net.Put(origin, key, {7}).ok());
+  // Crash every node that holds the value (up to k_bucket replicas).
+  auto holders = net.OracleClosest(key, 25);
+  for (const NodeId& id : holders) {
+    (void)net.Crash(id);
+  }
+  // Some node still alive tries to read.
+  if (net.size() > 0) {
+    const auto any = net.OracleClosest(IdForName("survivor"), 1);
+    ASSERT_FALSE(any.empty());
+    EXPECT_FALSE(net.Get(any[0], key).ok());
+  }
+}
+
+TEST(KademliaTest, DuplicateJoinRejected) {
+  util::Rng rng(11);
+  KademliaNetwork net;
+  const NodeId a = RandomId(&rng);
+  ASSERT_TRUE(net.Join(a, a).ok());
+  EXPECT_TRUE(net.Join(a, a).IsInvalidArgument());
+}
+
+TEST(KademliaTest, StatsAccumulate) {
+  util::Rng rng(12);
+  KademliaNetwork net = BuildNetwork(80, &rng);
+  const auto before = net.stats();
+  const NodeId origin = net.OracleClosest(IdForName("x"), 1)[0];
+  ASSERT_TRUE(net.Put(origin, IdForName("k"), {1}).ok());
+  (void)net.Get(origin, IdForName("k"));
+  const auto after = net.stats();
+  EXPECT_GT(after.store_rpcs, before.store_rpcs);
+  EXPECT_GT(after.lookups, before.lookups);
+}
+
+}  // namespace
+}  // namespace dht
+}  // namespace p2p

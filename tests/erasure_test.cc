@@ -1,0 +1,244 @@
+// Matrix algebra and Reed-Solomon tests, including the central property the
+// backup system relies on: ANY k of the n shards reconstruct the archive.
+
+#include <gtest/gtest.h>
+
+#include "erasure/erasure_code.h"
+#include "erasure/matrix.h"
+#include "erasure/reed_solomon.h"
+#include "util/rng.h"
+
+namespace p2p {
+namespace erasure {
+namespace {
+
+TEST(MatrixTest, IdentityTimesAnything) {
+  Matrix id = Matrix::Identity(4);
+  Matrix m(4, 3);
+  util::Rng rng(1);
+  for (int r = 0; r < 4; ++r) {
+    for (int c = 0; c < 3; ++c) m.set(r, c, static_cast<uint8_t>(rng.NextU32()));
+  }
+  EXPECT_EQ(id.Times(m), m);
+}
+
+TEST(MatrixTest, InverseRoundTrip) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    Matrix m(8, 8);
+    for (int r = 0; r < 8; ++r) {
+      for (int c = 0; c < 8; ++c) m.set(r, c, static_cast<uint8_t>(rng.NextU32()));
+    }
+    auto inv = m.Inverted();
+    if (!inv.ok()) continue;  // singular draws are possible and fine
+    EXPECT_EQ(m.Times(*inv), Matrix::Identity(8));
+    EXPECT_EQ(inv->Times(m), Matrix::Identity(8));
+  }
+}
+
+TEST(MatrixTest, SingularDetected) {
+  Matrix m(3, 3);  // all zeros
+  EXPECT_TRUE(m.Inverted().status().IsCorruption());
+  Matrix m2(2, 3);
+  EXPECT_TRUE(m2.Inverted().status().IsInvalidArgument());
+}
+
+TEST(MatrixTest, CauchySubmatricesInvertible) {
+  // Every square submatrix of a Cauchy matrix is invertible; spot-check.
+  const Matrix c = Matrix::Cauchy(8, 8);
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> rows;
+    for (uint32_t idx : rng.SampleIndices(8, 4)) rows.push_back(static_cast<int>(idx));
+    Matrix sub(4, 4);
+    auto cols = rng.SampleIndices(8, 4);
+    for (int r = 0; r < 4; ++r) {
+      for (int cidx = 0; cidx < 4; ++cidx) {
+        sub.set(r, cidx, c.at(rows[static_cast<size_t>(r)],
+                              static_cast<int>(cols[static_cast<size_t>(cidx)])));
+      }
+    }
+    EXPECT_TRUE(sub.Inverted().ok());
+  }
+}
+
+TEST(MatrixTest, SelectRowsPicksRows) {
+  Matrix m(3, 2);
+  for (int r = 0; r < 3; ++r) {
+    m.set(r, 0, static_cast<uint8_t>(r + 1));
+    m.set(r, 1, static_cast<uint8_t>(10 * (r + 1)));
+  }
+  Matrix sel = m.SelectRows({2, 0});
+  EXPECT_EQ(sel.rows(), 2);
+  EXPECT_EQ(sel.at(0, 0), 3);
+  EXPECT_EQ(sel.at(1, 1), 10);
+}
+
+TEST(ReedSolomonTest, CreateValidatesRanges) {
+  EXPECT_TRUE(ReedSolomon::Create(0, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(ReedSolomon::Create(200, 100).status().IsInvalidArgument());
+  EXPECT_TRUE(ReedSolomon::Create(128, 128).ok());  // exactly 256: Cauchy ok
+  EXPECT_TRUE(ReedSolomon::Create(128, 128, ReedSolomon::MatrixKind::kVandermonde)
+                  .status()
+                  .IsInvalidArgument());  // 256 > 255
+  EXPECT_TRUE(
+      ReedSolomon::Create(100, 100, ReedSolomon::MatrixKind::kVandermonde).ok());
+}
+
+TEST(ReedSolomonTest, GeneratorIsSystematic) {
+  auto rs = ReedSolomon::Create(5, 3).value();
+  const Matrix& g = rs->generator();
+  for (int r = 0; r < 5; ++r) {
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_EQ(g.at(r, c), r == c ? 1 : 0);
+    }
+  }
+}
+
+std::vector<std::vector<uint8_t>> MakeShards(int n, size_t size, util::Rng* rng,
+                                             int fill_first_k) {
+  std::vector<std::vector<uint8_t>> shards(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    shards[static_cast<size_t>(i)].assign(size, 0);
+    if (i < fill_first_k) {
+      for (auto& b : shards[static_cast<size_t>(i)]) {
+        b = static_cast<uint8_t>(rng->NextU32());
+      }
+    }
+  }
+  return shards;
+}
+
+std::vector<uint8_t*> Pointers(std::vector<std::vector<uint8_t>>& shards) {
+  std::vector<uint8_t*> ptrs;
+  ptrs.reserve(shards.size());
+  for (auto& s : shards) ptrs.push_back(s.data());
+  return ptrs;
+}
+
+struct RsParam {
+  int k;
+  int m;
+  ReedSolomon::MatrixKind kind;
+};
+
+class ReedSolomonAnyKTest : public ::testing::TestWithParam<RsParam> {};
+
+TEST_P(ReedSolomonAnyKTest, AnyKOfNReconstructs) {
+  const RsParam param = GetParam();
+  util::Rng rng(static_cast<uint64_t>(param.k * 1000 + param.m));
+  auto rs = ReedSolomon::Create(param.k, param.m, param.kind).value();
+  const size_t size = 64;
+
+  auto shards = MakeShards(rs->n(), size, &rng, param.k);
+  const auto original = shards;  // data shards before parity fill
+  ASSERT_TRUE(rs->Encode(Pointers(shards), size).ok());
+  const auto encoded = shards;
+
+  for (int trial = 0; trial < 20; ++trial) {
+    auto work = encoded;
+    std::vector<bool> present(static_cast<size_t>(rs->n()), false);
+    for (uint32_t keep :
+         rng.SampleIndices(static_cast<uint32_t>(rs->n()),
+                           static_cast<uint32_t>(param.k))) {
+      present[keep] = true;
+    }
+    // Wipe the missing shards to prove reconstruction does not peek.
+    for (int i = 0; i < rs->n(); ++i) {
+      if (!present[static_cast<size_t>(i)]) {
+        work[static_cast<size_t>(i)].assign(size, 0xEE);
+      }
+    }
+    ASSERT_TRUE(rs->Decode(Pointers(work), present, size).ok());
+    for (int i = 0; i < param.k; ++i) {
+      ASSERT_EQ(work[static_cast<size_t>(i)], original[static_cast<size_t>(i)])
+          << "data shard " << i << " trial " << trial;
+    }
+    // Regenerated parity must equal the original encoding as well.
+    for (int i = param.k; i < rs->n(); ++i) {
+      ASSERT_EQ(work[static_cast<size_t>(i)], encoded[static_cast<size_t>(i)]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, ReedSolomonAnyKTest,
+    ::testing::Values(RsParam{1, 1, ReedSolomon::MatrixKind::kCauchy},
+                      RsParam{2, 2, ReedSolomon::MatrixKind::kCauchy},
+                      RsParam{5, 3, ReedSolomon::MatrixKind::kCauchy},
+                      RsParam{10, 4, ReedSolomon::MatrixKind::kCauchy},
+                      RsParam{16, 16, ReedSolomon::MatrixKind::kCauchy},
+                      RsParam{128, 128, ReedSolomon::MatrixKind::kCauchy},
+                      RsParam{5, 3, ReedSolomon::MatrixKind::kVandermonde},
+                      RsParam{16, 16, ReedSolomon::MatrixKind::kVandermonde},
+                      RsParam{100, 100, ReedSolomon::MatrixKind::kVandermonde}));
+
+TEST(ReedSolomonTest, FailsBelowK) {
+  util::Rng rng(4);
+  auto rs = ReedSolomon::Create(4, 2).value();
+  const size_t size = 16;
+  auto shards = MakeShards(rs->n(), size, &rng, 4);
+  ASSERT_TRUE(rs->Encode(Pointers(shards), size).ok());
+  std::vector<bool> present(6, false);
+  present[0] = present[1] = present[5] = true;  // only 3 of 4 required
+  EXPECT_TRUE(
+      rs->Decode(Pointers(shards), present, size).IsFailedPrecondition());
+}
+
+TEST(ReedSolomonTest, PaperConfigurationSurvives128Failures) {
+  // The paper's headline claim: k = m = 128 tolerates any 128 failures.
+  util::Rng rng(5);
+  auto rs = ReedSolomon::Create(128, 128).value();
+  const size_t size = 32;
+  auto shards = MakeShards(256, size, &rng, 128);
+  const auto original = shards;
+  ASSERT_TRUE(rs->Encode(Pointers(shards), size).ok());
+  std::vector<bool> present(256, true);
+  // Kill the first 128 shards - every data shard is gone.
+  for (int i = 0; i < 128; ++i) {
+    present[static_cast<size_t>(i)] = false;
+    shards[static_cast<size_t>(i)].assign(size, 0);
+  }
+  ASSERT_TRUE(rs->Decode(Pointers(shards), present, size).ok());
+  for (int i = 0; i < 128; ++i) {
+    ASSERT_EQ(shards[static_cast<size_t>(i)], original[static_cast<size_t>(i)]);
+  }
+}
+
+TEST(ReplicationTest, RecoversFromSingleSurvivor) {
+  Replication rep(3);
+  EXPECT_EQ(rep.n(), 3);
+  std::vector<std::vector<uint8_t>> shards(3, std::vector<uint8_t>(8, 0));
+  shards[0] = {1, 2, 3, 4, 5, 6, 7, 8};
+  ASSERT_TRUE(rep.Encode(Pointers(shards), 8).ok());
+  EXPECT_EQ(shards[2], shards[0]);
+  // Lose replicas 0 and 1; recover from 2.
+  shards[0].assign(8, 0);
+  shards[1].assign(8, 0);
+  ASSERT_TRUE(rep.Decode(Pointers(shards), {false, false, true}, 8).ok());
+  EXPECT_EQ(shards[0], (std::vector<uint8_t>{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(ReplicationTest, AllLostFails) {
+  Replication rep(2);
+  std::vector<std::vector<uint8_t>> shards(2, std::vector<uint8_t>(4, 0));
+  EXPECT_TRUE(
+      rep.Decode(Pointers(shards), {false, false}, 4).IsFailedPrecondition());
+}
+
+TEST(ShardSplitTest, RoundTripWithPadding) {
+  util::Rng rng(6);
+  for (size_t len : {0u, 1u, 5u, 127u, 128u, 1000u}) {
+    std::vector<uint8_t> data(len);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.NextU32());
+    size_t shard_size = 0;
+    auto shards = SplitIntoShards(data, 7, &shard_size);
+    ASSERT_EQ(shards.size(), 7u);
+    for (const auto& s : shards) ASSERT_EQ(s.size(), shard_size);
+    EXPECT_EQ(JoinShards(shards, 7, data.size()), data);
+  }
+}
+
+}  // namespace
+}  // namespace erasure
+}  // namespace p2p

@@ -1,0 +1,94 @@
+// Metrics layer tests: age categories, accounting and time series.
+
+#include <gtest/gtest.h>
+
+#include "metrics/accounting.h"
+#include "metrics/categories.h"
+
+namespace p2p {
+namespace metrics {
+namespace {
+
+TEST(CategoryTest, PaperBoundaries) {
+  // Newcomers < 3 months, Young 3-6, Old 6-18, Elder > 18 (paper 4.2.1).
+  EXPECT_EQ(CategoryOf(0), AgeCategory::kNewcomer);
+  EXPECT_EQ(CategoryOf(3 * sim::kRoundsPerMonth - 1), AgeCategory::kNewcomer);
+  EXPECT_EQ(CategoryOf(3 * sim::kRoundsPerMonth), AgeCategory::kYoung);
+  EXPECT_EQ(CategoryOf(6 * sim::kRoundsPerMonth - 1), AgeCategory::kYoung);
+  EXPECT_EQ(CategoryOf(6 * sim::kRoundsPerMonth), AgeCategory::kOld);
+  EXPECT_EQ(CategoryOf(18 * sim::kRoundsPerMonth - 1), AgeCategory::kOld);
+  EXPECT_EQ(CategoryOf(18 * sim::kRoundsPerMonth), AgeCategory::kElder);
+  EXPECT_EQ(CategoryOf(10 * sim::kRoundsPerYear), AgeCategory::kElder);
+}
+
+TEST(CategoryTest, NextBoundaryProgression) {
+  EXPECT_EQ(NextBoundary(0), 3 * sim::kRoundsPerMonth);
+  EXPECT_EQ(NextBoundary(3 * sim::kRoundsPerMonth), 6 * sim::kRoundsPerMonth);
+  EXPECT_EQ(NextBoundary(6 * sim::kRoundsPerMonth), 18 * sim::kRoundsPerMonth);
+  EXPECT_EQ(NextBoundary(18 * sim::kRoundsPerMonth), sim::kNever);
+}
+
+TEST(CategoryTest, Names) {
+  EXPECT_STREQ(CategoryName(AgeCategory::kNewcomer), "Newcomers");
+  EXPECT_STREQ(CategoryName(AgeCategory::kElder), "Elder peers");
+  EXPECT_STREQ(CategoryToken(AgeCategory::kYoung), "young");
+  EXPECT_STREQ(CategoryToken(AgeCategory::kOld), "old");
+}
+
+TEST(AccountingTest, PopulationBookkeeping) {
+  CategoryAccounting acc;
+  acc.PeerEntered(AgeCategory::kNewcomer);
+  acc.PeerEntered(AgeCategory::kNewcomer);
+  acc.AccumulateRound();
+  acc.PeerAdvanced(AgeCategory::kNewcomer, AgeCategory::kYoung);
+  acc.AccumulateRound();
+  acc.PeerLeft(AgeCategory::kYoung);
+  acc.AccumulateRound();
+  const auto newcomer = acc.Snapshot(AgeCategory::kNewcomer);
+  const auto young = acc.Snapshot(AgeCategory::kYoung);
+  EXPECT_EQ(newcomer.population, 1);
+  EXPECT_DOUBLE_EQ(newcomer.peer_rounds, 2 + 1 + 1);  // 2, then 1, then 1
+  EXPECT_EQ(young.population, 0);
+  EXPECT_DOUBLE_EQ(young.peer_rounds, 1.0);
+  EXPECT_EQ(acc.rounds(), 3);
+}
+
+TEST(AccountingTest, RatesPer1000PerDay) {
+  CategoryAccounting acc;
+  acc.PeerEntered(AgeCategory::kOld);
+  for (int i = 0; i < 240; ++i) acc.AccumulateRound();  // 10 days, 1 peer
+  acc.RecordRepair(AgeCategory::kOld, 5);
+  // 1 repair / (240 peer-rounds) * 1000 * 24 = 100 per 1000 peers per day.
+  EXPECT_NEAR(acc.RepairsPer1000PerDay(AgeCategory::kOld), 100.0, 1e-9);
+  acc.RecordLoss(AgeCategory::kOld);
+  acc.RecordLoss(AgeCategory::kOld);
+  EXPECT_NEAR(acc.LossesPer1000PerDay(AgeCategory::kOld), 200.0, 1e-9);
+  // Empty categories report zero rather than dividing by zero.
+  EXPECT_DOUBLE_EQ(acc.RepairsPer1000PerDay(AgeCategory::kElder), 0.0);
+}
+
+TEST(AccountingTest, SnapshotCounters) {
+  CategoryAccounting acc;
+  acc.RecordRepair(AgeCategory::kYoung, 100);
+  acc.RecordRepair(AgeCategory::kYoung, 28);
+  acc.RecordLoss(AgeCategory::kYoung);
+  const auto snap = acc.Snapshot(AgeCategory::kYoung);
+  EXPECT_EQ(snap.repairs, 2);
+  EXPECT_EQ(snap.losses, 1);
+  EXPECT_EQ(snap.blocks_uploaded, 128);
+}
+
+TEST(TimeSeriesTest, SamplesAtInterval) {
+  TimeSeries ts(10);
+  for (sim::Round r = 0; r < 35; ++r) ts.Offer(r, static_cast<double>(r));
+  ASSERT_EQ(ts.samples().size(), 4u);  // rounds 0, 10, 20, 30
+  EXPECT_EQ(ts.samples()[0].first, 0);
+  EXPECT_EQ(ts.samples()[3].first, 30);
+  EXPECT_DOUBLE_EQ(ts.samples()[3].second, 30.0);
+  ts.Flush(34, 99.0);
+  EXPECT_EQ(ts.samples().back().second, 99.0);
+}
+
+}  // namespace
+}  // namespace metrics
+}  // namespace p2p

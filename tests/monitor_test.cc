@@ -1,0 +1,98 @@
+// Availability monitor tests: the queries the backup protocol relies on.
+
+#include <gtest/gtest.h>
+
+#include "monitor/availability_monitor.h"
+
+namespace p2p {
+namespace monitor {
+namespace {
+
+TEST(MonitorTest, OnlineStateTracksEvents) {
+  AvailabilityMonitor mon(4);
+  mon.RecordJoin(0, 10);
+  EXPECT_FALSE(mon.IsOnline(0));
+  mon.RecordConnect(0, 10);
+  EXPECT_TRUE(mon.IsOnline(0));
+  mon.RecordDisconnect(0, 20);
+  EXPECT_FALSE(mon.IsOnline(0));
+}
+
+TEST(MonitorTest, LastSeenAndAge) {
+  AvailabilityMonitor mon(4);
+  mon.RecordJoin(1, 5);
+  mon.RecordConnect(1, 5);
+  EXPECT_EQ(mon.LastSeen(1, 8), 8);  // online now
+  mon.RecordDisconnect(1, 9);
+  EXPECT_EQ(mon.LastSeen(1, 30), 9);
+  EXPECT_EQ(mon.Age(1, 30), 25);
+}
+
+TEST(MonitorTest, AvailabilityOverWindow) {
+  AvailabilityMonitor mon(4);
+  mon.RecordJoin(0, 0);
+  mon.RecordConnect(0, 0);
+  mon.RecordDisconnect(0, 50);   // online [0, 50)
+  mon.RecordConnect(0, 75);      // online [75, 100)
+  const double avail = mon.AvailabilityOver(0, 100, 100);
+  EXPECT_NEAR(avail, (50 + 25) / 100.0, 1e-9);
+}
+
+TEST(MonitorTest, AvailabilityIgnoresHistoryBeyondWindow) {
+  AvailabilityMonitor mon(4);
+  mon.RecordJoin(0, 0);
+  mon.RecordConnect(0, 0);
+  mon.RecordDisconnect(0, 10);  // old session
+  EXPECT_DOUBLE_EQ(mon.AvailabilityOver(0, 50, 100), 0.0);
+}
+
+TEST(MonitorTest, OngoingSessionCounted) {
+  AvailabilityMonitor mon(2);
+  mon.RecordJoin(0, 0);
+  mon.RecordConnect(0, 90);
+  EXPECT_NEAR(mon.AvailabilityOver(0, 20, 100), 0.5, 1e-9);  // online 10 of 20
+}
+
+TEST(MonitorTest, PresumedDepartureAfterTimeout) {
+  AvailabilityMonitor mon(2);
+  mon.RecordJoin(0, 0);
+  mon.RecordConnect(0, 0);
+  mon.RecordDisconnect(0, 10);
+  EXPECT_FALSE(mon.PresumedDeparted(0, 24, 20));  // only 10 rounds silent
+  EXPECT_TRUE(mon.PresumedDeparted(0, 24, 40));   // 30 rounds silent
+  mon.RecordConnect(0, 41);
+  EXPECT_FALSE(mon.PresumedDeparted(0, 24, 60));  // back online
+}
+
+TEST(MonitorTest, TrueDepartureIsFinal) {
+  AvailabilityMonitor mon(2);
+  mon.RecordJoin(0, 0);
+  mon.RecordConnect(0, 0);
+  mon.RecordDeparture(0, 5);
+  EXPECT_TRUE(mon.PresumedDeparted(0, 1000, 6));
+  EXPECT_FALSE(mon.IsOnline(0));
+}
+
+TEST(MonitorTest, RejoinResetsHistory) {
+  AvailabilityMonitor mon(2);
+  mon.RecordJoin(0, 0);
+  mon.RecordConnect(0, 0);
+  mon.RecordDeparture(0, 50);
+  mon.RecordJoin(0, 100);  // id recycled
+  EXPECT_EQ(mon.Age(0, 110), 10);
+  EXPECT_FALSE(mon.PresumedDeparted(0, 24, 110));
+  EXPECT_DOUBLE_EQ(mon.AvailabilityOver(0, 100, 110), 0.0);
+}
+
+TEST(MonitorTest, WindowClampedToHistoryBound) {
+  AvailabilityMonitor mon(2, /*history_window=*/100);
+  mon.RecordJoin(0, 0);
+  mon.RecordConnect(0, 0);
+  // Query for more than the retention window clamps to 100 rounds: the peer
+  // was online for the 50 rounds that exist, out of a 100-round window.
+  EXPECT_NEAR(mon.AvailabilityOver(0, 10'000, 50), 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace monitor
+}  // namespace p2p

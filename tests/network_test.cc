@@ -1,0 +1,325 @@
+// Integration tests of the simulated backup network: lifecycle, invariants,
+// determinism, both visibility semantics, observers, the quota market, and
+// forced-loss scenarios.
+
+#include <gtest/gtest.h>
+
+#include "backup/network.h"
+#include "backup/options.h"
+#include "churn/profile.h"
+#include "sim/engine.h"
+
+namespace p2p {
+namespace backup {
+namespace {
+
+struct RunResult {
+  RunTotals totals;
+  int64_t newcomer_repairs = 0;
+  int64_t elder_repairs = 0;
+  int64_t newcomer_losses = 0;
+};
+
+SystemOptions SmallOptions() {
+  SystemOptions opts;
+  opts.num_peers = 300;
+  opts.k = 16;
+  opts.m = 16;
+  opts.repair_threshold = 20;
+  opts.quota_blocks = 48;
+  return opts;
+}
+
+RunResult RunSmall(const SystemOptions& opts, sim::Round rounds, uint64_t seed,
+                   const churn::ProfileSet& profiles,
+                   int invariant_checks = 4) {
+  sim::EngineOptions eopts;
+  eopts.seed = seed;
+  eopts.end_round = rounds;
+  sim::Engine engine(eopts);
+  BackupNetwork network(&engine, &profiles, opts);
+  const sim::Round step = rounds / (invariant_checks + 1);
+  for (sim::Round next = step; next < rounds; next += step) {
+    while (engine.now() < next && engine.Step()) {
+    }
+    network.CheckInvariants();
+  }
+  while (engine.Step()) {
+  }
+  network.CheckInvariants();
+  RunResult r;
+  r.totals = network.totals();
+  r.newcomer_repairs =
+      network.accounting().Snapshot(metrics::AgeCategory::kNewcomer).repairs;
+  r.elder_repairs =
+      network.accounting().Snapshot(metrics::AgeCategory::kElder).repairs;
+  r.newcomer_losses =
+      network.accounting().Snapshot(metrics::AgeCategory::kNewcomer).losses;
+  return r;
+}
+
+TEST(NetworkTest, BootstrapsAndBacksUpEveryone) {
+  sim::EngineOptions eopts;
+  eopts.end_round = 200;
+  sim::Engine engine(eopts);
+  const auto profiles = churn::ProfileSet::Paper();
+  BackupNetwork network(&engine, &profiles, SmallOptions());
+  engine.Run();
+  const auto pop = network.ComputePopulationStats();
+  EXPECT_GT(pop.backed_up, 290);  // nearly everyone placed 32 blocks
+  EXPECT_GT(pop.mean_partners, 25.0);
+  network.CheckInvariants();
+}
+
+TEST(NetworkTest, DeterministicForSeed) {
+  const auto profiles = churn::ProfileSet::Paper();
+  const auto a = RunSmall(SmallOptions(), 3000, 7, profiles, 1);
+  const auto b = RunSmall(SmallOptions(), 3000, 7, profiles, 1);
+  EXPECT_EQ(a.totals.repairs, b.totals.repairs);
+  EXPECT_EQ(a.totals.losses, b.totals.losses);
+  EXPECT_EQ(a.totals.blocks_uploaded, b.totals.blocks_uploaded);
+  EXPECT_EQ(a.totals.departures, b.totals.departures);
+}
+
+TEST(NetworkTest, SeedChangesOutcome) {
+  const auto profiles = churn::ProfileSet::Paper();
+  const auto a = RunSmall(SmallOptions(), 3000, 7, profiles, 1);
+  const auto b = RunSmall(SmallOptions(), 3000, 8, profiles, 1);
+  EXPECT_NE(a.totals.blocks_uploaded, b.totals.blocks_uploaded);
+}
+
+TEST(NetworkTest, InvariantsHoldInTimeoutMode) {
+  SystemOptions opts = SmallOptions();
+  opts.visibility = VisibilityModel::kTimeoutPresumed;
+  const auto profiles = churn::ProfileSet::Paper();
+  const auto r = RunSmall(opts, 5000, 11, profiles, 8);
+  EXPECT_GT(r.totals.repairs, 0);
+}
+
+TEST(NetworkTest, InvariantsHoldInInstantMode) {
+  SystemOptions opts = SmallOptions();
+  opts.visibility = VisibilityModel::kInstantOnline;
+  const auto profiles = churn::ProfileSet::PaperBernoulli();
+  const auto r = RunSmall(opts, 5000, 12, profiles, 8);
+  EXPECT_GT(r.totals.repairs, 0);
+}
+
+TEST(NetworkTest, DeparturesAreReplacedAndSevered) {
+  SystemOptions opts = SmallOptions();
+  const auto profiles = churn::ProfileSet::Paper();
+  sim::EngineOptions eopts;
+  eopts.end_round = sim::MonthsToRounds(4);  // beyond erratic lifetimes
+  eopts.seed = 3;
+  sim::Engine engine(eopts);
+  BackupNetwork network(&engine, &profiles, opts);
+  engine.Run();
+  EXPECT_GT(network.totals().departures, 0);
+  // Population stays constant: every id maps to a live peer.
+  EXPECT_EQ(network.total_ids(), opts.num_peers);
+  network.CheckInvariants();
+}
+
+TEST(NetworkTest, TimeoutSeveringOnlyInTimeoutMode) {
+  const auto profiles = churn::ProfileSet::Paper();
+  SystemOptions t = SmallOptions();
+  t.visibility = VisibilityModel::kTimeoutPresumed;
+  t.partner_timeout = 6;
+  EXPECT_GT(RunSmall(t, 2000, 5, profiles, 1).totals.timeouts, 0);
+  SystemOptions i = SmallOptions();
+  i.visibility = VisibilityModel::kInstantOnline;
+  EXPECT_EQ(RunSmall(i, 2000, 5, profiles, 1).totals.timeouts, 0);
+}
+
+TEST(NetworkTest, ObserversDoNotConsumeQuotaAndRepair) {
+  SystemOptions opts = SmallOptions();
+  const auto profiles = churn::ProfileSet::Paper();
+  sim::EngineOptions eopts;
+  eopts.end_round = 4000;
+  eopts.seed = 13;
+  sim::Engine engine(eopts);
+  BackupNetwork network(&engine, &profiles, opts);
+  network.AddObserver("baby", 1);
+  network.AddObserver("elder", 90 * sim::kRoundsPerDay);
+  engine.Run();
+  network.CheckInvariants();  // verifies hosted counts exclude observers
+  ASSERT_EQ(network.observers().size(), 2u);
+  for (const auto& obs : network.observers()) {
+    EXPECT_GE(obs.repairs, 1);  // at least the initial upload
+    EXPECT_FALSE(obs.cumulative_repairs.samples().empty());
+  }
+  // Observers hold partner sets but host nothing.
+  const PeerId baby = opts.num_peers;
+  EXPECT_GT(network.AliveBlocks(baby), 0);
+  EXPECT_EQ(network.HostedBlocks(baby), 0);
+}
+
+TEST(NetworkTest, ObserverAgeIsFrozen) {
+  SystemOptions opts = SmallOptions();
+  const auto profiles = churn::ProfileSet::Paper();
+  sim::EngineOptions eopts;
+  eopts.end_round = 1000;
+  sim::Engine engine(eopts);
+  BackupNetwork network(&engine, &profiles, opts);
+  network.AddObserver("week", sim::kRoundsPerWeek);
+  engine.Run();
+  EXPECT_EQ(network.AgeOf(opts.num_peers), sim::kRoundsPerWeek);
+}
+
+TEST(NetworkTest, QuotaNeverExceeded) {
+  SystemOptions opts = SmallOptions();
+  opts.quota_blocks = 40;
+  const auto profiles = churn::ProfileSet::Paper();
+  sim::EngineOptions eopts;
+  eopts.end_round = 3000;
+  eopts.seed = 17;
+  sim::Engine engine(eopts);
+  BackupNetwork network(&engine, &profiles, opts);
+  engine.Run();
+  for (PeerId id = 0; id < opts.num_peers; ++id) {
+    ASSERT_LE(network.HostedBlocks(id), 40);
+  }
+  network.CheckInvariants();
+}
+
+TEST(NetworkTest, ScarceQuotaForcesLossesOnNewcomers) {
+  // With barely enough supply and a tight timeout, peers cannot always hold
+  // k blocks in the system: archives must be lost, and newcomers (whose
+  // sets skew to erratic partners) must bear them.
+  SystemOptions opts = SmallOptions();
+  opts.quota_blocks = 34;  // demand 32 of 34 per peer: near saturation
+  opts.partner_timeout = 4;
+  opts.repair_threshold = 18;
+  const auto profiles = churn::ProfileSet::Paper();
+  const auto r = RunSmall(opts, sim::MonthsToRounds(5), 19, profiles, 2);
+  EXPECT_GT(r.totals.losses, 0);
+  EXPECT_GE(r.newcomer_losses, r.totals.losses / 2);
+}
+
+TEST(NetworkTest, QuotaMarketDisplacesYoungest) {
+  // With the market on, older peers keep placing even at saturation; with
+  // it off, their repairs starve more often (fewer blocks uploaded).
+  SystemOptions with = SmallOptions();
+  with.quota_blocks = 36;
+  SystemOptions without = with;
+  without.quota_market = false;
+  const auto profiles = churn::ProfileSet::Paper();
+  const auto a = RunSmall(with, sim::MonthsToRounds(5), 23, profiles, 1);
+  const auto b = RunSmall(without, sim::MonthsToRounds(5), 23, profiles, 1);
+  EXPECT_GT(a.totals.blocks_uploaded, b.totals.blocks_uploaded);
+}
+
+TEST(NetworkTest, DepartureGraceDelaysQuotaRelease) {
+  SystemOptions opts = SmallOptions();
+  opts.departure_grace = sim::kRoundsPerWeek;
+  const auto profiles = churn::ProfileSet::Paper();
+  const auto r = RunSmall(opts, sim::MonthsToRounds(4), 29, profiles, 4);
+  EXPECT_GT(r.totals.departures, 0);  // grace path exercised + invariants
+}
+
+TEST(NetworkTest, RepairsGrowWithThreshold) {
+  const auto profiles = churn::ProfileSet::Paper();
+  SystemOptions low = SmallOptions();
+  low.repair_threshold = 17;
+  SystemOptions high = SmallOptions();
+  high.repair_threshold = 28;
+  const auto a = RunSmall(low, sim::MonthsToRounds(4), 31, profiles, 1);
+  const auto b = RunSmall(high, sim::MonthsToRounds(4), 31, profiles, 1);
+  EXPECT_GT(b.totals.repairs, a.totals.repairs);
+}
+
+TEST(NetworkTest, NewcomersRepairMoreThanElders) {
+  // The paper's central claim at miniature scale: after enough time for
+  // elders to exist, newcomer repair rates dominate elder rates.
+  SystemOptions opts = SmallOptions();
+  const auto profiles = churn::ProfileSet::Paper();
+  sim::EngineOptions eopts;
+  eopts.end_round = sim::MonthsToRounds(24);
+  eopts.seed = 37;
+  sim::Engine engine(eopts);
+  BackupNetwork network(&engine, &profiles, opts);
+  engine.Run();
+  const auto& acc = network.accounting();
+  const double newcomer =
+      acc.RepairsPer1000PerDay(metrics::AgeCategory::kNewcomer);
+  const double elder = acc.RepairsPer1000PerDay(metrics::AgeCategory::kElder);
+  EXPECT_GT(newcomer, elder);
+}
+
+TEST(NetworkTest, CategorySeriesMonotone) {
+  SystemOptions opts = SmallOptions();
+  const auto profiles = churn::ProfileSet::Paper();
+  sim::EngineOptions eopts;
+  eopts.end_round = 2000;
+  sim::Engine engine(eopts);
+  BackupNetwork network(&engine, &profiles, opts);
+  engine.Run();
+  const auto& series = network.category_series();
+  ASSERT_GT(series.size(), 10u);
+  for (size_t i = 1; i < series.size(); ++i) {
+    for (int c = 0; c < metrics::kCategoryCount; ++c) {
+      ASSERT_GE(series[i].cumulative_repairs[static_cast<size_t>(c)],
+                series[i - 1].cumulative_repairs[static_cast<size_t>(c)]);
+      ASSERT_GE(series[i].cumulative_losses[static_cast<size_t>(c)],
+                series[i - 1].cumulative_losses[static_cast<size_t>(c)]);
+    }
+  }
+}
+
+TEST(NetworkTest, SelectionStrategyChangesPartnerQuality) {
+  // Oldest-first should hand elder-age owners older partner sets than
+  // youngest-first does.
+  const auto profiles = churn::ProfileSet::Paper();
+  auto mean_age = [&](core::SelectionKind kind) {
+    SystemOptions opts = SmallOptions();
+    opts.selection = kind;
+    sim::EngineOptions eopts;
+    eopts.end_round = sim::MonthsToRounds(8);
+    eopts.seed = 41;
+    sim::Engine engine(eopts);
+    BackupNetwork network(&engine, &profiles, opts);
+    engine.Run();
+    double sum = 0;
+    int n = 0;
+    for (PeerId id = 0; id < opts.num_peers; ++id) {
+      const auto ps = network.ComputePartnerStats(id);
+      if (ps.count > 0) {
+        sum += ps.mean_age_days;
+        ++n;
+      }
+    }
+    return sum / n;
+  };
+  EXPECT_GT(mean_age(core::SelectionKind::kOldestFirst),
+            mean_age(core::SelectionKind::kYoungestFirst));
+}
+
+TEST(NetworkTest, PoliciesRun) {
+  const auto profiles = churn::ProfileSet::Paper();
+  for (core::PolicyKind kind :
+       {core::PolicyKind::kFixedThreshold, core::PolicyKind::kAdaptiveThreshold,
+        core::PolicyKind::kProactive}) {
+    SystemOptions opts = SmallOptions();
+    opts.policy = kind;
+    const auto r = RunSmall(opts, 3000, 43, profiles, 2);
+    EXPECT_GT(r.totals.repairs, 0);
+  }
+}
+
+TEST(NetworkTest, MaxBlocksPerRoundSpreadsPlacement) {
+  SystemOptions opts = SmallOptions();
+  opts.max_blocks_per_round = 4;  // initial upload takes >= 8 rounds
+  const auto profiles = churn::ProfileSet::Paper();
+  sim::EngineOptions eopts;
+  eopts.end_round = 4;
+  sim::Engine engine(eopts);
+  BackupNetwork network(&engine, &profiles, opts);
+  engine.Run();
+  const auto pop = network.ComputePopulationStats();
+  EXPECT_EQ(pop.backed_up, 0);  // nobody can finish in 4 rounds
+  EXPECT_GT(pop.mean_partners, 1.0);
+  network.CheckInvariants();
+}
+
+}  // namespace
+}  // namespace backup
+}  // namespace p2p

@@ -1,0 +1,208 @@
+// Cross-module property tests: parameterized sweeps over the invariants the
+// system's correctness rests on.
+
+#include <gtest/gtest.h>
+
+#include "archive/builder.h"
+#include "backup/pipeline.h"
+#include "core/acceptance.h"
+#include "erasure/reed_solomon.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+
+namespace p2p {
+namespace {
+
+// --- Serialization: arbitrary write sequences read back identically. ---
+
+TEST(SerializeProperty, RandomScriptsRoundTrip) {
+  util::Rng rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    util::Writer w;
+    std::vector<int> script;
+    std::vector<uint64_t> ints;
+    std::vector<std::vector<uint8_t>> blobs;
+    const int ops = static_cast<int>(rng.UniformInt(1, 30));
+    for (int i = 0; i < ops; ++i) {
+      const int op = static_cast<int>(rng.UniformInt(0, 2));
+      script.push_back(op);
+      if (op == 0) {
+        const uint64_t v = rng.NextU64() >> rng.UniformInt(0, 63);
+        ints.push_back(v);
+        w.PutVarint(v);
+      } else if (op == 1) {
+        const uint64_t v = rng.NextU64();
+        ints.push_back(v);
+        w.PutU64(v);
+      } else {
+        std::vector<uint8_t> blob(static_cast<size_t>(rng.UniformInt(0, 64)));
+        for (auto& b : blob) b = static_cast<uint8_t>(rng.NextU32());
+        blobs.push_back(blob);
+        w.PutBytes(blob);
+      }
+    }
+    util::Reader r(w.data());
+    size_t int_idx = 0, blob_idx = 0;
+    for (int op : script) {
+      if (op == 0) {
+        ASSERT_EQ(r.GetVarint().value(), ints[int_idx++]);
+      } else if (op == 1) {
+        ASSERT_EQ(r.GetU64().value(), ints[int_idx++]);
+      } else {
+        ASSERT_EQ(r.GetBytes().value(), blobs[blob_idx++]);
+      }
+    }
+    ASSERT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(SerializeProperty, TruncationAtEveryPointFailsCleanly) {
+  util::Writer w;
+  w.PutVarint(123456);
+  w.PutString("hello world");
+  w.PutU64(~0ull);
+  w.PutBytes({1, 2, 3, 4, 5});
+  const auto& full = w.data();
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    util::Reader r(full.data(), cut);
+    // Whatever prefix parses must never crash; at least one getter fails.
+    auto a = r.GetVarint();
+    auto b = a.ok() ? r.GetString() : util::Result<std::string>(a.status());
+    auto c = b.ok() ? r.GetU64() : util::Result<uint64_t>(b.status());
+    auto d = c.ok() ? r.GetBytes()
+                    : util::Result<std::vector<uint8_t>>(c.status());
+    ASSERT_FALSE(d.ok()) << "cut=" << cut;
+  }
+}
+
+// --- Calendar queue: random schedules drain in exact round order. ---
+
+TEST(CalendarQueueProperty, RandomSchedulesDrainInOrder) {
+  util::Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    sim::CalendarQueue<std::pair<sim::Round, int>> q(8);
+    std::vector<std::vector<int>> expected(300);
+    int serial = 0;
+    sim::Round now = 0;
+    for (int step = 0; step < 300; ++step) {
+      const int schedules = static_cast<int>(rng.UniformInt(0, 5));
+      for (int s = 0; s < schedules; ++s) {
+        const sim::Round at = now + rng.UniformInt(0, 250);
+        if (at < 300) {
+          expected[static_cast<size_t>(at)].push_back(serial);
+          q.Schedule(at, {at, serial});
+        }
+        ++serial;
+      }
+      std::vector<int> got;
+      q.DrainInto(now, [&](std::pair<sim::Round, int>& e) {
+        ASSERT_EQ(e.first, now);
+        got.push_back(e.second);
+      });
+      ASSERT_EQ(got, expected[static_cast<size_t>(now)]) << "round " << now;
+      ++now;
+    }
+    ASSERT_EQ(q.size(), 0u);
+  }
+}
+
+// --- Acceptance: exhaustive grid of the paper's three properties. ---
+
+class AcceptanceGrid : public ::testing::TestWithParam<sim::Round> {};
+
+TEST_P(AcceptanceGrid, PropertiesHoldForHorizon) {
+  const sim::Round L = GetParam();
+  core::AcceptanceFunction f(L);
+  const sim::Round probes[] = {0, 1, L / 7, L / 3, L / 2, L - 1, L, 2 * L, 10 * L};
+  for (sim::Round s1 : probes) {
+    for (sim::Round s2 : probes) {
+      const double p = f.Probability(s1, s2);
+      // Never zero, never above one.
+      ASSERT_GT(p, 0.0);
+      ASSERT_LE(p, 1.0);
+      // One whenever the candidate is at least as old.
+      if (std::min(s2, L) >= std::min(s1, L)) ASSERT_DOUBLE_EQ(p, 1.0);
+      // Minimum is 1/L, achieved at (>=L, 0).
+      ASSERT_GE(p, 1.0 / static_cast<double>(L) - 1e-12);
+    }
+  }
+  ASSERT_NEAR(f.Probability(L, 0), 1.0 / static_cast<double>(L), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Horizons, AcceptanceGrid,
+                         ::testing::Values(24, 720, 2160, 90 * 24, 365 * 24));
+
+// --- Erasure + crypto pipeline: random loss patterns over parameter grid. ---
+
+struct PipelineParam {
+  int k;
+  int m;
+  size_t archive_bytes;
+};
+
+class PipelineGrid : public ::testing::TestWithParam<PipelineParam> {};
+
+TEST_P(PipelineGrid, SurvivesAnyLossPatternAboveK) {
+  const auto param = GetParam();
+  util::Rng rng(static_cast<uint64_t>(param.k * 31 + param.m));
+  auto pipeline = backup::BackupPipeline::Create(param.k, param.m).value();
+
+  archive::BackupBuilder builder;
+  std::vector<uint8_t> content(param.archive_bytes);
+  for (auto& b : content) b = static_cast<uint8_t>(rng.NextU32());
+  ASSERT_TRUE(builder.AddFile("f", content).ok());
+  auto archives = builder.TakeArchives();
+  ASSERT_EQ(archives.size(), 1u);
+
+  auto enc = pipeline->Encode(archives[0], &rng).value();
+  const int n = param.k + param.m;
+  for (int trial = 0; trial < 8; ++trial) {
+    const int survivors = static_cast<int>(
+        rng.UniformInt(param.k, n));  // any count >= k must decode
+    std::vector<bool> present(static_cast<size_t>(n), false);
+    for (uint32_t keep : rng.SampleIndices(static_cast<uint32_t>(n),
+                                           static_cast<uint32_t>(survivors))) {
+      present[keep] = true;
+    }
+    auto restored = pipeline->Decode(enc.shards, present, enc.shard_size,
+                                     enc.archive_size, enc.archive_digest,
+                                     enc.session_key, archives[0].id());
+    ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+    ASSERT_EQ(restored->entries()[0].payload, content);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PipelineGrid,
+    ::testing::Values(PipelineParam{1, 1, 100}, PipelineParam{2, 6, 1000},
+                      PipelineParam{8, 8, 10'000}, PipelineParam{13, 7, 4097},
+                      PipelineParam{32, 32, 100'000},
+                      PipelineParam{128, 128, 65'536}));
+
+// --- RS generators: every k-subset of rows is invertible (the any-k core). ---
+
+class RsSubsetGrid : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RsSubsetGrid, RandomRowSubsetsInvertible) {
+  const auto [k, m] = GetParam();
+  auto rs = erasure::ReedSolomon::Create(k, m).value();
+  util::Rng rng(static_cast<uint64_t>(k * 100 + m));
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<int> rows;
+    for (uint32_t r : rng.SampleIndices(static_cast<uint32_t>(k + m),
+                                        static_cast<uint32_t>(k))) {
+      rows.push_back(static_cast<int>(r));
+    }
+    ASSERT_TRUE(rs->generator().SelectRows(rows).Inverted().ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RsSubsetGrid,
+                         ::testing::Values(std::pair{4, 4}, std::pair{10, 6},
+                                           std::pair{32, 32},
+                                           std::pair{128, 128},
+                                           std::pair{200, 56}));
+
+}  // namespace
+}  // namespace p2p

@@ -1,0 +1,373 @@
+// Unit tests for the utility kernel: Status/Result, RNG, statistics,
+// serialization, flags and tables.
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+#include "util/result.h"
+#include "util/rng.h"
+#include "util/serialize.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/table.h"
+
+namespace p2p {
+namespace util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+  EXPECT_EQ(st, Status::OK());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::NotFound("missing thing");
+  EXPECT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsNotFound());
+  EXPECT_EQ(st.message(), "missing thing");
+  EXPECT_EQ(st.ToString(), "not found: missing thing");
+}
+
+TEST(StatusTest, DistinctCategories) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Unavailable("x").IsUnavailable());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+}
+
+Status FailIfNegative(int v) {
+  if (v < 0) return Status::InvalidArgument("negative");
+  return Status::OK();
+}
+
+Status UsesReturnIfError(int v, bool* reached_end) {
+  P2P_RETURN_IF_ERROR(FailIfNegative(v));
+  *reached_end = true;
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  bool reached = false;
+  EXPECT_TRUE(UsesReturnIfError(1, &reached).ok());
+  EXPECT_TRUE(reached);
+  reached = false;
+  EXPECT_TRUE(UsesReturnIfError(-1, &reached).IsInvalidArgument());
+  EXPECT_FALSE(reached);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+Result<int> HalfOf(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Status UsesAssignOrReturn(int v, int* out) {
+  P2P_ASSIGN_OR_RETURN(*out, HalfOf(v));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturn) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_TRUE(UsesAssignOrReturn(3, &out).IsInvalidArgument());
+}
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(5);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 10'000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 7);
+    ASSERT_GE(v, -3);
+    ASSERT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 11u);  // every value reached
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(6);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    ASSERT_GE(d, 0.0);
+    ASSERT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(7);
+  int hits = 0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / static_cast<double>(trials), 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliDegenerateProbabilities) {
+  Rng rng(8);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(9);
+  double sum = 0;
+  const int trials = 200'000;
+  for (int i = 0; i < trials; ++i) sum += rng.Exponential(5.0);
+  EXPECT_NEAR(sum / trials, 5.0, 0.1);
+}
+
+TEST(RngTest, GeometricMeanAndSupport) {
+  Rng rng(10);
+  double sum = 0;
+  const int trials = 200'000;
+  for (int i = 0; i < trials; ++i) {
+    const int64_t v = rng.Geometric(4.0);
+    ASSERT_GE(v, 1);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / trials, 4.0, 0.1);
+}
+
+TEST(RngTest, ParetoTailExponent) {
+  Rng rng(11);
+  // For Pareto(scale=1, shape=2), P(X > 2) = 2^-2 = 0.25.
+  int exceed = 0;
+  const int trials = 100'000;
+  for (int i = 0; i < trials; ++i) exceed += rng.Pareto(1.0, 2.0) > 2.0;
+  EXPECT_NEAR(exceed / static_cast<double>(trials), 0.25, 0.01);
+}
+
+TEST(RngTest, SampleIndicesDistinctAndInRange) {
+  Rng rng(12);
+  for (int round = 0; round < 100; ++round) {
+    auto sample = rng.SampleIndices(50, 10);
+    ASSERT_EQ(sample.size(), 10u);
+    std::set<uint32_t> uniq(sample.begin(), sample.end());
+    EXPECT_EQ(uniq.size(), 10u);
+    for (uint32_t v : sample) EXPECT_LT(v, 50u);
+  }
+}
+
+TEST(RngTest, SampleIndicesWholeUniverse) {
+  Rng rng(13);
+  auto sample = rng.SampleIndices(8, 20);
+  ASSERT_EQ(sample.size(), 8u);
+  std::set<uint32_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 8u);
+}
+
+TEST(RngTest, DerivedStreamsIndependent) {
+  Rng a = DeriveStream(99, 0);
+  Rng b = DeriveStream(99, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a.NextU64() == b.NextU64();
+  EXPECT_LT(equal, 4);
+  // Same (seed, stream) reproduces.
+  Rng c = DeriveStream(99, 0);
+  Rng d = DeriveStream(99, 0);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(c.NextU64(), d.NextU64());
+}
+
+TEST(RunningStatTest, MomentsMatchClosedForm) {
+  RunningStat s;
+  for (int i = 1; i <= 5; ++i) s.Add(i);
+  EXPECT_EQ(s.count(), 5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance of 1..5
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 15.0);
+}
+
+TEST(RunningStatTest, MergeEqualsBulk) {
+  Rng rng(14);
+  RunningStat bulk, left, right;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble() * 10;
+    bulk.Add(v);
+    (i % 2 == 0 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), bulk.count());
+  EXPECT_NEAR(left.mean(), bulk.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), bulk.variance(), 1e-9);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0.0, 10.0, 10);
+  h.Add(-1);    // underflow
+  h.Add(0.5);   // bucket 0
+  h.Add(9.5);   // bucket 9
+  h.Add(10.5);  // overflow
+  EXPECT_EQ(h.count(), 4);
+  EXPECT_EQ(h.underflow(), 1);
+  EXPECT_EQ(h.overflow(), 1);
+  EXPECT_EQ(h.bucket(0), 1);
+  EXPECT_EQ(h.bucket(9), 1);
+}
+
+TEST(HistogramTest, QuantileInterpolation) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 1.5);
+}
+
+TEST(QuantileSketchTest, ExactOnSmallSets) {
+  QuantileSketch q;
+  for (int i = 100; i >= 1; --i) q.Add(i);
+  EXPECT_DOUBLE_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 100.0);
+  EXPECT_NEAR(q.Quantile(0.5), 51.0, 1.0);
+  q.Add(1000.0);  // sort cache must invalidate
+  EXPECT_DOUBLE_EQ(q.Quantile(1.0), 1000.0);
+}
+
+TEST(SerializeTest, PrimitiveRoundTrip) {
+  Writer w;
+  w.PutU8(0xab);
+  w.PutU16(0xbeef);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefull);
+  w.PutVarint(300);
+  w.PutString("hello");
+  w.PutBytes({1, 2, 3});
+  Reader r(w.data());
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetU16().value(), 0xbeef);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.GetVarint().value(), 300u);
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.GetBytes().value(), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(SerializeTest, VarintBoundaries) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{127}, uint64_t{128}, uint64_t{16383},
+                     uint64_t{16384}, UINT64_MAX}) {
+    Writer w;
+    w.PutVarint(v);
+    Reader r(w.data());
+    EXPECT_EQ(r.GetVarint().value(), v);
+  }
+}
+
+TEST(SerializeTest, TruncationDetected) {
+  Writer w;
+  w.PutU32(7);
+  Reader r(w.data().data(), 2);
+  EXPECT_TRUE(r.GetU32().status().IsCorruption());
+}
+
+TEST(SerializeTest, TruncatedBlobDetected) {
+  Writer w;
+  w.PutVarint(100);  // claims 100 bytes follow; none do
+  Reader r(w.data());
+  EXPECT_TRUE(r.GetBytes().status().IsCorruption());
+}
+
+TEST(FlagsTest, ParsesTypedFlags) {
+  int64_t n = 5;
+  double d = 1.5;
+  bool b = false;
+  std::string s = "x";
+  FlagSet flags;
+  flags.Int64("n", &n, "a number");
+  flags.Double("d", &d, "a double");
+  flags.Bool("b", &b, "a flag");
+  flags.String("s", &s, "a string");
+  const char* argv[] = {"prog", "--n=42", "--d", "2.25", "--b", "--s=hello", "pos"};
+  ASSERT_TRUE(flags.Parse(7, const_cast<char**>(argv)).ok());
+  EXPECT_EQ(n, 42);
+  EXPECT_DOUBLE_EQ(d, 2.25);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s, "hello");
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos");
+}
+
+TEST(FlagsTest, NegatedBool) {
+  bool b = true;
+  FlagSet flags;
+  flags.Bool("b", &b, "a flag");
+  const char* argv[] = {"prog", "--no-b"};
+  ASSERT_TRUE(flags.Parse(2, const_cast<char**>(argv)).ok());
+  EXPECT_FALSE(b);
+}
+
+TEST(FlagsTest, UnknownFlagRejected) {
+  FlagSet flags;
+  const char* argv[] = {"prog", "--nope=1"};
+  EXPECT_TRUE(flags.Parse(2, const_cast<char**>(argv)).IsInvalidArgument());
+}
+
+TEST(FlagsTest, BadValueRejected) {
+  int64_t n = 0;
+  FlagSet flags;
+  flags.Int64("n", &n, "a number");
+  const char* argv[] = {"prog", "--n=abc"};
+  EXPECT_TRUE(flags.Parse(2, const_cast<char**>(argv)).IsInvalidArgument());
+}
+
+TEST(TableTest, TsvRendering) {
+  Table t({"a", "b"});
+  t.BeginRow();
+  t.Add(1);
+  t.Add("x");
+  std::ostringstream os;
+  t.RenderTsv(os);
+  EXPECT_EQ(os.str(), "# a\tb\n1\tx\n");
+}
+
+TEST(TableTest, PrettyRenderingAligns) {
+  Table t({"name", "v"});
+  t.BeginRow();
+  t.Add("long-name-here");
+  t.Add(3.5, 1);
+  std::ostringstream os;
+  t.RenderPretty(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| long-name-here | 3.5 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace util
+}  // namespace p2p
