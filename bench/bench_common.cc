@@ -1,61 +1,11 @@
 #include "bench_common.h"
 
-#include <chrono>
 #include <cstdio>
 
 namespace p2p {
 namespace bench {
 
-Outcome Run(const Scenario& scenario) {
-  const auto start = std::chrono::steady_clock::now();
-
-  sim::EngineOptions eopts;
-  eopts.seed = scenario.seed;
-  eopts.end_round = scenario.rounds;
-  sim::Engine engine(eopts);
-
-  churn::ProfileSet profiles = [&] {
-    switch (scenario.mix) {
-      case ProfileMix::kPaperBernoulli:
-        return churn::ProfileSet::PaperBernoulli();
-      case ProfileMix::kPareto:
-        // Scale 1 month, shape 1.1: heavy-tailed as in [5]; mean ~ 8 months.
-        return churn::ProfileSet::ParetoMix(sim::MonthsToRounds(1), 1.1);
-      case ProfileMix::kPaper:
-        break;
-    }
-    return churn::ProfileSet::Paper();
-  }();
-
-  backup::SystemOptions options = scenario.options;
-  options.num_peers = scenario.peers;
-  backup::BackupNetwork network(&engine, &profiles, options);
-  for (const auto& [name, age] : scenario.observers) {
-    network.AddObserver(name, age);
-  }
-
-  engine.Run();
-
-  Outcome out;
-  for (int c = 0; c < metrics::kCategoryCount; ++c) {
-    const auto cat = static_cast<metrics::AgeCategory>(c);
-    out.categories[static_cast<size_t>(c)] = network.accounting().Snapshot(cat);
-    out.repairs_per_1000_day[static_cast<size_t>(c)] =
-        network.accounting().RepairsPer1000PerDay(cat);
-    out.losses_per_1000_day[static_cast<size_t>(c)] =
-        network.accounting().LossesPer1000PerDay(cat);
-    out.mean_population[static_cast<size_t>(c)] =
-        network.accounting().MeanPopulation(cat);
-  }
-  out.totals = network.totals();
-  out.series = network.category_series();
-  out.observers = network.observers();
-  out.population = network.ComputePopulationStats();
-  out.wall_seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
-  return out;
-}
+Outcome Run(const Scenario& scenario) { return sweep::RunScenario(scenario); }
 
 void ScaleFlags::Register(util::FlagSet* flags) {
   flags->Int64("peers", &peers_, "population size (0 = bench default)");

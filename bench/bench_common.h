@@ -9,7 +9,6 @@
 #ifndef P2P_BENCH_BENCH_COMMON_H_
 #define P2P_BENCH_BENCH_COMMON_H_
 
-#include <array>
 #include <string>
 #include <vector>
 
@@ -18,43 +17,21 @@
 #include "churn/profile.h"
 #include "metrics/categories.h"
 #include "sim/engine.h"
+#include "sweep/spec.h"
 #include "util/flags.h"
 
 namespace p2p {
 namespace bench {
 
-/// Which population mix to simulate.
-enum class ProfileMix {
-  kPaper,           ///< diurnal sessions (default calibration)
-  kPaperBernoulli,  ///< per-round coin availability
-  kPareto,          ///< shared Pareto lifetimes (ablation A2)
-};
+/// The scenario vocabulary now lives in the sweep subsystem (src/sweep/);
+/// the benches keep their historical names as aliases. A serial bench loop
+/// is just a sequence of one-cell sweeps - and the grid-shaped benches run
+/// their whole grid through sweep::RunSweep instead.
+using ProfileMix = sweep::ProfileMix;
+using Scenario = sweep::Scenario;
+using Outcome = sweep::Outcome;
 
-/// One simulation scenario.
-struct Scenario {
-  uint32_t peers = 1500;
-  sim::Round rounds = 18'000;  // 750 days
-  uint64_t seed = 42;
-  ProfileMix mix = ProfileMix::kPaper;
-  backup::SystemOptions options;
-  /// Observer frozen ages (rounds); empty = no observers.
-  std::vector<std::pair<std::string, sim::Round>> observers;
-};
-
-/// Everything the figures need from one run.
-struct Outcome {
-  std::array<metrics::CategorySnapshot, metrics::kCategoryCount> categories;
-  std::array<double, metrics::kCategoryCount> repairs_per_1000_day;
-  std::array<double, metrics::kCategoryCount> losses_per_1000_day;
-  std::array<double, metrics::kCategoryCount> mean_population;
-  backup::RunTotals totals;
-  std::vector<backup::CategorySample> series;
-  std::vector<backup::ObserverResult> observers;
-  backup::BackupNetwork::PopulationStats population;
-  double wall_seconds = 0.0;
-};
-
-/// Runs a scenario to completion.
+/// Runs a scenario to completion (a one-cell sweep).
 Outcome Run(const Scenario& scenario);
 
 /// Registers the common scale flags (--peers, --rounds, --seed, --paper,

@@ -6,12 +6,18 @@
 // expected shape: monotone growth with the threshold, a faster rise past
 // ~156, and strong stratification (newcomers far above elders).
 //
+// The threshold grid is embarrassingly parallel, so it runs through the
+// sweep runner (src/sweep/): results come back in threshold order no matter
+// how many worker threads execute the grid.
+//
 //   ./bench_fig1_repairs_by_threshold [--paper] [--peers=N] [--rounds=R]
+//                                     [--threads=T]
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.h"
+#include "sweep/runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -22,6 +28,7 @@ int main(int argc, char** argv) {
   int threshold_lo = 132;
   int threshold_hi = 180;
   int threshold_step = 8;
+  int threads = 0;
 
   util::FlagSet flags;
   bench::ScaleFlags scale;
@@ -29,8 +36,13 @@ int main(int argc, char** argv) {
   flags.Int32("threshold-lo", &threshold_lo, "first threshold of the sweep");
   flags.Int32("threshold-hi", &threshold_hi, "last threshold of the sweep");
   flags.Int32("threshold-step", &threshold_step, "sweep step");
+  flags.Int32("threads", &threads, "worker threads (0 = hardware)");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (threshold_step <= 0) {
+    std::cerr << "--threshold-step must be positive\n";
     return 1;
   }
   scale.Apply(&base);
@@ -39,20 +51,28 @@ int main(int argc, char** argv) {
       "Figure 1: average repairs per 1000 peers per day vs repair threshold",
       base);
 
-  util::Table tsv({"threshold", "newcomers", "young", "old", "elder"});
+  sweep::SweepSpec spec;
+  spec.base = base;
   for (int threshold = threshold_lo; threshold <= threshold_hi;
        threshold += threshold_step) {
-    bench::Scenario s = base;
-    s.options.repair_threshold = threshold;
-    const bench::Outcome out = bench::Run(s);
+    spec.repair_thresholds.push_back(threshold);
+  }
+  sweep::RunnerOptions ropts;
+  ropts.threads = threads;
+  ropts.progress = true;
+  const auto results = sweep::RunSweep(spec, ropts);
+  if (!results.ok()) {
+    std::cerr << results.status().ToString() << "\n";
+    return 1;
+  }
+
+  util::Table tsv({"threshold", "newcomers", "young", "old", "elder"});
+  for (const sweep::CellResult& r : *results) {
     tsv.BeginRow();
-    tsv.Add(threshold);
+    tsv.Add(r.cell.scenario.options.repair_threshold);
     for (int c = 0; c < metrics::kCategoryCount; ++c) {
-      tsv.Add(out.repairs_per_1000_day[static_cast<size_t>(c)], 4);
+      tsv.Add(r.outcome.repairs_per_1000_day[static_cast<size_t>(c)], 4);
     }
-    std::fprintf(stderr, "threshold %d done in %.1fs (%lld repairs total)\n",
-                 threshold, out.wall_seconds,
-                 static_cast<long long>(out.totals.repairs));
   }
   tsv.RenderTsv(std::cout);
   std::printf("\n");

@@ -6,12 +6,17 @@
 // collapse as the threshold grows, and fall almost entirely on newcomers.
 // 148 is the paper's compromise between this curve and figure 1.
 //
+// The grid runs through the parallel sweep runner (src/sweep/); see
+// bench_fig1 for the pattern.
+//
 //   ./bench_fig2_losses_by_threshold [--paper] [--peers=N] [--rounds=R]
+//                                    [--threads=T]
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.h"
+#include "sweep/runner.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -22,6 +27,7 @@ int main(int argc, char** argv) {
   int threshold_lo = 132;
   int threshold_hi = 180;
   int threshold_step = 8;
+  int threads = 0;
 
   util::FlagSet flags;
   bench::ScaleFlags scale;
@@ -29,8 +35,13 @@ int main(int argc, char** argv) {
   flags.Int32("threshold-lo", &threshold_lo, "first threshold of the sweep");
   flags.Int32("threshold-hi", &threshold_hi, "last threshold of the sweep");
   flags.Int32("threshold-step", &threshold_step, "sweep step");
+  flags.Int32("threads", &threads, "worker threads (0 = hardware)");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (threshold_step <= 0) {
+    std::cerr << "--threshold-step must be positive\n";
     return 1;
   }
   scale.Apply(&base);
@@ -40,22 +51,30 @@ int main(int argc, char** argv) {
       "threshold",
       base);
 
-  util::Table tsv({"threshold", "newcomers", "young", "old", "elder",
-                   "total_losses"});
+  sweep::SweepSpec spec;
+  spec.base = base;
   for (int threshold = threshold_lo; threshold <= threshold_hi;
        threshold += threshold_step) {
-    bench::Scenario s = base;
-    s.options.repair_threshold = threshold;
-    const bench::Outcome out = bench::Run(s);
+    spec.repair_thresholds.push_back(threshold);
+  }
+  sweep::RunnerOptions ropts;
+  ropts.threads = threads;
+  ropts.progress = true;
+  const auto results = sweep::RunSweep(spec, ropts);
+  if (!results.ok()) {
+    std::cerr << results.status().ToString() << "\n";
+    return 1;
+  }
+
+  util::Table tsv({"threshold", "newcomers", "young", "old", "elder",
+                   "total_losses"});
+  for (const sweep::CellResult& r : *results) {
     tsv.BeginRow();
-    tsv.Add(threshold);
+    tsv.Add(r.cell.scenario.options.repair_threshold);
     for (int c = 0; c < metrics::kCategoryCount; ++c) {
-      tsv.Add(out.losses_per_1000_day[static_cast<size_t>(c)], 5);
+      tsv.Add(r.outcome.losses_per_1000_day[static_cast<size_t>(c)], 5);
     }
-    tsv.Add(out.totals.losses);
-    std::fprintf(stderr, "threshold %d done in %.1fs (%lld losses total)\n",
-                 threshold, out.wall_seconds,
-                 static_cast<long long>(out.totals.losses));
+    tsv.Add(r.outcome.totals.losses);
   }
   tsv.RenderTsv(std::cout);
   std::printf("\n");

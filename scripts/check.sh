@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Single CI entry point: tier-1 verify (configure + build + ctest) followed
+# by a ~30-second smoke sweep exercising the parallel runner end to end.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: configure + build + ctest =="
+cmake -B build -S .
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo
+echo "== smoke sweep: 2x2 grid, 2 replicates, 2 threads =="
+./build/sweep_demo \
+  --peers=150 --rounds=600 \
+  --thresholds=140,156 --quotas=256,384 \
+  --replicates=2 --threads=2 --format=aggregate
+
+echo
+echo "check.sh: OK"

@@ -30,13 +30,11 @@ BackupNetwork::BackupNetwork(sim::Engine* engine,
       churn_rng_(engine->Stream(kChurnStream)),
       place_rng_(engine->Stream(kPlacementStream)),
       monitor_(options.num_peers + kMaxObservers) {
-  P2P_CHECK(options.num_peers >= 16);
-  P2P_CHECK(options.k >= 1 && options.m >= 0);
-  P2P_CHECK(options.repair_threshold >= options.k);
-  P2P_CHECK(options.repair_threshold <= options.k + options.m);
-  P2P_CHECK(options.quota_blocks >= 1);
-  P2P_CHECK(options.partner_timeout >= 1);
-  P2P_CHECK(options.max_partner_factor >= 1.0);
+  const util::Status valid = options.Validate();
+  if (!valid.ok()) {
+    P2P_LOG_ERROR("invalid SystemOptions: %s", valid.ToString().c_str());
+  }
+  P2P_CHECK(valid.ok());
   const int n_total = options.k + options.m;
   flag_level_ = policy_->FlagLevel(options.k, n_total);
   partner_cap_ = static_cast<int>(options.max_partner_factor * n_total);

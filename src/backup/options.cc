@@ -1,0 +1,68 @@
+#include "backup/options.h"
+
+#include <string>
+
+namespace p2p {
+namespace backup {
+namespace {
+
+util::Status Invalid(const std::string& msg) {
+  return util::Status::InvalidArgument(msg);
+}
+
+}  // namespace
+
+util::Status SystemOptions::Validate() const {
+  if (num_peers < 16) {
+    // Pool sampling needs a population to draw from; tiny populations can
+    // never fill a candidate pool.
+    return Invalid("num_peers must be >= 16, got " + std::to_string(num_peers));
+  }
+  if (k < 1) {
+    return Invalid("k must be >= 1, got " + std::to_string(k));
+  }
+  if (m < 0) {
+    return Invalid("m must be >= 0, got " + std::to_string(m));
+  }
+  if (repair_threshold < k || repair_threshold > k + m) {
+    return Invalid("repair_threshold " + std::to_string(repair_threshold) +
+                   " outside [k, k + m] = [" + std::to_string(k) + ", " +
+                   std::to_string(k + m) + "]");
+  }
+  if (quota_blocks <= 0) {
+    return Invalid("quota_blocks must be positive, got " +
+                   std::to_string(quota_blocks));
+  }
+  if (partner_timeout < 1) {
+    return Invalid("partner_timeout must be >= 1 round, got " +
+                   std::to_string(partner_timeout));
+  }
+  if (max_partner_factor < 1.0) {
+    return Invalid("max_partner_factor must be >= 1.0");
+  }
+  if (acceptance_horizon < 1) {
+    return Invalid("acceptance_horizon must be >= 1 round");
+  }
+  if (pool_factor <= 0.0) {
+    return Invalid("pool_factor must be positive");
+  }
+  if (sample_attempt_factor < 1) {
+    return Invalid("sample_attempt_factor must be >= 1");
+  }
+  if (max_blocks_per_round < 0) {
+    return Invalid("max_blocks_per_round must be >= 0 (0 = unlimited)");
+  }
+  if (departure_grace < 0) {
+    return Invalid("departure_grace must be >= 0 rounds");
+  }
+  if (loss_rate_tau < 1) {
+    return Invalid("loss_rate_tau must be >= 1 round");
+  }
+  if (sample_interval < 1) {
+    return Invalid("sample_interval must be >= 1 round");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace backup
+}  // namespace p2p

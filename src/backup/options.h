@@ -9,6 +9,7 @@
 #include "core/maintenance_policy.h"
 #include "core/selection.h"
 #include "sim/clock.h"
+#include "util/status.h"
 
 namespace p2p {
 namespace backup {
@@ -103,6 +104,13 @@ struct SystemOptions {
 
   /// Sampling interval of the result time series.
   sim::Round sample_interval = sim::kRoundsPerDay;
+
+  /// Checks every knob for consistency: the repair threshold must lie in
+  /// [k, k + m], counts must be positive, timeouts and factors sane. The
+  /// BackupNetwork constructor calls this and refuses to run on a bad
+  /// configuration, so sweeps fail fast at expansion instead of silently
+  /// simulating nonsense.
+  util::Status Validate() const;
 };
 
 }  // namespace backup

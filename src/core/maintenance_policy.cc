@@ -65,5 +65,23 @@ std::unique_ptr<MaintenancePolicy> MakePolicy(PolicyKind kind, int fixed_thresho
   return std::make_unique<FixedThresholdPolicy>(fixed_threshold);
 }
 
+PolicyKind PolicyKindFromName(const std::string& name) {
+  if (name.rfind("adaptive", 0) == 0) return PolicyKind::kAdaptiveThreshold;
+  if (name.rfind("proactive", 0) == 0) return PolicyKind::kProactive;
+  return PolicyKind::kFixedThreshold;
+}
+
+std::string PolicyKindName(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFixedThreshold:
+      return "fixed";
+    case PolicyKind::kAdaptiveThreshold:
+      return "adaptive";
+    case PolicyKind::kProactive:
+      return "proactive";
+  }
+  return "fixed";
+}
+
 }  // namespace core
 }  // namespace p2p

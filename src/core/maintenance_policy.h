@@ -126,6 +126,13 @@ class ProactivePolicy : public MaintenancePolicy {
 /// policy (and the proactive emergency floor).
 std::unique_ptr<MaintenancePolicy> MakePolicy(PolicyKind kind, int fixed_threshold);
 
+/// Parses a policy name ("fixed", "adaptive", "proactive"); prefix match,
+/// unknown names fall back to the paper's fixed threshold.
+PolicyKind PolicyKindFromName(const std::string& name);
+
+/// Canonical lowercase name of a policy kind.
+std::string PolicyKindName(PolicyKind kind);
+
 }  // namespace core
 }  // namespace p2p
 

@@ -1,0 +1,247 @@
+#include "sweep/report.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "util/stats.h"
+
+namespace p2p {
+namespace sweep {
+namespace {
+
+// Fixed-point rendering keeps CSV/JSON bytes reproducible across runs; 6
+// digits is well past the resolution the simulation's counters support.
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Looks up a coordinate by axis token; "" when the row lacks the axis.
+std::string CoordValue(
+    const std::vector<std::pair<std::string, std::string>>& coords,
+    const std::string& axis) {
+  for (const auto& [token, value] : coords) {
+    if (token == axis) return value;
+  }
+  return "";
+}
+
+}  // namespace
+
+SweepReport SweepReport::Build(const SweepSpec& spec,
+                               const std::vector<CellResult>& results) {
+  SweepReport report;
+  report.axes_ = spec.ActiveAxes();
+
+  report.cells_.reserve(results.size());
+  for (const CellResult& r : results) {
+    CellRow row;
+    row.index = r.cell.index;
+    row.group = r.cell.group;
+    row.replicate = r.cell.replicate;
+    row.seed = r.cell.scenario.seed;
+    row.coords = r.cell.coords;
+    row.repairs = r.outcome.totals.repairs;
+    row.losses = r.outcome.totals.losses;
+    row.blocks_uploaded = r.outcome.totals.blocks_uploaded;
+    row.departures = r.outcome.totals.departures;
+    row.timeouts = r.outcome.totals.timeouts;
+    row.repairs_per_1000_day = r.outcome.repairs_per_1000_day;
+    row.losses_per_1000_day = r.outcome.losses_per_1000_day;
+    report.cells_.push_back(std::move(row));
+  }
+
+  // Group cells by grid point; results arrive cell-ordered, so groups are
+  // contiguous and ascending - a map keeps that order explicit regardless.
+  std::map<size_t, std::vector<const CellRow*>> groups;
+  for (const CellRow& row : report.cells_) {
+    groups[row.group].push_back(&row);
+  }
+  for (const auto& [group, rows] : groups) {
+    AggregateRow agg;
+    agg.group = group;
+    agg.replicates = static_cast<int64_t>(rows.size());
+    for (const auto& [token, value] : rows.front()->coords) {
+      if (token != "rep") agg.coords.emplace_back(token, value);
+    }
+    util::RunningStat repairs, losses;
+    std::array<util::RunningStat, metrics::kCategoryCount> rep1k, loss1k;
+    for (const CellRow* row : rows) {
+      repairs.Add(static_cast<double>(row->repairs));
+      losses.Add(static_cast<double>(row->losses));
+      for (int c = 0; c < metrics::kCategoryCount; ++c) {
+        rep1k[static_cast<size_t>(c)].Add(
+            row->repairs_per_1000_day[static_cast<size_t>(c)]);
+        loss1k[static_cast<size_t>(c)].Add(
+            row->losses_per_1000_day[static_cast<size_t>(c)]);
+      }
+    }
+    agg.repairs = {repairs.mean(), repairs.stddev()};
+    agg.losses = {losses.mean(), losses.stddev()};
+    for (int c = 0; c < metrics::kCategoryCount; ++c) {
+      const auto i = static_cast<size_t>(c);
+      agg.repairs_per_1000_day[i] = {rep1k[i].mean(), rep1k[i].stddev()};
+      agg.losses_per_1000_day[i] = {loss1k[i].mean(), loss1k[i].stddev()};
+    }
+    report.aggregates_.push_back(std::move(agg));
+  }
+  return report;
+}
+
+util::Table SweepReport::CellTable() const {
+  std::vector<std::string> headers = {"cell", "seed"};
+  headers.insert(headers.end(), axes_.begin(), axes_.end());
+  for (const char* name :
+       {"repairs", "losses", "blocks_uploaded", "departures", "timeouts"}) {
+    headers.emplace_back(name);
+  }
+  for (int c = 0; c < metrics::kCategoryCount; ++c) {
+    headers.push_back(std::string("repairs_1k_day_") +
+                      metrics::CategoryToken(static_cast<metrics::AgeCategory>(c)));
+  }
+  for (int c = 0; c < metrics::kCategoryCount; ++c) {
+    headers.push_back(std::string("losses_1k_day_") +
+                      metrics::CategoryToken(static_cast<metrics::AgeCategory>(c)));
+  }
+
+  util::Table table(std::move(headers));
+  for (const CellRow& row : cells_) {
+    table.BeginRow();
+    table.Add(static_cast<uint64_t>(row.index));
+    table.Add(row.seed);
+    for (const std::string& axis : axes_) {
+      table.Add(CoordValue(row.coords, axis));
+    }
+    table.Add(row.repairs);
+    table.Add(row.losses);
+    table.Add(row.blocks_uploaded);
+    table.Add(row.departures);
+    table.Add(row.timeouts);
+    for (double v : row.repairs_per_1000_day) table.Add(v, 6);
+    for (double v : row.losses_per_1000_day) table.Add(v, 6);
+  }
+  return table;
+}
+
+util::Table SweepReport::AggregateTable() const {
+  std::vector<std::string> headers = {"group"};
+  for (const std::string& axis : axes_) {
+    if (axis != "rep") headers.push_back(axis);
+  }
+  headers.emplace_back("reps");
+  auto metric_pair = [&headers](const std::string& name) {
+    headers.push_back(name + "_mean");
+    headers.push_back(name + "_sd");
+  };
+  metric_pair("repairs");
+  metric_pair("losses");
+  for (int c = 0; c < metrics::kCategoryCount; ++c) {
+    metric_pair(std::string("repairs_1k_day_") +
+                metrics::CategoryToken(static_cast<metrics::AgeCategory>(c)));
+  }
+  for (int c = 0; c < metrics::kCategoryCount; ++c) {
+    metric_pair(std::string("losses_1k_day_") +
+                metrics::CategoryToken(static_cast<metrics::AgeCategory>(c)));
+  }
+
+  util::Table table(std::move(headers));
+  for (const AggregateRow& agg : aggregates_) {
+    table.BeginRow();
+    table.Add(static_cast<uint64_t>(agg.group));
+    for (const std::string& axis : axes_) {
+      if (axis != "rep") table.Add(CoordValue(agg.coords, axis));
+    }
+    table.Add(agg.replicates);
+    auto add = [&table](const Moments& m) {
+      table.Add(m.mean, 6);
+      table.Add(m.stddev, 6);
+    };
+    add(agg.repairs);
+    add(agg.losses);
+    for (const Moments& m : agg.repairs_per_1000_day) add(m);
+    for (const Moments& m : agg.losses_per_1000_day) add(m);
+  }
+  return table;
+}
+
+void SweepReport::WriteCellsCsv(std::ostream& os) const {
+  CellTable().RenderCsv(os);
+}
+
+void SweepReport::WriteAggregateCsv(std::ostream& os) const {
+  AggregateTable().RenderCsv(os);
+}
+
+void SweepReport::WriteJson(std::ostream& os) const {
+  os << "{\n  \"axes\": [";
+  for (size_t i = 0; i < axes_.size(); ++i) {
+    os << (i ? ", " : "") << '"' << JsonEscape(axes_[i]) << '"';
+  }
+  os << "],\n  \"cells\": [\n";
+  for (size_t i = 0; i < cells_.size(); ++i) {
+    const CellRow& row = cells_[i];
+    os << "    {\"cell\": " << row.index << ", \"group\": " << row.group
+       << ", \"replicate\": " << row.replicate << ", \"seed\": " << row.seed
+       << ", \"coords\": {";
+    for (size_t c = 0; c < row.coords.size(); ++c) {
+      os << (c ? ", " : "") << '"' << JsonEscape(row.coords[c].first)
+         << "\": \"" << JsonEscape(row.coords[c].second) << '"';
+    }
+    os << "}, \"repairs\": " << row.repairs << ", \"losses\": " << row.losses
+       << ", \"blocks_uploaded\": " << row.blocks_uploaded
+       << ", \"departures\": " << row.departures
+       << ", \"timeouts\": " << row.timeouts << ", \"repairs_1k_day\": [";
+    for (int c = 0; c < metrics::kCategoryCount; ++c) {
+      os << (c ? ", " : "")
+         << FormatDouble(row.repairs_per_1000_day[static_cast<size_t>(c)]);
+    }
+    os << "], \"losses_1k_day\": [";
+    for (int c = 0; c < metrics::kCategoryCount; ++c) {
+      os << (c ? ", " : "")
+         << FormatDouble(row.losses_per_1000_day[static_cast<size_t>(c)]);
+    }
+    os << "]}" << (i + 1 < cells_.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"aggregates\": [\n";
+  for (size_t i = 0; i < aggregates_.size(); ++i) {
+    const AggregateRow& agg = aggregates_[i];
+    os << "    {\"group\": " << agg.group << ", \"coords\": {";
+    for (size_t c = 0; c < agg.coords.size(); ++c) {
+      os << (c ? ", " : "") << '"' << JsonEscape(agg.coords[c].first)
+         << "\": \"" << JsonEscape(agg.coords[c].second) << '"';
+    }
+    os << "}, \"replicates\": " << agg.replicates
+       << ", \"repairs\": {\"mean\": " << FormatDouble(agg.repairs.mean)
+       << ", \"sd\": " << FormatDouble(agg.repairs.stddev)
+       << "}, \"losses\": {\"mean\": " << FormatDouble(agg.losses.mean)
+       << ", \"sd\": " << FormatDouble(agg.losses.stddev) << "}}"
+       << (i + 1 < aggregates_.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+}  // namespace sweep
+}  // namespace p2p

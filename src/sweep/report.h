@@ -1,0 +1,94 @@
+// Result aggregation and emission for sweeps.
+//
+// A report is built once from the runner's cell-ordered results and can be
+// rendered three ways: per-cell tables (CSV / TSV / pretty, via util::Table),
+// per-group replicate aggregates (mean and sample stddev over the replicate
+// axis), and a JSON document carrying both. Wall-clock time is deliberately
+// excluded from every emitter so that report bytes are a pure function of
+// (spec, seed) - the thread-count-invariance tests diff them directly.
+
+#ifndef P2P_SWEEP_REPORT_H_
+#define P2P_SWEEP_REPORT_H_
+
+#include <array>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "metrics/categories.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+#include "util/table.h"
+
+namespace p2p {
+namespace sweep {
+
+/// The scalar metrics a report carries for one executed cell.
+struct CellRow {
+  size_t index = 0;
+  size_t group = 0;
+  size_t replicate = 0;
+  uint64_t seed = 0;
+  /// (axis token, value) pairs copied from the cell.
+  std::vector<std::pair<std::string, std::string>> coords;
+  int64_t repairs = 0;
+  int64_t losses = 0;
+  int64_t blocks_uploaded = 0;
+  int64_t departures = 0;
+  int64_t timeouts = 0;
+  std::array<double, metrics::kCategoryCount> repairs_per_1000_day{};
+  std::array<double, metrics::kCategoryCount> losses_per_1000_day{};
+};
+
+/// Mean / sample-stddev of one scalar over a group's replicates.
+struct Moments {
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// Replicate aggregate of one grid point (all cells sharing `group`).
+struct AggregateRow {
+  size_t group = 0;
+  /// Coordinates without the replicate axis.
+  std::vector<std::pair<std::string, std::string>> coords;
+  int64_t replicates = 0;
+  Moments repairs;
+  Moments losses;
+  std::array<Moments, metrics::kCategoryCount> repairs_per_1000_day{};
+  std::array<Moments, metrics::kCategoryCount> losses_per_1000_day{};
+};
+
+/// \brief Immutable view over one sweep's results; build once, render many.
+class SweepReport {
+ public:
+  /// Distills `results` (cell-ordered, as returned by RunSweep).
+  static SweepReport Build(const SweepSpec& spec,
+                           const std::vector<CellResult>& results);
+
+  const std::vector<CellRow>& cells() const { return cells_; }
+  const std::vector<AggregateRow>& aggregates() const { return aggregates_; }
+
+  /// Per-cell metric table (one row per executed cell).
+  util::Table CellTable() const;
+
+  /// Per-group table with <metric>_mean / <metric>_sd columns.
+  util::Table AggregateTable() const;
+
+  /// \name Emitters. Deterministic: byte-identical for identical results.
+  /// @{
+  void WriteCellsCsv(std::ostream& os) const;
+  void WriteAggregateCsv(std::ostream& os) const;
+  void WriteJson(std::ostream& os) const;
+  /// @}
+
+ private:
+  std::vector<std::string> axes_;  // active axis tokens, in column order
+  std::vector<CellRow> cells_;
+  std::vector<AggregateRow> aggregates_;
+};
+
+}  // namespace sweep
+}  // namespace p2p
+
+#endif  // P2P_SWEEP_REPORT_H_

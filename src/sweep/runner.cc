@@ -1,0 +1,69 @@
+#include "sweep/runner.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "util/logging.h"
+
+namespace p2p {
+namespace sweep {
+
+int ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<CellResult> RunCells(const std::vector<Cell>& cells,
+                                 const RunnerOptions& options) {
+  std::vector<CellResult> results(cells.size());
+  if (cells.empty()) return results;
+
+  const int threads =
+      std::min<int>(ResolveThreads(options.threads),
+                    static_cast<int>(cells.size()));
+  std::atomic<size_t> cursor{0};
+  std::atomic<size_t> done{0};
+  std::mutex io_mu;
+
+  auto worker = [&] {
+    for (;;) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= cells.size()) return;
+      const Cell& cell = cells[i];
+      P2P_CHECK(cell.index == i);
+      Outcome out = RunScenario(cell.scenario);
+      const size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (options.progress) {
+        std::lock_guard<std::mutex> lock(io_mu);
+        std::fprintf(stderr, "[sweep %zu/%zu] %s done in %.1fs\n", finished,
+                     cells.size(), cell.Label().c_str(), out.wall_seconds);
+      }
+      results[i].cell = cell;
+      results[i].outcome = std::move(out);
+    }
+  };
+
+  if (threads == 1) {
+    worker();  // keep single-thread runs trivially debuggable
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& th : pool) th.join();
+  }
+  return results;
+}
+
+util::Result<std::vector<CellResult>> RunSweep(const SweepSpec& spec,
+                                               const RunnerOptions& options) {
+  util::Result<std::vector<Cell>> cells = spec.Expand();
+  if (!cells.ok()) return cells.status();
+  return RunCells(*cells, options);
+}
+
+}  // namespace sweep
+}  // namespace p2p

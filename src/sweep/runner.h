@@ -1,0 +1,52 @@
+// Parallel execution of a SweepSpec's cells.
+//
+// Each cell is an independent Engine + BackupNetwork run (no shared mutable
+// state), so the grid is embarrassingly parallel. The runner is a classic
+// work queue: an atomic cursor over the expanded cell list and N worker
+// threads that claim the next unclaimed cell. Results land in a vector
+// indexed by cell.index, so the collected output - and every report built
+// from it - is byte-identical whether 1 or N threads executed the grid.
+
+#ifndef P2P_SWEEP_RUNNER_H_
+#define P2P_SWEEP_RUNNER_H_
+
+#include <functional>
+#include <vector>
+
+#include "sweep/spec.h"
+#include "util/result.h"
+
+namespace p2p {
+namespace sweep {
+
+/// One executed cell.
+struct CellResult {
+  Cell cell;
+  Outcome outcome;
+};
+
+/// Runner configuration.
+struct RunnerOptions {
+  /// Worker threads; <= 0 selects std::thread::hardware_concurrency().
+  int threads = 0;
+  /// Emit a one-line completion note per cell on stderr.
+  bool progress = false;
+};
+
+/// Resolves RunnerOptions::threads to the actual worker count (>= 1).
+int ResolveThreads(int requested);
+
+/// Expands `spec` and executes every cell; results are returned in cell
+/// order regardless of scheduling. Fails only on an invalid spec.
+util::Result<std::vector<CellResult>> RunSweep(const SweepSpec& spec,
+                                               const RunnerOptions& options = {});
+
+/// Executes pre-expanded cells (the lower-level entry; `cells` must have
+/// index == position, as produced by SweepSpec::Expand()).
+std::vector<CellResult> RunCells(const std::vector<Cell>& cells,
+                                 const RunnerOptions& options = {});
+
+}  // namespace sweep
+}  // namespace p2p
+
+#endif  // P2P_SWEEP_RUNNER_H_

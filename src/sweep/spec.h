@@ -1,0 +1,140 @@
+// Declarative scenario sweeps (the paper's evaluation grid as data).
+//
+// The paper's results are grids: repair thresholds 132-180 by age category,
+// churn mixes, observer ages, policy/selection ablations. A `SweepSpec`
+// describes such a grid as a base `Scenario` plus axes; `Expand()` turns it
+// into a flat, deterministically ordered list of `Cell`s that the parallel
+// runner (runner.h) can execute in any order without changing any result.
+//
+// Determinism contract: a cell's full configuration - including its RNG seed
+// - is a pure function of (spec, cell coordinates), fixed at expansion time.
+// Replicate 0 keeps the base seed unchanged, so a one-cell sweep reproduces
+// a plain `RunScenario` call bit for bit; further replicates derive their
+// seeds with the same SplitMix64 discipline the Engine uses for its streams.
+// All non-replicate axes share the seed (common random numbers), which is
+// what the paper's threshold sweeps do: cells differ only by the knob under
+// study, not by luck.
+
+#ifndef P2P_SWEEP_SPEC_H_
+#define P2P_SWEEP_SPEC_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "backup/network.h"
+#include "backup/options.h"
+#include "core/maintenance_policy.h"
+#include "core/selection.h"
+#include "metrics/categories.h"
+#include "sim/clock.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace p2p {
+namespace sweep {
+
+/// Which population mix to simulate.
+enum class ProfileMix {
+  kPaper,           ///< diurnal sessions (default calibration)
+  kPaperBernoulli,  ///< per-round coin availability
+  kPareto,          ///< shared Pareto lifetimes (ablation A2)
+};
+
+/// Lowercase token for tables ("paper", "bernoulli", "pareto").
+const char* ProfileMixToken(ProfileMix mix);
+
+/// Lowercase token for a visibility model ("instant", "timeout").
+const char* VisibilityToken(backup::VisibilityModel model);
+
+/// One simulation scenario: a fully resolved cell configuration.
+struct Scenario {
+  uint32_t peers = 1500;
+  sim::Round rounds = 18'000;  // 750 days
+  uint64_t seed = 42;
+  ProfileMix mix = ProfileMix::kPaper;
+  backup::SystemOptions options;
+  /// Observer frozen ages (rounds); empty = no observers.
+  std::vector<std::pair<std::string, sim::Round>> observers;
+};
+
+/// Everything the figures need from one run.
+struct Outcome {
+  std::array<metrics::CategorySnapshot, metrics::kCategoryCount> categories;
+  std::array<double, metrics::kCategoryCount> repairs_per_1000_day{};
+  std::array<double, metrics::kCategoryCount> losses_per_1000_day{};
+  std::array<double, metrics::kCategoryCount> mean_population{};
+  backup::RunTotals totals;
+  std::vector<backup::CategorySample> series;
+  std::vector<backup::ObserverResult> observers;
+  backup::BackupNetwork::PopulationStats population;
+  double wall_seconds = 0.0;  ///< excluded from deterministic reports
+};
+
+/// Runs one scenario to completion on a private Engine + BackupNetwork.
+/// Thread-safe: concurrent calls share no mutable state.
+Outcome RunScenario(const Scenario& scenario);
+
+/// Seed of replicate `replicate` under master seed `base_seed`. Replicate 0
+/// is `base_seed` itself; the rest are SplitMix64-derived, mirroring
+/// `util::DeriveStream`, so adding replicates never perturbs replicate 0.
+uint64_t ReplicateSeed(uint64_t base_seed, uint64_t replicate);
+
+/// One fully resolved point of the grid.
+struct Cell {
+  size_t index = 0;      ///< position in row-major expansion order
+  size_t group = 0;      ///< index ignoring the replicate axis (aggregation key)
+  size_t replicate = 0;  ///< position on the replicate axis
+  Scenario scenario;     ///< resolved configuration, seed already derived
+  /// (axis token, value string) for every *active* axis, in axis order.
+  std::vector<std::pair<std::string, std::string>> coords;
+
+  /// "threshold=148 quota=384 rep=1" - coords joined for banners and logs.
+  std::string Label() const;
+};
+
+/// \brief A base scenario plus axes; the cross-product is the grid.
+///
+/// An empty axis vector means "keep the base value" and contributes one
+/// implicit point (and no coordinate column). Expansion order is row-major
+/// with the axes in declaration order below and replicates innermost.
+struct SweepSpec {
+  Scenario base;
+
+  std::vector<int> repair_thresholds;
+  std::vector<int> quotas;
+  std::vector<core::PolicyKind> policies;
+  std::vector<core::SelectionKind> selections;
+  std::vector<ProfileMix> mixes;
+  std::vector<backup::VisibilityModel> visibilities;
+  /// Seed replicates per grid point (>= 1); replicate 0 keeps the base seed.
+  int replicates = 1;
+
+  /// Rejects empty grids (replicates < 1) and any cell whose resolved
+  /// SystemOptions fail SystemOptions::Validate().
+  util::Status Validate() const;
+
+  /// Number of grid points ignoring the replicate axis.
+  size_t GroupCount() const;
+
+  /// Total number of cells (GroupCount() * replicates).
+  size_t CellCount() const;
+
+  /// Tokens of the active axes in expansion order ("threshold", ...,
+  /// "rep"); the coordinate columns of every emitted report.
+  std::vector<std::string> ActiveAxes() const;
+
+  /// Expands the cross-product. Validates first; cells come back in
+  /// row-major order with index == position.
+  util::Result<std::vector<Cell>> Expand() const;
+};
+
+/// Parses "132,148,164" into integers (used by sweep-driving binaries).
+util::Status ParseIntList(const std::string& csv, std::vector<int>* out);
+
+}  // namespace sweep
+}  // namespace p2p
+
+#endif  // P2P_SWEEP_SPEC_H_

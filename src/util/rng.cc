@@ -145,13 +145,17 @@ std::vector<uint32_t> Rng::SampleIndices(uint32_t universe, uint32_t count) {
   return out;
 }
 
-Rng DeriveStream(uint64_t master_seed, uint64_t stream_id) {
+uint64_t DeriveSeed(uint64_t master_seed, uint64_t stream_id) {
   // Mix the stream id through SplitMix64 twice so that consecutive ids do not
-  // produce correlated xoshiro seeds.
+  // produce correlated seeds.
   uint64_t sm = master_seed ^ (0x5851f42d4c957f2dull * (stream_id + 1));
   const uint64_t a = SplitMix64(&sm);
   const uint64_t b = SplitMix64(&sm);
-  return Rng(a ^ Rotl(b, 29));
+  return a ^ Rotl(b, 29);
+}
+
+Rng DeriveStream(uint64_t master_seed, uint64_t stream_id) {
+  return Rng(DeriveSeed(master_seed, stream_id));
 }
 
 }  // namespace util

@@ -77,8 +77,13 @@ class Rng {
   uint64_t s_[4];
 };
 
-/// Derives an independent child generator from a master seed and a stream id;
-/// distinct (seed, stream) pairs yield statistically independent sequences.
+/// Derives an independent 64-bit seed from a master seed and a stream id;
+/// distinct (seed, stream) pairs yield statistically independent values.
+/// This is the one seed-mixing discipline of the codebase: Engine streams
+/// and sweep replicate seeds both come from here.
+uint64_t DeriveSeed(uint64_t master_seed, uint64_t stream_id);
+
+/// Derives an independent child generator seeded with DeriveSeed().
 Rng DeriveStream(uint64_t master_seed, uint64_t stream_id);
 
 }  // namespace util

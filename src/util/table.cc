@@ -55,6 +55,33 @@ void Table::RenderPretty(std::ostream& os) const {
   rule();
 }
 
+void Table::RenderCsv(std::ostream& os) const {
+  auto emit_cell = [&os](const std::string& cell) {
+    if (cell.find_first_of(",\"\n\r") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    emit_cell(headers_[c]);
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      emit_cell(row[c]);
+    }
+    os << '\n';
+  }
+}
+
 void Table::RenderTsv(std::ostream& os) const {
   os << "# ";
   for (size_t c = 0; c < headers_.size(); ++c) {

@@ -43,6 +43,9 @@ class Table {
   /// Renders `# header\nv1\tv2...` TSV; gnuplot-compatible.
   void RenderTsv(std::ostream& os) const;
 
+  /// Renders RFC-4180 CSV (header row, quoted cells where needed).
+  void RenderCsv(std::ostream& os) const;
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

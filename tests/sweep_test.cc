@@ -1,0 +1,253 @@
+// Tests for the scenario-sweep subsystem: grid expansion (counts, ordering,
+// seed derivation), SystemOptions validation, and the load-bearing guarantee
+// that report bytes do not depend on the runner's thread count.
+
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "backup/options.h"
+#include "sweep/report.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+
+namespace p2p {
+namespace sweep {
+namespace {
+
+// A grid small enough that the full 1/2/8-thread comparison stays fast.
+SweepSpec SmallSpec() {
+  SweepSpec spec;
+  spec.base.peers = 120;
+  spec.base.rounds = 400;
+  spec.base.seed = 7;
+  spec.repair_thresholds = {140, 156};
+  spec.replicates = 2;
+  return spec;
+}
+
+TEST(SweepSpecTest, ExpansionCountsAndOrdering) {
+  SweepSpec spec;
+  spec.base.seed = 42;
+  spec.repair_thresholds = {132, 148, 164};
+  spec.quotas = {256, 384};
+  spec.replicates = 2;
+
+  EXPECT_EQ(spec.GroupCount(), 6u);
+  EXPECT_EQ(spec.CellCount(), 12u);
+  EXPECT_EQ(spec.ActiveAxes(),
+            (std::vector<std::string>{"threshold", "quota", "rep"}));
+
+  auto cells = spec.Expand();
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  ASSERT_EQ(cells->size(), 12u);
+
+  // Row-major: threshold outermost, then quota, replicates innermost.
+  for (size_t i = 0; i < cells->size(); ++i) {
+    const Cell& cell = (*cells)[i];
+    EXPECT_EQ(cell.index, i);
+    EXPECT_EQ(cell.group, i / 2);
+    EXPECT_EQ(cell.replicate, i % 2);
+    const size_t ti = i / 4;        // 2 quotas * 2 replicates per threshold
+    const size_t qi = (i / 2) % 2;  // 2 replicates per quota
+    EXPECT_EQ(cell.scenario.options.repair_threshold,
+              spec.repair_thresholds[ti]);
+    EXPECT_EQ(cell.scenario.options.quota_blocks, spec.quotas[qi]);
+  }
+
+  // Coordinates carry every active axis, in axis order.
+  const Cell& first = cells->front();
+  ASSERT_EQ(first.coords.size(), 3u);
+  EXPECT_EQ(first.coords[0],
+            (std::pair<std::string, std::string>{"threshold", "132"}));
+  EXPECT_EQ(first.coords[1],
+            (std::pair<std::string, std::string>{"quota", "256"}));
+  EXPECT_EQ(first.coords[2], (std::pair<std::string, std::string>{"rep", "0"}));
+  EXPECT_EQ(first.Label(), "threshold=132 quota=256 rep=0");
+}
+
+TEST(SweepSpecTest, EmptyAxesYieldOneCell) {
+  SweepSpec spec;
+  EXPECT_EQ(spec.GroupCount(), 1u);
+  EXPECT_EQ(spec.CellCount(), 1u);
+  EXPECT_TRUE(spec.ActiveAxes().empty());
+  auto cells = spec.Expand();
+  ASSERT_TRUE(cells.ok());
+  ASSERT_EQ(cells->size(), 1u);
+  EXPECT_TRUE((*cells)[0].coords.empty());
+  EXPECT_EQ((*cells)[0].scenario.seed, spec.base.seed);
+}
+
+TEST(SweepSpecTest, SeedDerivation) {
+  // Replicate 0 keeps the base seed, so a 1-replicate sweep reproduces a
+  // plain RunScenario; later replicates get distinct derived seeds.
+  EXPECT_EQ(ReplicateSeed(42, 0), 42u);
+  EXPECT_NE(ReplicateSeed(42, 1), 42u);
+  EXPECT_NE(ReplicateSeed(42, 1), ReplicateSeed(42, 2));
+  EXPECT_NE(ReplicateSeed(42, 1), ReplicateSeed(43, 1));
+  // Pure function: same inputs, same seed.
+  EXPECT_EQ(ReplicateSeed(42, 5), ReplicateSeed(42, 5));
+
+  SweepSpec spec;
+  spec.repair_thresholds = {140, 156};
+  spec.replicates = 2;
+  auto cells = spec.Expand();
+  ASSERT_TRUE(cells.ok());
+  // All groups share replicate seeds (common random numbers across the
+  // grid); replicates differ within a group.
+  EXPECT_EQ((*cells)[0].scenario.seed, (*cells)[2].scenario.seed);
+  EXPECT_EQ((*cells)[1].scenario.seed, (*cells)[3].scenario.seed);
+  EXPECT_NE((*cells)[0].scenario.seed, (*cells)[1].scenario.seed);
+}
+
+TEST(SweepSpecTest, RejectsInvalidGrids) {
+  SweepSpec spec;
+  spec.replicates = 0;
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+
+  spec = SweepSpec();
+  spec.repair_thresholds = {500};  // outside [k, k + m]
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+  EXPECT_FALSE(spec.Expand().ok());
+
+  spec = SweepSpec();
+  spec.quotas = {0};
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+
+  spec = SweepSpec();
+  spec.base.peers = 8;  // below the simulation's population floor
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+  EXPECT_FALSE(spec.Expand().ok());
+}
+
+TEST(SystemOptionsTest, ValidateAcceptsDefaults) {
+  backup::SystemOptions options;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(SystemOptionsTest, ValidateRejectsBadKnobs) {
+  backup::SystemOptions options;
+  options.repair_threshold = options.k - 1;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+
+  options = backup::SystemOptions();
+  options.repair_threshold = options.k + options.m + 1;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+
+  options = backup::SystemOptions();
+  options.quota_blocks = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+
+  options = backup::SystemOptions();
+  options.num_peers = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+
+  // Below the pool-sampling floor: must fail at validation, not abort the
+  // process inside a runner thread.
+  options = backup::SystemOptions();
+  options.num_peers = 8;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+
+  options = backup::SystemOptions();
+  options.partner_timeout = -3;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+
+  options = backup::SystemOptions();
+  options.max_partner_factor = 0.5;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+}
+
+TEST(ParseIntListTest, ParsesAndRejects) {
+  std::vector<int> out;
+  ASSERT_TRUE(ParseIntList("132,148,164", &out).ok());
+  EXPECT_EQ(out, (std::vector<int>{132, 148, 164}));
+  ASSERT_TRUE(ParseIntList("7", &out).ok());
+  EXPECT_EQ(out, (std::vector<int>{7}));
+  ASSERT_TRUE(ParseIntList("-4,5", &out).ok());
+  EXPECT_EQ(out, (std::vector<int>{-4, 5}));
+  EXPECT_TRUE(ParseIntList("", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseIntList("1,,2", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseIntList("1,x", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseIntList("12cats", &out).IsInvalidArgument());
+}
+
+TEST(RunnerTest, OneCellSweepMatchesDirectRun) {
+  SweepSpec spec;
+  spec.base.peers = 120;
+  spec.base.rounds = 400;
+  spec.base.seed = 7;
+
+  auto results = RunSweep(spec, RunnerOptions{});
+  ASSERT_TRUE(results.ok());
+  ASSERT_EQ(results->size(), 1u);
+
+  const Outcome direct = RunScenario(spec.base);
+  const Outcome& via_runner = (*results)[0].outcome;
+  EXPECT_EQ(via_runner.totals.repairs, direct.totals.repairs);
+  EXPECT_EQ(via_runner.totals.losses, direct.totals.losses);
+  EXPECT_EQ(via_runner.totals.blocks_uploaded, direct.totals.blocks_uploaded);
+  EXPECT_EQ(via_runner.totals.departures, direct.totals.departures);
+}
+
+TEST(RunnerTest, ReportsAreThreadCountInvariant) {
+  const SweepSpec spec = SmallSpec();
+
+  std::string cells_csv[3];
+  std::string agg_csv[3];
+  std::string json[3];
+  const int thread_counts[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    RunnerOptions ropts;
+    ropts.threads = thread_counts[i];
+    auto results = RunSweep(spec, ropts);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    const SweepReport report = SweepReport::Build(spec, *results);
+    std::ostringstream cells_os, agg_os, json_os;
+    report.WriteCellsCsv(cells_os);
+    report.WriteAggregateCsv(agg_os);
+    report.WriteJson(json_os);
+    cells_csv[i] = cells_os.str();
+    agg_csv[i] = agg_os.str();
+    json[i] = json_os.str();
+  }
+
+  EXPECT_EQ(cells_csv[0], cells_csv[1]);
+  EXPECT_EQ(cells_csv[0], cells_csv[2]);
+  EXPECT_EQ(agg_csv[0], agg_csv[1]);
+  EXPECT_EQ(agg_csv[0], agg_csv[2]);
+  EXPECT_EQ(json[0], json[1]);
+  EXPECT_EQ(json[0], json[2]);
+
+  // Sanity: the CSV actually carries the grid (header + 4 cell rows).
+  EXPECT_NE(cells_csv[0].find("threshold"), std::string::npos);
+  int lines = 0;
+  for (char ch : cells_csv[0]) lines += ch == '\n';
+  EXPECT_EQ(lines, 5);
+}
+
+TEST(ReportTest, AggregatesGroupReplicates) {
+  const SweepSpec spec = SmallSpec();
+  auto results = RunSweep(spec, RunnerOptions{});
+  ASSERT_TRUE(results.ok());
+  const SweepReport report = SweepReport::Build(spec, *results);
+
+  ASSERT_EQ(report.cells().size(), 4u);
+  ASSERT_EQ(report.aggregates().size(), 2u);
+  for (const AggregateRow& agg : report.aggregates()) {
+    EXPECT_EQ(agg.replicates, 2);
+    // "rep" is folded into the aggregate, the swept axis is kept.
+    ASSERT_EQ(agg.coords.size(), 1u);
+    EXPECT_EQ(agg.coords[0].first, "threshold");
+  }
+  // The aggregate mean of a 2-replicate group is the mean of its two cells.
+  const auto& cells = report.cells();
+  const auto& agg0 = report.aggregates()[0];
+  EXPECT_DOUBLE_EQ(
+      agg0.repairs.mean,
+      (static_cast<double>(cells[0].repairs) + cells[1].repairs) / 2.0);
+}
+
+}  // namespace
+}  // namespace sweep
+}  // namespace p2p
