@@ -26,13 +26,16 @@ int main(int argc, char** argv) {
   base.rounds = 18'000;
 
   util::FlagSet flags;
-  bench::ScaleFlags scale;
+  bench::ScenarioFlags scale;
   scale.Register(&flags);
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
   }
-  scale.Apply(&base);
+  if (auto st = scale.Apply(&base); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
 
   bench::PrintRunBanner("Ablation: maintenance policies (future work)", base);
 

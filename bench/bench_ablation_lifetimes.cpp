@@ -2,18 +2,22 @@
 //
 // The paper's premise comes from Pareto-distributed lifetimes ([5]); its
 // simulation uses the bounded profile table instead. This bench runs the
-// same protocol under three churn models:
+// same protocol under three churn worlds from the scenario registry:
 //   paper      - the four-profile table with diurnal sessions
 //   bernoulli  - the four-profile table with per-round coin availability
 //   pareto     - one shared Pareto(1 month, 1.1) lifetime for all profiles
 // Age-based selection should retain its advantage whenever age predicts
 // residual lifetime (profiles, pareto) - the Pareto run is the distribution
 // the paper's own argument is strongest for.
+//
+//   ./bench_ablation_lifetimes [--paper] [--peers=N] [--rounds=R]
+//                              [--worlds=paper,bernoulli,pareto]
 
 #include <cstdio>
 #include <iostream>
 
 #include "bench_common.h"
+#include "scenario/parse.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
@@ -22,39 +26,51 @@ int main(int argc, char** argv) {
   bench::Scenario base;
   base.peers = 1500;
   base.rounds = 18'000;
+  std::string worlds_csv = "paper,bernoulli,pareto";
 
   util::FlagSet flags;
-  bench::ScaleFlags scale;
+  bench::ScenarioFlags scale;
   scale.Register(&flags);
+  flags.String("worlds", &worlds_csv,
+               "comma-separated scenario names/files to compare");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
   }
-  scale.Apply(&base);
+  if (auto st = scale.Apply(&base); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+
+  std::vector<std::string> worlds;
+  if (auto st = scenario::ParseStringList(worlds_csv, &worlds); !st.ok()) {
+    std::cerr << "--worlds: " << st.ToString() << "\n";
+    return 1;
+  }
 
   bench::PrintRunBanner("Ablation: lifetime distribution", base);
 
-  const std::pair<const char*, bench::ProfileMix> mixes[] = {
-      {"paper profiles (diurnal)", bench::ProfileMix::kPaper},
-      {"paper profiles (bernoulli)", bench::ProfileMix::kPaperBernoulli},
-      {"pareto lifetimes", bench::ProfileMix::kPareto},
-  };
-
-  util::Table t({"churn model", "newcomers/1000/day", "young", "old", "elder",
+  util::Table t({"churn world", "newcomers/1000/day", "young", "old", "elder",
                  "total repairs", "losses", "departures"});
-  for (const auto& [name, mix] : mixes) {
+  for (const std::string& world_name : worlds) {
+    auto world = scenario::LoadScenario(world_name);
+    if (!world.ok()) {
+      std::cerr << world.status().ToString() << "\n";
+      return 1;
+    }
     bench::Scenario s = base;
-    s.mix = mix;
+    scenario::ApplyWorld(*world, &s);
     const bench::Outcome out = bench::Run(s);
     t.BeginRow();
-    t.Add(name);
+    t.Add(s.name);
     for (int c = 0; c < metrics::kCategoryCount; ++c) {
       t.Add(out.repairs_per_1000_day[static_cast<size_t>(c)], 3);
     }
     t.Add(out.totals.repairs);
     t.Add(out.totals.losses);
     t.Add(out.totals.departures);
-    std::fprintf(stderr, "%s done in %.1fs\n", name, out.wall_seconds);
+    std::fprintf(stderr, "%s done in %.1fs\n", s.name.c_str(),
+                 out.wall_seconds);
   }
   t.RenderPretty(std::cout);
   return 0;

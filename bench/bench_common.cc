@@ -5,27 +5,7 @@
 namespace p2p {
 namespace bench {
 
-Outcome Run(const Scenario& scenario) { return sweep::RunScenario(scenario); }
-
-void ScaleFlags::Register(util::FlagSet* flags) {
-  flags->Int64("peers", &peers_, "population size (0 = bench default)");
-  flags->Int64("rounds", &rounds_, "rounds to simulate (0 = bench default)");
-  flags->Int64("seed", &seed_, "random seed (-1 = bench default)");
-  flags->Bool("paper", &paper_, "full paper scale: 25000 peers, 50000 rounds");
-  flags->Bool("bernoulli", &bernoulli_,
-              "per-round coin availability instead of diurnal sessions");
-}
-
-void ScaleFlags::Apply(Scenario* scenario) const {
-  if (paper_) {
-    scenario->peers = 25'000;
-    scenario->rounds = 50'000;
-  }
-  if (peers_ > 0) scenario->peers = static_cast<uint32_t>(peers_);
-  if (rounds_ > 0) scenario->rounds = rounds_;
-  if (seed_ >= 0) scenario->seed = static_cast<uint64_t>(seed_);
-  if (bernoulli_) scenario->mix = ProfileMix::kPaperBernoulli;
-}
+Outcome Run(const Scenario& scenario) { return scenario::RunScenario(scenario); }
 
 std::vector<std::pair<std::string, sim::Round>> PaperObservers() {
   return {{"baby-1h", 1},
@@ -38,14 +18,15 @@ std::vector<std::pair<std::string, sim::Round>> PaperObservers() {
 void PrintRunBanner(const std::string& title, const Scenario& scenario) {
   std::printf("# %s\n", title.c_str());
   std::printf(
-      "# peers=%u rounds=%lld (%.0f days) seed=%llu k=%d m=%d quota=%d "
-      "timeout=%lld market=%d\n",
-      scenario.peers, static_cast<long long>(scenario.rounds),
+      "# scenario=%s peers=%u rounds=%lld (%.0f days) seed=%llu k=%d m=%d "
+      "quota=%d timeout=%lld market=%d events=%zu\n",
+      scenario.name.c_str(), scenario.peers,
+      static_cast<long long>(scenario.rounds),
       sim::RoundsToDays(scenario.rounds),
       static_cast<unsigned long long>(scenario.seed), scenario.options.k,
       scenario.options.m, scenario.options.quota_blocks,
       static_cast<long long>(scenario.options.partner_timeout),
-      scenario.options.quota_market ? 1 : 0);
+      scenario.options.quota_market ? 1 : 0, scenario.workload.events.size());
 }
 
 }  // namespace bench

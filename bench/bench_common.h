@@ -4,7 +4,9 @@
 //
 // Default scales are laptop-sized (the shape of every curve is stable well
 // below the paper's 25,000 peers); pass --paper to any figure bench for the
-// full 25,000-peer / 50,000-round configuration.
+// full 25,000-peer / 50,000-round configuration, and --scenario=<name|file>
+// to swap the simulated world (see README "Scenarios" and
+// src/scenario/registry.h for the built-in names).
 
 #ifndef P2P_BENCH_BENCH_COMMON_H_
 #define P2P_BENCH_BENCH_COMMON_H_
@@ -12,42 +14,24 @@
 #include <string>
 #include <vector>
 
-#include "backup/network.h"
-#include "backup/options.h"
-#include "churn/profile.h"
-#include "metrics/categories.h"
-#include "sim/engine.h"
-#include "sweep/spec.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "sim/clock.h"
 #include "util/flags.h"
 
 namespace p2p {
 namespace bench {
 
-/// The scenario vocabulary now lives in the sweep subsystem (src/sweep/);
-/// the benches keep their historical names as aliases. A serial bench loop
-/// is just a sequence of one-cell sweeps - and the grid-shaped benches run
-/// their whole grid through sweep::RunSweep instead.
-using ProfileMix = sweep::ProfileMix;
-using Scenario = sweep::Scenario;
-using Outcome = sweep::Outcome;
+/// The scenario vocabulary lives in src/scenario/; the benches keep their
+/// historical names as aliases. A serial bench loop is just a sequence of
+/// one-cell runs - and the grid-shaped benches run their whole grid through
+/// sweep::RunSweep instead.
+using Scenario = scenario::Scenario;
+using Outcome = scenario::Outcome;
+using ScenarioFlags = scenario::ScenarioFlags;
 
 /// Runs a scenario to completion (a one-cell sweep).
 Outcome Run(const Scenario& scenario);
-
-/// Registers the common scale flags (--peers, --rounds, --seed, --paper,
-/// --bernoulli) against `scenario`; call Apply after parsing.
-class ScaleFlags {
- public:
-  void Register(util::FlagSet* flags);
-  void Apply(Scenario* scenario) const;
-
- private:
-  int64_t peers_ = 0;   // 0 = keep scenario default
-  int64_t rounds_ = 0;
-  int64_t seed_ = -1;
-  bool paper_ = false;
-  bool bernoulli_ = false;
-};
 
 /// The five observers of the paper's figure 3.
 std::vector<std::pair<std::string, sim::Round>> PaperObservers();

@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
   int threads = 0;
 
   util::FlagSet flags;
-  bench::ScaleFlags scale;
+  bench::ScenarioFlags scale;
   scale.Register(&flags);
   flags.Int32("threshold-lo", &threshold_lo, "first threshold of the sweep");
   flags.Int32("threshold-hi", &threshold_hi, "last threshold of the sweep");
@@ -45,7 +45,10 @@ int main(int argc, char** argv) {
     std::cerr << "--threshold-step must be positive\n";
     return 1;
   }
-  scale.Apply(&base);
+  if (auto st = scale.Apply(&base); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
 
   bench::PrintRunBanner(
       "Figure 1: average repairs per 1000 peers per day vs repair threshold",

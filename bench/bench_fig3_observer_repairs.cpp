@@ -24,16 +24,20 @@ int main(int argc, char** argv) {
   scenario.options.repair_threshold = 148;
 
   util::FlagSet flags;
-  bench::ScaleFlags scale;
+  bench::ScenarioFlags scale;
   scale.Register(&flags);
-  int threshold = 148;
-  flags.Int32("threshold", &threshold, "repair threshold k'");
+  int threshold = 0;
+  flags.Int32("threshold", &threshold,
+              "repair threshold k' (0 = keep scenario value)");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
   }
-  scale.Apply(&scenario);
-  scenario.options.repair_threshold = threshold;
+  if (auto st = scale.Apply(&scenario); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (threshold > 0) scenario.options.repair_threshold = threshold;
 
   bench::PrintRunBanner("Figure 3: cumulative repairs of the five observers",
                         scenario);

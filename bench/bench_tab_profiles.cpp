@@ -7,26 +7,50 @@
 //   Erratic   35%         1 - 3 months      33%
 //
 // Draws one million peers from the generator and verifies empirically that
-// proportions, lifetime ranges/means and stationary availabilities match.
+// proportions, lifetime means and stationary availabilities match. The
+// audited population is a scenario (default: the paper table), so any
+// registry entry or scenario file can be checked the same way:
+//
+//   ./bench_tab_profiles [--scenario=weekend-heavy]
 
-#include <array>
 #include <cstdio>
 #include <iostream>
+#include <vector>
 
+#include "bench_common.h"
 #include "churn/profile.h"
 #include "sim/clock.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace p2p;
-  const churn::ProfileSet set = churn::ProfileSet::Paper();
+
+  bench::Scenario base;
+  util::FlagSet flags;
+  bench::ScenarioFlags scale;
+  scale.Register(&flags);
+  if (auto st = flags.Parse(argc, argv); !st.ok()) {
+    std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
+    return 1;
+  }
+  if (auto st = scale.Apply(&base); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+
+  const auto compiled = base.population.Compile();
+  if (!compiled.ok()) {
+    std::cerr << compiled.status().ToString() << "\n";
+    return 1;
+  }
+  const churn::ProfileSet& set = *compiled;
   util::Rng rng(2026);
 
   constexpr int kDraws = 1'000'000;
-  std::array<int64_t, 4> counts{};
-  std::array<util::RunningStat, 4> lifetimes;
+  std::vector<int64_t> counts(set.size(), 0);
+  std::vector<util::RunningStat> lifetimes(set.size());
   for (int i = 0; i < kDraws; ++i) {
     const uint32_t idx = set.SampleIndex(&rng);
     ++counts[idx];
@@ -37,7 +61,7 @@ int main() {
   }
 
   // Availability measured by simulating each profile's session process.
-  std::array<double, 4> measured_avail{};
+  std::vector<double> measured_avail(set.size(), 0.0);
   for (size_t p = 0; p < set.size(); ++p) {
     int64_t online = 0, total = 0;
     bool on = set[p].sessions.SampleInitialOnline(&rng);
@@ -51,26 +75,27 @@ int main() {
     measured_avail[p] = static_cast<double>(online) / static_cast<double>(total);
   }
 
-  std::printf("# Table: peer profiles, nominal vs measured (1M draws)\n");
-  util::Table t({"profile", "proportion", "measured", "life expectancy",
-                 "measured mean (days)", "availability", "measured avail"});
-  const char* expectancy[4] = {"unlimited", "1.5 - 3.5 years", "3 - 18 months",
-                               "1 - 3 months"};
+  std::printf("# Table: '%s' peer profiles, nominal vs measured (1M draws)\n",
+              base.name.c_str());
+  util::Table t({"profile", "proportion", "measured", "lifetime model",
+                 "mean (days)", "measured mean (days)", "availability",
+                 "measured avail"});
   for (size_t p = 0; p < set.size(); ++p) {
     t.BeginRow();
     t.Add(set[p].name);
     t.Add(set[p].proportion, 2);
     t.Add(counts[p] / static_cast<double>(kDraws), 4);
-    t.Add(expectancy[p]);
+    t.Add(set[p].lifetime->name());
+    const double mean = set[p].lifetime->MeanRounds();
+    if (mean == static_cast<double>(sim::kNever)) {
+      t.Add("unlimited");
+    } else {
+      t.Add(sim::RoundsToDays(static_cast<sim::Round>(mean)), 1);
+    }
     t.Add(lifetimes[p].count() > 0 ? lifetimes[p].mean() : 0.0, 1);
     t.Add(set[p].availability, 2);
     t.Add(measured_avail[p], 4);
   }
   t.RenderPretty(std::cout);
-
-  std::printf(
-      "\nexpected lifetime means: stable %.0f days, unstable %.0f days, "
-      "erratic %.0f days\n",
-      365.0 * 2.5, 30.0 * 10.5, 30.0 * 2.0);
   return 0;
 }

@@ -4,74 +4,104 @@
 // age criterion stratifies maintenance cost.
 //
 //   ./examples/observer_study [--peers=2000] [--days=500] [--threshold=148]
+//                             [--scenario=<name|file>]
+//
+// This example constructs the network directly (rather than through
+// scenario::RunScenario) because it inspects live per-observer partner
+// sets at the end of the run; the world itself still comes from a scenario.
 
 #include <cstdio>
 #include <iostream>
 
 #include "backup/network.h"
-#include "churn/profile.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
 #include "sim/engine.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
-  int64_t peers = 2000;
-  int64_t days = 500;
-  int threshold = 148;
-  int64_t seed = 42;
+  using namespace p2p;
 
-  p2p::util::FlagSet flags;
-  flags.Int64("peers", &peers, "population size");
-  flags.Int64("days", &days, "days to simulate");
-  flags.Int32("threshold", &threshold, "repair threshold k'");
-  flags.Int64("seed", &seed, "random seed");
+  scenario::Scenario s;
+  s.peers = 2000;
+  s.rounds = 500 * sim::kRoundsPerDay;
+
+  int64_t days = 0;
+  int threshold = 0;
+
+  util::FlagSet flags;
+  scenario::ScenarioFlags scale;
+  scale.Register(&flags);
+  flags.Int64("days", &days, "days to simulate (0 = keep --rounds/default)");
+  flags.Int32("threshold", &threshold,
+              "repair threshold k' (0 = keep scenario value)");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
   }
+  if (auto st = scale.Apply(&s); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (days > 0) s.rounds = days * sim::kRoundsPerDay;
+  if (threshold > 0) s.options.repair_threshold = threshold;
+  if (auto st = s.Validate(); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
 
-  p2p::sim::EngineOptions eopts;
-  eopts.seed = static_cast<uint64_t>(seed);
-  eopts.end_round = days * p2p::sim::kRoundsPerDay;
-  p2p::sim::Engine engine(eopts);
+  sim::EngineOptions eopts;
+  eopts.seed = s.seed;
+  eopts.end_round = s.rounds;
+  sim::Engine engine(eopts);
 
-  const p2p::churn::ProfileSet profiles = p2p::churn::ProfileSet::Paper();
-  p2p::backup::SystemOptions opts;
-  opts.num_peers = static_cast<uint32_t>(peers);
-  opts.repair_threshold = threshold;
-  p2p::backup::BackupNetwork network(&engine, &profiles, opts);
+  const auto profiles = s.population.Compile();
+  auto workload = scenario::CompileWorkload(s.workload, s.peers);
+  backup::SystemOptions opts = s.options;
+  opts.num_peers = s.peers;
+  backup::BackupNetwork network(&engine, &*profiles, opts,
+                                std::move(*workload));
 
   // The paper's observer ages (section 4.2.2).
   network.AddObserver("Baby (1 hour)", 1);
-  network.AddObserver("Teenager (1 day)", p2p::sim::kRoundsPerDay);
-  network.AddObserver("Adult (1 week)", p2p::sim::kRoundsPerWeek);
-  network.AddObserver("Senior (1 month)", p2p::sim::kRoundsPerMonth);
-  network.AddObserver("Elder (3 months)", 3 * p2p::sim::kRoundsPerMonth);
+  network.AddObserver("Teenager (1 day)", sim::kRoundsPerDay);
+  network.AddObserver("Adult (1 week)", sim::kRoundsPerWeek);
+  network.AddObserver("Senior (1 month)", sim::kRoundsPerMonth);
+  network.AddObserver("Elder (3 months)", 3 * sim::kRoundsPerMonth);
 
   engine.Run();
 
-  std::printf("observers after %lld days (threshold %d, %lld peers):\n\n",
-              static_cast<long long>(days), threshold,
-              static_cast<long long>(peers));
-  p2p::util::Table table({"observer", "frozen age (days)", "repairs", "losses",
-                          "partner avail", "partner age (d)", "visible",
-                          "dur/sta/uns/err"});
+  std::printf("observers after %.0f days of '%s' (threshold %d, %u peers):\n\n",
+              sim::RoundsToDays(s.rounds), s.name.c_str(),
+              s.options.repair_threshold, s.peers);
+  util::Table table({"observer", "frozen age (days)", "repairs", "losses",
+                     "partner avail", "partner age (d)", "visible",
+                     "partner profiles"});
+  // Observer ids start above every normal slot (including slots reserved
+  // for workload join waves).
+  const auto first_observer =
+      static_cast<backup::PeerId>(network.total_ids() -
+                                  network.observers().size());
   for (size_t i = 0; i < network.observers().size(); ++i) {
     const auto& obs = network.observers()[i];
-    const auto id = static_cast<p2p::backup::PeerId>(peers + i);
+    const auto id = static_cast<backup::PeerId>(first_observer + i);
     const auto ps = network.ComputePartnerStats(id);
     table.BeginRow();
     table.Add(obs.name);
-    table.Add(p2p::sim::RoundsToDays(obs.frozen_age), 2);
+    table.Add(sim::RoundsToDays(obs.frozen_age), 2);
     table.Add(obs.repairs);
     table.Add(obs.losses);
     table.Add(ps.mean_nominal_availability, 3);
     table.Add(ps.mean_age_days, 1);
     table.Add(network.VisibleBlocks(id));
-    char mix[64];
-    std::snprintf(mix, sizeof(mix), "%d/%d/%d/%d", ps.profile_counts[0],
-                  ps.profile_counts[1], ps.profile_counts[2],
-                  ps.profile_counts[3]);
+    std::string mix;
+    for (size_t p = 0; p < s.population.profiles.size() &&
+                       p < ps.profile_counts.size();
+         ++p) {
+      if (!mix.empty()) mix += '/';
+      mix += std::to_string(ps.profile_counts[p]);
+    }
     table.Add(mix);
   }
   table.RenderPretty(std::cout);
@@ -83,7 +113,7 @@ int main(int argc, char** argv) {
   const size_t samples = network.observers().front().cumulative_repairs.samples().size();
   const size_t step = samples > 20 ? samples / 20 : 1;
   for (size_t i = 0; i < samples; i += step) {
-    std::printf("%.0f", p2p::sim::RoundsToDays(
+    std::printf("%.0f", sim::RoundsToDays(
                             network.observers()[0].cumulative_repairs.samples()[i].first));
     for (const auto& obs : network.observers()) {
       std::printf("\t%.0f", obs.cumulative_repairs.samples()[i].second);

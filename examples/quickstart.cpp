@@ -3,34 +3,41 @@
 // library's public API.
 //
 //   ./examples/quickstart [--peers=2000] [--rounds=8760] [--threshold=148]
+//                         [--scenario=<name|file>]
+//
+// The simulated world is a scenario (default: the "bernoulli" registry
+// entry); `./scenario_tool list` shows the other built-ins.
 
 #include <cstdio>
 #include <iostream>
 
-#include "backup/network.h"
-#include "backup/options.h"
-#include "churn/profile.h"
 #include "metrics/categories.h"
-#include "sim/engine.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
-  int64_t peers = 2000;
-  int64_t rounds = 8760;  // one year of hourly rounds
-  int threshold = 148;
-  int64_t seed = 42;
-  bool diurnal = false;
+  using namespace p2p;
 
-  p2p::util::FlagSet flags;
-  flags.Int64("peers", &peers, "population size");
-  flags.Int64("rounds", &rounds, "rounds to simulate (1 round = 1 hour)");
-  flags.Int32("threshold", &threshold, "repair threshold k'");
-  flags.Int64("seed", &seed, "random seed");
-  flags.Bool("diurnal", &diurnal,
-             "use diurnal availability sessions instead of per-round coins");
+  // 1. A scenario: world (population + workload) plus scale and options.
+  scenario::Scenario s;
+  s.peers = 2000;
+  s.rounds = 8760;  // one year of hourly rounds
+  s.options.visibility = backup::VisibilityModel::kInstantOnline;
+  if (auto world = scenario::FindScenario("bernoulli"); world.ok()) {
+    scenario::ApplyWorld(*world, &s);
+  }
+
+  int threshold = 0;
   bool timeout_mode = false;
   int64_t partner_timeout = 24;
+
+  util::FlagSet flags;
+  scenario::ScenarioFlags scale;
+  scale.Register(&flags);
+  flags.Int32("threshold", &threshold,
+              "repair threshold k' (0 = keep scenario value)");
   flags.Bool("timeout-mode", &timeout_mode,
              "write blocks off after a partner timeout instead of counting "
              "online partners");
@@ -40,61 +47,54 @@ int main(int argc, char** argv) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
   }
+  if (auto st = scale.Apply(&s); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (threshold > 0) s.options.repair_threshold = threshold;
+  if (timeout_mode) {
+    s.options.visibility = backup::VisibilityModel::kTimeoutPresumed;
+    s.options.partner_timeout = partner_timeout;
+  }
+  if (auto st = s.Validate(); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
 
-  // 1. A deterministic round-based engine (1 round = 1 hour).
-  p2p::sim::EngineOptions eopts;
-  eopts.seed = static_cast<uint64_t>(seed);
-  eopts.end_round = rounds;
-  p2p::sim::Engine engine(eopts);
+  // 2. Run (a private deterministic engine + network under the hood).
+  const scenario::Outcome out = scenario::RunScenario(s);
 
-  // 2. The paper's four behaviour profiles (Durable/Stable/Unstable/Erratic).
-  const p2p::churn::ProfileSet profiles =
-      diurnal ? p2p::churn::ProfileSet::Paper()
-              : p2p::churn::ProfileSet::PaperBernoulli();
+  // 3. Report.
+  std::printf(
+      "simulated %lld rounds (%.0f days) of '%s' with %u peers, k'=%d\n\n",
+      static_cast<long long>(s.rounds), sim::RoundsToDays(s.rounds),
+      s.name.c_str(), s.peers, s.options.repair_threshold);
 
-  // 3. The backup network: erasure-coded archives (k=128, m=128), age-aware
-  //    partner selection, fixed repair threshold.
-  p2p::backup::SystemOptions opts;
-  opts.num_peers = static_cast<uint32_t>(peers);
-  opts.repair_threshold = threshold;
-  opts.visibility = timeout_mode
-                        ? p2p::backup::VisibilityModel::kTimeoutPresumed
-                        : p2p::backup::VisibilityModel::kInstantOnline;
-  opts.partner_timeout = partner_timeout;
-  p2p::backup::BackupNetwork network(&engine, &profiles, opts);
-
-  // 4. Run.
-  engine.Run();
-
-  // 5. Report.
-  std::printf("simulated %lld rounds (%.0f days) with %lld peers, k'=%d\n\n",
-              static_cast<long long>(rounds), p2p::sim::RoundsToDays(rounds),
-              static_cast<long long>(peers), threshold);
-
-  p2p::util::Table table({"category", "mean population", "repairs", "losses",
-                          "repairs/1000/day", "losses/1000/day"});
-  const auto& acc = network.accounting();
-  for (int c = 0; c < p2p::metrics::kCategoryCount; ++c) {
-    const auto cat = static_cast<p2p::metrics::AgeCategory>(c);
-    const auto snap = acc.Snapshot(cat);
+  util::Table table({"category", "mean population", "repairs", "losses",
+                     "repairs/1000/day", "losses/1000/day"});
+  for (int c = 0; c < metrics::kCategoryCount; ++c) {
+    const auto cat = static_cast<metrics::AgeCategory>(c);
+    const size_t i = static_cast<size_t>(c);
     table.BeginRow();
-    table.Add(p2p::metrics::CategoryName(cat));
-    table.Add(acc.MeanPopulation(cat), 1);
-    table.Add(snap.repairs);
-    table.Add(snap.losses);
-    table.Add(acc.RepairsPer1000PerDay(cat), 3);
-    table.Add(acc.LossesPer1000PerDay(cat), 3);
+    table.Add(metrics::CategoryName(cat));
+    table.Add(out.mean_population[i], 1);
+    table.Add(out.categories[i].repairs);
+    table.Add(out.categories[i].losses);
+    table.Add(out.repairs_per_1000_day[i], 3);
+    table.Add(out.losses_per_1000_day[i], 3);
   }
   table.RenderPretty(std::cout);
 
-  const auto pop = network.ComputePopulationStats();
+  const auto& pop = out.population;
   std::printf(
       "\npopulation: %.1f partners/peer (%.1f visible), %.1f/%d quota used, "
-      "%.0f%% online, %lld backed up\n",
-      pop.mean_partners, pop.mean_visible, pop.mean_hosted, opts.quota_blocks,
-      100.0 * pop.online_fraction, static_cast<long long>(pop.backed_up));
+      "%.0f%% online, %lld backed up, %lld live at the end\n",
+      pop.mean_partners, pop.mean_visible, pop.mean_hosted,
+      s.options.quota_blocks, 100.0 * pop.online_fraction,
+      static_cast<long long>(pop.backed_up),
+      static_cast<long long>(out.final_population));
 
-  const auto& totals = network.totals();
+  const auto& totals = out.totals;
   std::printf(
       "\ntotals: %lld repairs, %lld losses, %lld blocks uploaded, "
       "%lld departures, %lld timeout-severed partnerships\n",

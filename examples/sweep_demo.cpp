@@ -1,7 +1,8 @@
-// Drive a two-axis scenario sweep (repair threshold x host quota) through
-// the parallel runner and print a report.
+// Drive a multi-axis scenario sweep (repair threshold x host quota x named
+// scenario) through the parallel runner and print a report.
 //
 //   ./sweep_demo --thresholds=132,148,164 --quotas=256,384
+//                --scenarios=paper,flash-crowd
 //                --replicates=3 --threads=4 --format=pretty
 //
 // Formats: pretty (per-cell + aggregate tables), csv (per-cell rows),
@@ -11,6 +12,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "scenario/parse.h"
+#include "scenario/registry.h"
 #include "sweep/report.h"
 #include "sweep/runner.h"
 #include "sweep/spec.h"
@@ -19,26 +22,24 @@
 int main(int argc, char** argv) {
   using namespace p2p;
 
-  sweep::Scenario base;
-  base.peers = 1500;
-  base.rounds = 18'000;
+  sweep::SweepSpec spec;
   std::string thresholds = "132,148,164";
   std::string quotas = "";
-  int64_t peers = 0;
-  int64_t rounds = 0;
-  int64_t seed = -1;
+  std::string scenarios = "";
   int64_t replicates = 1;
   int threads = 0;
   std::string format = "pretty";
 
   util::FlagSet flags;
+  scenario::ScenarioFlags scale;
+  scale.Register(&flags);
   flags.String("thresholds", &thresholds,
                "comma-separated repair thresholds (axis 1)");
   flags.String("quotas", &quotas,
                "comma-separated host quotas (axis 2; empty = keep default)");
-  flags.Int64("peers", &peers, "population size (0 = default 1500)");
-  flags.Int64("rounds", &rounds, "rounds to simulate (0 = default 18000)");
-  flags.Int64("seed", &seed, "master seed (-1 = default 42)");
+  flags.String("scenarios", &scenarios,
+               "comma-separated scenario names/files (axis 3; empty = base "
+               "world only)");
   flags.Int64("replicates", &replicates, "seed replicates per grid point");
   flags.Int32("threads", &threads, "worker threads (0 = hardware)");
   flags.String("format", &format, "pretty | csv | aggregate | json");
@@ -46,21 +47,27 @@ int main(int argc, char** argv) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
   }
-  if (peers > 0) base.peers = static_cast<uint32_t>(peers);
-  if (rounds > 0) base.rounds = rounds;
-  if (seed >= 0) base.seed = static_cast<uint64_t>(seed);
+  if (auto st = scale.Apply(&spec.base); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
 
-  sweep::SweepSpec spec;
-  spec.base = base;
   spec.replicates = static_cast<int>(replicates);
-  if (auto st = sweep::ParseIntList(thresholds, &spec.repair_thresholds);
+  if (auto st = scenario::ParseIntList(thresholds, &spec.repair_thresholds);
       !st.ok()) {
     std::cerr << "--thresholds: " << st.ToString() << "\n";
     return 1;
   }
   if (!quotas.empty()) {
-    if (auto st = sweep::ParseIntList(quotas, &spec.quotas); !st.ok()) {
+    if (auto st = scenario::ParseIntList(quotas, &spec.quotas); !st.ok()) {
       std::cerr << "--quotas: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!scenarios.empty()) {
+    if (auto st = scenario::ParseStringList(scenarios, &spec.scenarios);
+        !st.ok()) {
+      std::cerr << "--scenarios: " << st.ToString() << "\n";
       return 1;
     }
   }

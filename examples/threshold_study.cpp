@@ -3,58 +3,72 @@
 // between the loss rate and the repair rate." (paper 4.2.1)
 //
 //   ./examples/threshold_study [--peers=1200] [--days=400]
+//                              [--scenario=<name|file>]
+//
+// The threshold grid runs through the parallel sweep runner; the world is a
+// scenario, so `--scenario=mass-exit` shows the same trade-off under a
+// correlated departure wave.
 
 #include <cstdio>
 #include <iostream>
 
-#include "backup/network.h"
-#include "churn/profile.h"
-#include "sim/engine.h"
+#include "metrics/categories.h"
+#include "scenario/registry.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
 #include "util/flags.h"
 #include "util/table.h"
 
 int main(int argc, char** argv) {
-  int64_t peers = 1200;
-  int64_t days = 400;
-  int64_t seed = 42;
+  using namespace p2p;
 
-  p2p::util::FlagSet flags;
-  flags.Int64("peers", &peers, "population size");
-  flags.Int64("days", &days, "days to simulate per threshold");
-  flags.Int64("seed", &seed, "random seed");
+  sweep::SweepSpec spec;
+  spec.base.peers = 1200;
+  spec.base.rounds = 400 * sim::kRoundsPerDay;
+  spec.repair_thresholds = {132, 140, 148, 156, 164};
+
+  int64_t days = 0;
+  int threads = 0;
+
+  util::FlagSet flags;
+  scenario::ScenarioFlags scale;
+  scale.Register(&flags);
+  flags.Int64("days", &days, "days to simulate per threshold (0 = default)");
+  flags.Int32("threads", &threads, "worker threads (0 = hardware)");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
   }
+  if (auto st = scale.Apply(&spec.base); !st.ok()) {
+    std::cerr << st.ToString() << "\n";
+    return 1;
+  }
+  if (days > 0) spec.base.rounds = days * sim::kRoundsPerDay;
 
-  const p2p::churn::ProfileSet profiles = p2p::churn::ProfileSet::Paper();
-  p2p::util::Table t({"threshold", "repairs/1000/day (all)", "newcomer repairs",
-                      "losses/1000/day (newcomers)", "total losses"});
-  for (int threshold : {132, 140, 148, 156, 164}) {
-    p2p::sim::EngineOptions eopts;
-    eopts.seed = static_cast<uint64_t>(seed);
-    eopts.end_round = days * p2p::sim::kRoundsPerDay;
-    p2p::sim::Engine engine(eopts);
-    p2p::backup::SystemOptions opts;
-    opts.num_peers = static_cast<uint32_t>(peers);
-    opts.repair_threshold = threshold;
-    p2p::backup::BackupNetwork network(&engine, &profiles, opts);
-    engine.Run();
+  sweep::RunnerOptions ropts;
+  ropts.threads = threads;
+  const auto results = sweep::RunSweep(spec, ropts);
+  if (!results.ok()) {
+    std::cerr << results.status().ToString() << "\n";
+    return 1;
+  }
 
-    const auto& acc = network.accounting();
+  util::Table t({"threshold", "repairs/1000/day (all)", "newcomer repairs",
+                 "losses/1000/day (newcomers)", "total losses"});
+  for (const sweep::CellResult& r : *results) {
+    const sweep::Outcome& out = r.outcome;
     double all_rate = 0;
-    for (int c = 0; c < p2p::metrics::kCategoryCount; ++c) {
-      all_rate +=
-          acc.RepairsPer1000PerDay(static_cast<p2p::metrics::AgeCategory>(c)) *
-          acc.MeanPopulation(static_cast<p2p::metrics::AgeCategory>(c));
+    for (int c = 0; c < metrics::kCategoryCount; ++c) {
+      all_rate += out.repairs_per_1000_day[static_cast<size_t>(c)] *
+                  out.mean_population[static_cast<size_t>(c)];
     }
-    all_rate /= static_cast<double>(peers);
+    all_rate /= static_cast<double>(spec.base.peers);
     t.BeginRow();
-    t.Add(threshold);
+    t.Add(r.cell.scenario.options.repair_threshold);
     t.Add(all_rate, 3);
-    t.Add(acc.RepairsPer1000PerDay(p2p::metrics::AgeCategory::kNewcomer), 3);
-    t.Add(acc.LossesPer1000PerDay(p2p::metrics::AgeCategory::kNewcomer), 4);
-    t.Add(network.totals().losses);
+    t.Add(out.repairs_per_1000_day[0], 3);
+    t.Add(out.losses_per_1000_day[0], 4);
+    t.Add(out.totals.losses);
   }
   t.RenderPretty(std::cout);
   std::printf(

@@ -18,4 +18,25 @@ echo "== smoke sweep: 2x2 grid, 2 replicates, 2 threads =="
   --replicates=2 --threads=2 --format=aggregate
 
 echo
+echo "== scenario smoke: every registered scenario, invariant-checked =="
+# 200 rounds at 500 peers per scenario; --check makes the run fail on any
+# Validate() error or violated simulation invariant.
+for scenario in $(./build/scenario_tool list); do
+  echo "-- scenario: ${scenario}"
+  ./build/scenario_tool run "${scenario}" --peers=500 --rounds=200 --check \
+    > /dev/null
+done
+
+echo
+echo "== workload smoke: population events actually fire, invariant-checked =="
+# The registry's workload events start at day 30-100 (rounds 720-2400), so
+# the 200-round loop above never executes a join wave or exit. Run the three
+# event scenarios long enough that every event fires at least once.
+for scenario in flash-crowd mass-exit growing; do
+  echo "-- scenario: ${scenario} (3000 rounds)"
+  ./build/scenario_tool run "${scenario}" --peers=500 --rounds=3000 --check \
+    > /dev/null
+done
+
+echo
 echo "check.sh: OK"

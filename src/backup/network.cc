@@ -18,31 +18,51 @@ constexpr uint32_t kMaxObservers = 64;
 
 }  // namespace
 
+namespace {
+
+// Id slots that must be reserved above num_peers so every scheduled join
+// wave finds a fresh slot (exited slots are never reused).
+uint32_t TotalScheduledJoins(const std::vector<PopulationAdjustment>& workload) {
+  uint64_t joins = 0;
+  for (const PopulationAdjustment& adj : workload) joins += adj.joins;
+  P2P_CHECK(joins <= UINT32_MAX);
+  return static_cast<uint32_t>(joins);
+}
+
+}  // namespace
+
 BackupNetwork::BackupNetwork(sim::Engine* engine,
                              const churn::ProfileSet* profiles,
-                             const SystemOptions& options)
+                             const SystemOptions& options,
+                             std::vector<PopulationAdjustment> workload)
     : engine_(engine),
       profiles_(profiles),
       options_(options),
+      normal_slots_(options.num_peers + TotalScheduledJoins(workload)),
+      next_join_slot_(options.num_peers),
+      workload_(std::move(workload)),
       selection_(core::MakeSelection(options.selection)),
       policy_(core::MakePolicy(options.policy, options.repair_threshold)),
       acceptance_(options.acceptance_horizon),
       churn_rng_(engine->Stream(kChurnStream)),
       place_rng_(engine->Stream(kPlacementStream)),
-      monitor_(options.num_peers + kMaxObservers) {
+      monitor_(normal_slots_ + kMaxObservers) {
   const util::Status valid = options.Validate();
   if (!valid.ok()) {
     P2P_LOG_ERROR("invalid SystemOptions: %s", valid.ToString().c_str());
   }
   P2P_CHECK(valid.ok());
+  for (size_t i = 1; i < workload_.size(); ++i) {
+    P2P_CHECK(workload_[i - 1].at <= workload_[i].at);  // round-sorted
+  }
   const int n_total = options.k + options.m;
   flag_level_ = policy_->FlagLevel(options.k, n_total);
   partner_cap_ = static_cast<int>(options.max_partner_factor * n_total);
 
-  peers_.resize(options.num_peers);
-  partners_.resize(options.num_peers);
-  clients_.resize(options.num_peers);
-  mark_.assign(options.num_peers + kMaxObservers, 0);
+  peers_.resize(normal_slots_);
+  partners_.resize(normal_slots_);
+  clients_.resize(normal_slots_);
+  mark_.assign(normal_slots_ + kMaxObservers, 0);
 
   BootstrapPopulation();
   engine_->AddRoundHook([this](sim::Round now) { OnRound(now); });
@@ -63,6 +83,7 @@ size_t BackupNetwork::AddObserver(const std::string& name, sim::Round frozen_age
   clients_.emplace_back();
   PeerState& p = peers_.back();
   p.is_observer = true;
+  p.live = true;
   p.frozen_age = frozen_age;
   p.online = true;
   p.needs_repair = true;
@@ -82,6 +103,8 @@ void BackupNetwork::InitPeer(PeerId id, sim::Round now) {
   const uint32_t incarnation = p.incarnation;  // bumped by DepartPeer
   p = PeerState();
   p.incarnation = incarnation;
+  p.live = true;
+  ++live_count_;
   p.profile = profiles_->SampleIndex(churn_rng_);
   p.join_round = now;
 
@@ -111,9 +134,10 @@ void BackupNetwork::InitPeer(PeerId id, sim::Round now) {
   EnqueueRepair(id);
 }
 
-void BackupNetwork::DepartPeer(PeerId id, sim::Round now) {
+void BackupNetwork::DepartPeer(PeerId id, sim::Round now, bool replace) {
   PeerState& p = peers_[id];
   ++totals_.departures;
+  --live_count_;
   accounting_.PeerLeft(CategoryAt(id, now));
   monitor_.RecordDeparture(id, now);
 
@@ -137,10 +161,50 @@ void BackupNetwork::DepartPeer(PeerId id, sim::Round now) {
   }
 
   ++p.incarnation;  // invalidates every scheduled event of the old peer
+  if (!replace) {
+    // Workload exit: the slot stays vacant (dead slots are skipped by the
+    // candidate sampler and are never reused).
+    const uint32_t incarnation = p.incarnation;
+    p = PeerState();
+    p.incarnation = incarnation;
+    return;
+  }
   InitPeer(id, now);  // immediate replacement (paper 4.1)
 }
 
+void BackupNetwork::ApplyAdjustment(const PopulationAdjustment& adj,
+                                    sim::Round now) {
+  if (adj.exits > 0) {
+    // A correlated departure wave: `exits` distinct live peers chosen
+    // uniformly (partial Fisher-Yates over the live slot list, driven by
+    // the churn stream so runs stay reproducible). Local vector: DepartPeer
+    // clobbers the shared scratch buffers.
+    std::vector<PeerId> live;
+    live.reserve(static_cast<size_t>(live_count_));
+    for (PeerId id = 0; id < normal_slots_; ++id) {
+      if (peers_[id].live) live.push_back(id);
+    }
+    P2P_CHECK(adj.exits <= live.size());
+    for (uint32_t i = 0; i < adj.exits; ++i) {
+      const size_t j =
+          i + static_cast<size_t>(churn_rng_->UniformInt(
+                  0, static_cast<int64_t>(live.size() - 1 - i)));
+      std::swap(live[i], live[j]);
+      DepartPeer(live[i], now, /*replace=*/false);
+    }
+  }
+  for (uint32_t i = 0; i < adj.joins; ++i) {
+    P2P_CHECK(next_join_slot_ < normal_slots_);
+    InitPeer(next_join_slot_++, now);
+  }
+}
+
 void BackupNetwork::OnRound(sim::Round now) {
+  while (workload_next_ < workload_.size() &&
+         workload_[workload_next_].at <= now) {
+    ApplyAdjustment(workload_[workload_next_], now);
+    ++workload_next_;
+  }
   departures_.DrainInto(now, [&](const Event& e) { ProcessDeparture(e, now); });
   toggles_.DrainInto(now, [&](const Event& e) { ProcessToggle(e, now); });
   timeouts_.DrainInto(now, [&](const Event& e) { ProcessTimeout(e, now); });
@@ -399,7 +463,7 @@ void BackupNetwork::HandleArchiveLoss(PeerId owner, sim::Round now) {
   PeerState& p = peers_[owner];
   ++totals_.losses;
   if (p.is_observer) {
-    ++observer_results_[owner - options_.num_peers].losses;
+    ++observer_results_[owner - normal_slots_].losses;
   } else {
     accounting_.RecordLoss(CategoryAt(owner, now));
   }
@@ -477,7 +541,7 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
     p.episode_active = true;
     ++totals_.repairs;
     if (p.is_observer) {
-      ++observer_results_[id - options_.num_peers].repairs;
+      ++observer_results_[id - normal_slots_].repairs;
     } else {
       accounting_.RecordRepair(CategoryAt(id, now), n - basis);
     }
@@ -530,10 +594,12 @@ int BackupNetwork::BuildPool(PeerId owner, int needed,
   for (int64_t draw = 0;
        draw < max_draws && static_cast<int>(pool->size()) < target_pool; ++draw) {
     const PeerId c = static_cast<PeerId>(
-        place_rng_->UniformInt(0, static_cast<int64_t>(options_.num_peers) - 1));
+        place_rng_->UniformInt(0, static_cast<int64_t>(normal_slots_) - 1));
     if (mark_[c] == mark_epoch_) continue;
     mark_[c] = mark_epoch_;
     const PeerState& cand = peers_[c];
+    // Vacant slots (pre-join reserves, workload exits) are not members.
+    if (!cand.live) continue;
     // Instant mode admits offline candidates: "the upload of generated
     // blocks can be done later as new partners become available" (paper
     // 3.1). Timeout mode must not: an offline partner would start timing
@@ -602,14 +668,15 @@ void BackupNetwork::SampleSeries(sim::Round now) {
 
 BackupNetwork::PopulationStats BackupNetwork::ComputePopulationStats() const {
   PopulationStats s;
-  const uint32_t p = options_.num_peers;
-  for (PeerId id = 0; id < p; ++id) {
+  for (PeerId id = 0; id < normal_slots_; ++id) {
+    if (!peers_[id].live) continue;
     s.mean_partners += static_cast<double>(partners_[id].size());
     s.mean_visible += static_cast<double>(peers_[id].visible);
     s.mean_hosted += static_cast<double>(peers_[id].hosted);
     s.online_fraction += peers_[id].online ? 1.0 : 0.0;
     s.backed_up += peers_[id].backed_up ? 1 : 0;
   }
+  const double p = live_count_ > 0 ? static_cast<double>(live_count_) : 1.0;
   s.mean_partners /= p;
   s.mean_visible /= p;
   s.mean_hosted /= p;
@@ -640,7 +707,18 @@ void BackupNetwork::CheckInvariants() const {
   const int n = options_.k + options_.m;
   const int bound = instant_visibility() ? partner_cap_ : n;
   std::vector<int> hosted_check(peers_.size(), 0);
+  int64_t live_check = 0;
   for (PeerId o = 0; o < peers_.size(); ++o) {
+    if (!peers_[o].live) {
+      // Vacant slot (reserved for a future join or emptied by a mass exit):
+      // no memberships of any kind may linger.
+      P2P_CHECK(partners_[o].empty());
+      P2P_CHECK(clients_[o].empty());
+      P2P_CHECK(!peers_[o].online);
+      P2P_CHECK(peers_[o].hosted == 0);
+      continue;
+    }
+    if (!peers_[o].is_observer) ++live_check;
     P2P_CHECK(static_cast<int>(partners_[o].size()) <= bound);
     if (instant_visibility()) {
       int visible_check = 0;
@@ -651,7 +729,8 @@ void BackupNetwork::CheckInvariants() const {
     }
     for (uint32_t i = 0; i < partners_[o].size(); ++i) {
       const Link& link = partners_[o][i];
-      P2P_CHECK(link.peer < options_.num_peers);  // hosts are normal peers
+      P2P_CHECK(link.peer < normal_slots_);  // hosts are normal peers
+      P2P_CHECK(peers_[link.peer].live);     // ...and members right now
       P2P_CHECK(link.back < clients_[link.peer].size());
       const Link& twin = clients_[link.peer][link.back];
       P2P_CHECK(twin.peer == o && twin.back == i);
@@ -664,6 +743,7 @@ void BackupNetwork::CheckInvariants() const {
     std::sort(hosts.begin(), hosts.end());
     P2P_CHECK(std::adjacent_find(hosts.begin(), hosts.end()) == hosts.end());
   }
+  P2P_CHECK(live_check == live_count_);
   for (PeerId h = 0; h < peers_.size(); ++h) {
     if (options_.departure_grace == 0) {
       P2P_CHECK(peers_[h].hosted == hosted_check[h]);

@@ -33,9 +33,21 @@
 namespace p2p {
 namespace backup {
 
-/// Peer identifier; ids < num_peers are normal peers, ids above are
-/// observers.
+/// Peer identifier; ids below the normal-slot capacity are normal peers,
+/// ids above are observers.
 using PeerId = uint32_t;
+
+/// \brief One scheduled population perturbation, resolved to absolute
+/// counts (compiled from a scenario workload; see scenario::CompileWorkload).
+///
+/// Applied at the start of round `at`, before any churn event of that round:
+/// first `exits` uniformly chosen live peers depart definitively and are NOT
+/// replaced, then `joins` fresh peers enter on previously unused id slots.
+struct PopulationAdjustment {
+  sim::Round at = 0;
+  uint32_t joins = 0;
+  uint32_t exits = 0;
+};
 
 /// \brief A measurement peer with frozen age (paper, section 4.2.2):
 /// "An observer is a special peer, whose age does not increase ... Other
@@ -70,9 +82,14 @@ struct RunTotals {
 class BackupNetwork {
  public:
   /// Wires the network into `engine` (registers the round hook). The engine
-  /// and profile set must outlive the network.
+  /// and profile set must outlive the network. `workload` is an optional
+  /// round-sorted list of population perturbations (join waves, correlated
+  /// exits); id slots for every scheduled join are reserved up front, so the
+  /// candidate-sampling sequence of a workload-free run is byte-identical to
+  /// the historical constant-population behaviour.
   BackupNetwork(sim::Engine* engine, const churn::ProfileSet* profiles,
-                const SystemOptions& options);
+                const SystemOptions& options,
+                std::vector<PopulationAdjustment> workload = {});
 
   /// Adds an observer with the given frozen age; call before the first
   /// engine step. Returns its index into observers().
@@ -89,6 +106,11 @@ class BackupNetwork {
   /// \name Introspection (tests, invariant checks).
   /// @{
   uint32_t total_ids() const { return static_cast<uint32_t>(peers_.size()); }
+  /// Live normal peers right now (excludes observers and vacated slots);
+  /// equals num_peers until a workload adjustment fires.
+  int64_t LivePopulation() const { return live_count_; }
+  /// True while `id` denotes a member of the system (observers included).
+  bool IsLive(PeerId id) const { return peers_[id].live; }
   bool IsOnline(PeerId id) const { return peers_[id].online; }
   bool IsBackedUp(PeerId id) const { return peers_[id].backed_up; }
   int AliveBlocks(PeerId id) const {
@@ -130,6 +152,9 @@ class BackupNetwork {
   struct PeerState {
     uint32_t profile = 0;
     uint32_t incarnation = 0;
+    // Member of the system right now. False for join slots that have not
+    // been activated yet and for slots vacated by a mass exit.
+    bool live = false;
     sim::Round join_round = 0;
     sim::Round departure_round = sim::kNever;
     sim::Round next_toggle = sim::kNever;
@@ -161,7 +186,11 @@ class BackupNetwork {
   // --- lifecycle ---
   void BootstrapPopulation();
   void InitPeer(PeerId id, sim::Round now);
-  void DepartPeer(PeerId id, sim::Round now);
+  /// `replace` keeps the population constant (the paper's model); workload
+  /// mass exits pass false and leave the slot vacant.
+  void DepartPeer(PeerId id, sim::Round now, bool replace = true);
+  /// Executes one workload adjustment: exits, then joins.
+  void ApplyAdjustment(const PopulationAdjustment& adj, sim::Round now);
 
   // --- round processing ---
   void OnRound(sim::Round now);
@@ -218,6 +247,13 @@ class BackupNetwork {
   sim::Engine* engine_;
   const churn::ProfileSet* profiles_;
   SystemOptions options_;
+  // Normal-peer id slots: the initial population plus one reserved slot per
+  // scheduled workload join. Observers live above this bound.
+  uint32_t normal_slots_ = 0;
+  uint32_t next_join_slot_ = 0;  // first never-used slot
+  int64_t live_count_ = 0;
+  std::vector<PopulationAdjustment> workload_;
+  size_t workload_next_ = 0;
   std::unique_ptr<core::SelectionStrategy> selection_;
   std::unique_ptr<core::MaintenancePolicy> policy_;
   core::AcceptanceFunction acceptance_;

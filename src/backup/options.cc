@@ -56,12 +56,52 @@ util::Status SystemOptions::Validate() const {
     return Invalid("departure_grace must be >= 0 rounds");
   }
   if (loss_rate_tau < 1) {
-    return Invalid("loss_rate_tau must be >= 1 round");
+    // A non-positive EMA time constant divides by zero in the loss-rate
+    // decay; name the value so sweep errors point at the offending cell.
+    return Invalid("loss_rate_tau must be >= 1 round, got " +
+                   std::to_string(loss_rate_tau));
   }
   if (sample_interval < 1) {
-    return Invalid("sample_interval must be >= 1 round");
+    // sample_interval <= 0 would stall the series sampler (next_sample_
+    // never advances past now).
+    return Invalid("sample_interval must be >= 1 round, got " +
+                   std::to_string(sample_interval));
   }
   return util::Status::OK();
+}
+
+bool operator==(const SystemOptions& a, const SystemOptions& b) {
+  return a.num_peers == b.num_peers && a.k == b.k && a.m == b.m &&
+         a.repair_threshold == b.repair_threshold &&
+         a.quota_blocks == b.quota_blocks && a.visibility == b.visibility &&
+         a.partner_timeout == b.partner_timeout &&
+         a.max_partner_factor == b.max_partner_factor &&
+         a.acceptance_horizon == b.acceptance_horizon &&
+         a.use_acceptance == b.use_acceptance && a.selection == b.selection &&
+         a.policy == b.policy && a.pool_factor == b.pool_factor &&
+         a.sample_attempt_factor == b.sample_attempt_factor &&
+         a.max_blocks_per_round == b.max_blocks_per_round &&
+         a.quota_market == b.quota_market &&
+         a.departure_grace == b.departure_grace &&
+         a.loss_rate_tau == b.loss_rate_tau &&
+         a.sample_interval == b.sample_interval;
+}
+
+const char* VisibilityModelName(VisibilityModel model) {
+  switch (model) {
+    case VisibilityModel::kInstantOnline:
+      return "instant";
+    case VisibilityModel::kTimeoutPresumed:
+      return "timeout";
+  }
+  return "timeout";
+}
+
+util::Result<VisibilityModel> VisibilityModelFromName(const std::string& name) {
+  if (name == "instant") return VisibilityModel::kInstantOnline;
+  if (name == "timeout") return VisibilityModel::kTimeoutPresumed;
+  return util::Status::InvalidArgument("unknown visibility model: '" + name +
+                                       "'");
 }
 
 }  // namespace backup

@@ -5,10 +5,12 @@
 #define P2P_BACKUP_OPTIONS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "core/maintenance_policy.h"
 #include "core/selection.h"
 #include "sim/clock.h"
+#include "util/result.h"
 #include "util/status.h"
 
 namespace p2p {
@@ -112,6 +114,19 @@ struct SystemOptions {
   /// simulating nonsense.
   util::Status Validate() const;
 };
+
+/// Field-wise equality (scenario text round-trips are verified with this).
+bool operator==(const SystemOptions& a, const SystemOptions& b);
+inline bool operator!=(const SystemOptions& a, const SystemOptions& b) {
+  return !(a == b);
+}
+
+/// Lowercase token of a visibility model ("instant", "timeout"); used by
+/// sweep coordinates and the scenario text format.
+const char* VisibilityModelName(VisibilityModel model);
+
+/// Inverse of VisibilityModelName; errors on unknown tokens.
+util::Result<VisibilityModel> VisibilityModelFromName(const std::string& name);
 
 }  // namespace backup
 }  // namespace p2p

@@ -1,0 +1,199 @@
+#include "scenario/parse.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace p2p {
+namespace scenario {
+namespace {
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+struct Unit {
+  const char* suffix;
+  double rounds;
+};
+
+// Longest suffixes first so "mo" wins over a hypothetical bare "o"; "h" is
+// the explicit spelling of the native unit (1 round = 1 hour).
+constexpr Unit kUnits[] = {
+    {"mo", static_cast<double>(sim::kRoundsPerMonth)},
+    {"y", static_cast<double>(sim::kRoundsPerYear)},
+    {"w", static_cast<double>(sim::kRoundsPerWeek)},
+    {"d", static_cast<double>(sim::kRoundsPerDay)},
+    {"h", static_cast<double>(sim::kRoundsPerHour)},
+};
+
+}  // namespace
+
+std::string Trim(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && IsSpace(s[b])) ++b;
+  while (e > b && IsSpace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+util::Result<int64_t> ParseInt(const std::string& token,
+                               const std::string& what) {
+  const std::string t = Trim(token);
+  if (t.empty()) {
+    return util::Status::InvalidArgument("empty " + what);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(t.c_str(), &end, 10);
+  if (errno != 0 || end != t.c_str() + t.size()) {
+    return util::Status::InvalidArgument("not an " + what + ": '" + t + "'");
+  }
+  return static_cast<int64_t>(v);
+}
+
+util::Result<double> ParseDouble(const std::string& token,
+                                 const std::string& what) {
+  const std::string t = Trim(token);
+  if (t.empty()) {
+    return util::Status::InvalidArgument("empty " + what);
+  }
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(t.c_str(), &end);
+  if (errno != 0 || end != t.c_str() + t.size() || !std::isfinite(v)) {
+    return util::Status::InvalidArgument("not a " + what + ": '" + t + "'");
+  }
+  return v;
+}
+
+util::Result<bool> ParseBool(const std::string& token) {
+  const std::string t = Trim(token);
+  if (t == "true" || t == "1") return true;
+  if (t == "false" || t == "0") return false;
+  return util::Status::InvalidArgument("not a boolean: '" + t + "'");
+}
+
+util::Result<sim::Round> ParseDuration(const std::string& token) {
+  const std::string t = Trim(token);
+  if (t.empty()) {
+    return util::Status::InvalidArgument("empty duration");
+  }
+  for (const Unit& unit : kUnits) {
+    const size_t len = std::strlen(unit.suffix);
+    if (t.size() > len && t.compare(t.size() - len, len, unit.suffix) == 0) {
+      const std::string number = t.substr(0, t.size() - len);
+      auto v = ParseDouble(number, "duration");
+      if (!v.ok()) {
+        return util::Status::InvalidArgument("not a duration: '" + t + "'");
+      }
+      const double rounds = *v * unit.rounds;
+      if (rounds < 0 || rounds > 9.0e15) {
+        return util::Status::OutOfRange("duration out of range: '" + t + "'");
+      }
+      return static_cast<sim::Round>(rounds + 0.5);
+    }
+  }
+  auto v = ParseInt(t, "duration");
+  if (!v.ok()) {
+    return util::Status::InvalidArgument("not a duration: '" + t +
+                                         "' (expected rounds or h/d/w/mo/y)");
+  }
+  if (*v < 0) {
+    return util::Status::OutOfRange("duration must be >= 0: '" + t + "'");
+  }
+  return static_cast<sim::Round>(*v);
+}
+
+std::string RenderDuration(sim::Round rounds) {
+  if (rounds > 0) {
+    struct Render {
+      sim::Round unit;
+      const char* suffix;
+    };
+    // Largest unit first; "h" is identical to bare rounds, so it is never
+    // emitted and bare rounds close the fallback.
+    constexpr Render kRender[] = {{sim::kRoundsPerYear, "y"},
+                                  {sim::kRoundsPerMonth, "mo"},
+                                  {sim::kRoundsPerWeek, "w"},
+                                  {sim::kRoundsPerDay, "d"}};
+    for (const Render& r : kRender) {
+      if (rounds % r.unit == 0) {
+        return std::to_string(rounds / r.unit) + r.suffix;
+      }
+    }
+  }
+  return std::to_string(rounds);
+}
+
+std::string RenderDouble(double v) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+std::string RenderBool(bool v) { return v ? "true" : "false"; }
+
+util::Status ParseIntList(const std::string& csv, std::vector<int>* out) {
+  out->clear();
+  size_t pos = 0;
+  int element = 1;
+  while (pos <= csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string item = Trim(csv.substr(pos, comma - pos));
+    if (item.empty()) {
+      return util::Status::InvalidArgument(
+          "empty element " + std::to_string(element) + " in int list '" + csv +
+          "'");
+    }
+    auto v = ParseInt(item, "int");
+    if (!v.ok() || *v < INT_MIN || *v > INT_MAX) {
+      return util::Status::InvalidArgument(
+          "not an int: '" + item + "' (element " + std::to_string(element) +
+          " of '" + csv + "')");
+    }
+    out->push_back(static_cast<int>(*v));
+    pos = comma + 1;
+    ++element;
+    if (comma == csv.size()) break;
+  }
+  if (out->empty()) {
+    return util::Status::InvalidArgument("empty int list");
+  }
+  return util::Status::OK();
+}
+
+util::Status ParseStringList(const std::string& csv,
+                             std::vector<std::string>* out) {
+  out->clear();
+  size_t pos = 0;
+  int element = 1;
+  while (pos <= csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    const std::string item = Trim(csv.substr(pos, comma - pos));
+    if (item.empty()) {
+      return util::Status::InvalidArgument(
+          "empty element " + std::to_string(element) + " in list '" + csv +
+          "'");
+    }
+    out->push_back(item);
+    pos = comma + 1;
+    ++element;
+    if (comma == csv.size()) break;
+  }
+  if (out->empty()) {
+    return util::Status::InvalidArgument("empty list");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace scenario
+}  // namespace p2p

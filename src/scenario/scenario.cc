@@ -1,0 +1,100 @@
+#include "scenario/scenario.h"
+
+#include <chrono>
+
+#include "sim/engine.h"
+#include "util/logging.h"
+
+namespace p2p {
+namespace scenario {
+
+util::Status Scenario::Validate() const {
+  if (rounds < 1) {
+    return util::Status::InvalidArgument("rounds must be >= 1, got " +
+                                         std::to_string(rounds));
+  }
+  P2P_RETURN_IF_ERROR(population.Validate());
+  backup::SystemOptions resolved = options;
+  resolved.num_peers = peers;
+  P2P_RETURN_IF_ERROR(resolved.Validate());
+  // Compiling the workload also proves the population never dips below the
+  // simulation floor at this scale.
+  util::Result<std::vector<backup::PopulationAdjustment>> compiled =
+      CompileWorkload(workload, peers);
+  return compiled.status();
+}
+
+bool operator==(const Scenario& a, const Scenario& b) {
+  return a.name == b.name && a.peers == b.peers && a.rounds == b.rounds &&
+         a.seed == b.seed && a.population == b.population &&
+         a.workload == b.workload && a.options == b.options &&
+         a.observers == b.observers;
+}
+
+Outcome RunScenario(const Scenario& scenario, const RunOptions& run) {
+  const auto start = std::chrono::steady_clock::now();
+
+  sim::EngineOptions eopts;
+  eopts.seed = scenario.seed;
+  eopts.end_round = scenario.rounds;
+  sim::Engine engine(eopts);
+
+  util::Result<churn::ProfileSet> profiles = scenario.population.Compile();
+  if (!profiles.ok()) {
+    P2P_LOG_ERROR("invalid population: %s",
+                  profiles.status().ToString().c_str());
+  }
+  P2P_CHECK(profiles.ok());
+
+  backup::SystemOptions options = scenario.options;
+  options.num_peers = scenario.peers;
+
+  util::Result<std::vector<backup::PopulationAdjustment>> workload =
+      CompileWorkload(scenario.workload, scenario.peers);
+  if (!workload.ok()) {
+    P2P_LOG_ERROR("invalid workload: %s",
+                  workload.status().ToString().c_str());
+  }
+  P2P_CHECK(workload.ok());
+
+  backup::BackupNetwork network(&engine, &*profiles, options,
+                                std::move(*workload));
+  for (const auto& [name, age] : scenario.observers) {
+    network.AddObserver(name, age);
+  }
+  if (run.check_invariants) {
+    // Registered after the network's own hook, so each check sees a settled
+    // round. Every 97 rounds keeps smoke runs fast yet frequent enough to
+    // catch drift close to the perturbation that caused it.
+    engine.AddRoundHook([&network](sim::Round now) {
+      if (now % 97 == 0) network.CheckInvariants();
+    });
+  }
+
+  engine.Run();
+  if (run.check_invariants) network.CheckInvariants();
+
+  Outcome out;
+  for (int c = 0; c < metrics::kCategoryCount; ++c) {
+    const auto cat = static_cast<metrics::AgeCategory>(c);
+    out.categories[static_cast<size_t>(c)] = network.accounting().Snapshot(cat);
+    out.repairs_per_1000_day[static_cast<size_t>(c)] =
+        network.accounting().RepairsPer1000PerDay(cat);
+    out.losses_per_1000_day[static_cast<size_t>(c)] =
+        network.accounting().LossesPer1000PerDay(cat);
+    out.mean_population[static_cast<size_t>(c)] =
+        network.accounting().MeanPopulation(cat);
+  }
+  out.totals = network.totals();
+  out.series = network.category_series();
+  out.observers = network.observers();
+  out.population = network.ComputePopulationStats();
+  out.final_population = network.LivePopulation();
+  out.wall_seconds = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  return out;
+}
+
+}  // namespace scenario
+}  // namespace p2p

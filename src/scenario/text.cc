@@ -1,0 +1,530 @@
+#include "scenario/text.h"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "scenario/parse.h"
+
+namespace p2p {
+namespace scenario {
+namespace {
+
+util::Status Err(int line, const std::string& msg) {
+  return util::Status::InvalidArgument("line " + std::to_string(line) + ": " +
+                                       msg);
+}
+
+// Splits "uniform(1095d, 2555d)" into head "uniform" and trimmed argument
+// tokens; a bare word has no arguments.
+util::Status SplitCall(const std::string& value, std::string* head,
+                       std::vector<std::string>* args) {
+  args->clear();
+  const size_t open = value.find('(');
+  if (open == std::string::npos) {
+    *head = Trim(value);
+    return util::Status::OK();
+  }
+  if (value.back() != ')') {
+    return util::Status::InvalidArgument("missing ')' in '" + value + "'");
+  }
+  *head = Trim(value.substr(0, open));
+  const std::string inner = value.substr(open + 1, value.size() - open - 2);
+  size_t pos = 0;
+  while (pos <= inner.size()) {
+    size_t comma = inner.find(',', pos);
+    if (comma == std::string::npos) comma = inner.size();
+    const std::string arg = Trim(inner.substr(pos, comma - pos));
+    if (arg.empty()) {
+      return util::Status::InvalidArgument("empty argument in '" + value + "'");
+    }
+    args->push_back(arg);
+    pos = comma + 1;
+    if (comma == inner.size()) break;
+  }
+  return util::Status::OK();
+}
+
+util::Result<LifetimeSpec> ParseLifetime(const std::string& value) {
+  std::string head;
+  std::vector<std::string> args;
+  P2P_RETURN_IF_ERROR(SplitCall(value, &head, &args));
+  P2P_ASSIGN_OR_RETURN(const LifetimeKind kind, LifetimeKindFromName(head));
+  auto want = [&](size_t n) {
+    return args.size() == n
+               ? util::Status::OK()
+               : util::Status::InvalidArgument(
+                     head + " lifetime takes " + std::to_string(n) +
+                     " argument(s), got " + std::to_string(args.size()));
+  };
+  switch (kind) {
+    case LifetimeKind::kUnlimited: {
+      P2P_RETURN_IF_ERROR(want(0));
+      return LifetimeSpec::Unlimited();
+    }
+    case LifetimeKind::kUniform: {
+      P2P_RETURN_IF_ERROR(want(2));
+      P2P_ASSIGN_OR_RETURN(const sim::Round lo, ParseDuration(args[0]));
+      P2P_ASSIGN_OR_RETURN(const sim::Round hi, ParseDuration(args[1]));
+      return LifetimeSpec::Uniform(lo, hi);
+    }
+    case LifetimeKind::kPareto: {
+      P2P_RETURN_IF_ERROR(want(2));
+      P2P_ASSIGN_OR_RETURN(const double scale,
+                           ParseDouble(args[0], "pareto scale"));
+      P2P_ASSIGN_OR_RETURN(const double shape,
+                           ParseDouble(args[1], "pareto shape"));
+      return LifetimeSpec::Pareto(scale, shape);
+    }
+    case LifetimeKind::kExponential: {
+      P2P_RETURN_IF_ERROR(want(1));
+      P2P_ASSIGN_OR_RETURN(const double mean,
+                           ParseDouble(args[0], "exponential mean"));
+      return LifetimeSpec::Exponential(mean);
+    }
+  }
+  return util::Status::InvalidArgument("unknown lifetime: '" + value + "'");
+}
+
+std::string RenderLifetime(const LifetimeSpec& spec) {
+  switch (spec.kind) {
+    case LifetimeKind::kUnlimited:
+      return "unlimited";
+    case LifetimeKind::kUniform:
+      return "uniform(" + RenderDuration(spec.lo) + "," +
+             RenderDuration(spec.hi) + ")";
+    case LifetimeKind::kPareto:
+      return "pareto(" + RenderDouble(spec.scale) + "," +
+             RenderDouble(spec.shape) + ")";
+    case LifetimeKind::kExponential:
+      return "exponential(" + RenderDouble(spec.mean) + ")";
+  }
+  return "unlimited";
+}
+
+// "diurnal", "diurnal(1w)" (session cycle), or "bernoulli".
+util::Status ParseSessions(const std::string& value, ProfileSpec* profile) {
+  std::string head;
+  std::vector<std::string> args;
+  P2P_RETURN_IF_ERROR(SplitCall(value, &head, &args));
+  P2P_ASSIGN_OR_RETURN(profile->sessions, SessionKindFromName(head));
+  if (profile->sessions == SessionKind::kBernoulli) {
+    if (!args.empty()) {
+      return util::Status::InvalidArgument("bernoulli takes no arguments");
+    }
+    profile->session_cycle = sim::kRoundsPerDay;
+    return util::Status::OK();
+  }
+  if (args.size() > 1) {
+    return util::Status::InvalidArgument(
+        "diurnal takes at most one argument (the session cycle)");
+  }
+  profile->session_cycle = sim::kRoundsPerDay;
+  if (args.size() == 1) {
+    P2P_ASSIGN_OR_RETURN(profile->session_cycle, ParseDuration(args[0]));
+  }
+  return util::Status::OK();
+}
+
+std::string RenderSessions(const ProfileSpec& profile) {
+  if (profile.sessions == SessionKind::kBernoulli) return "bernoulli";
+  if (profile.session_cycle == sim::kRoundsPerDay) return "diurnal";
+  return std::string("diurnal(") + RenderDuration(profile.session_cycle) + ")";
+}
+
+// Strict enum lookup: the lenient prefix-matching FromName helpers of
+// core/ would silently accept typos in a config file.
+util::Result<core::SelectionKind> StrictSelection(const std::string& token) {
+  const core::SelectionKind kind = core::SelectionKindFromName(token);
+  if (core::SelectionKindName(kind) != token) {
+    return util::Status::InvalidArgument("unknown selection: '" + token + "'");
+  }
+  return kind;
+}
+
+util::Result<core::PolicyKind> StrictPolicy(const std::string& token) {
+  const core::PolicyKind kind = core::PolicyKindFromName(token);
+  if (core::PolicyKindName(kind) != token) {
+    return util::Status::InvalidArgument("unknown policy: '" + token + "'");
+  }
+  return kind;
+}
+
+// One `section.<index>.<field>` key split into its parts.
+struct IndexedKey {
+  int index = 0;
+  std::string field;
+};
+
+util::Result<IndexedKey> SplitIndexed(const std::string& rest,
+                                      const std::string& section) {
+  const size_t dot = rest.find('.');
+  if (dot == std::string::npos) {
+    return util::Status::InvalidArgument(section +
+                                         " keys look like: " + section +
+                                         ".<index>.<field>");
+  }
+  auto index = ParseInt(rest.substr(0, dot), section + " index");
+  if (!index.ok() || *index < 0 || *index > 4096) {
+    return util::Status::InvalidArgument("bad " + section + " index '" +
+                                         rest.substr(0, dot) + "'");
+  }
+  IndexedKey out;
+  out.index = static_cast<int>(*index);
+  out.field = rest.substr(dot + 1);
+  return out;
+}
+
+// Checks that section indices run 0..n-1 with no gaps.
+template <typename T>
+util::Status CheckContiguous(const std::map<int, T>& entries,
+                             const std::string& section) {
+  int expected = 0;
+  for (const auto& [index, unused] : entries) {
+    (void)unused;
+    if (index != expected) {
+      return util::Status::InvalidArgument(
+          section + " indices must be contiguous from 0; missing " + section +
+          "." + std::to_string(expected));
+    }
+    ++expected;
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Result<Scenario> ParseScenarioText(const std::string& text) {
+  Scenario scenario;
+  scenario.name.clear();  // required key; the default would mask its absence
+
+  std::map<int, ProfileSpec> profiles;
+  std::map<int, WorkloadEvent> events;
+  std::map<int, std::pair<std::string, sim::Round>> observers;
+  std::map<int, std::set<std::string>> profile_fields;
+  std::map<int, std::set<std::string>> event_fields;
+  std::map<int, std::set<std::string>> observer_fields;
+  std::set<std::string> seen;
+
+  std::istringstream is(text);
+  std::string raw;
+  int line = 0;
+  while (std::getline(is, raw)) {
+    ++line;
+    const size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw = raw.substr(0, hash);
+    const std::string stripped = Trim(raw);
+    if (stripped.empty()) continue;
+    const size_t eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      return Err(line, "expected 'key = value', got '" + stripped + "'");
+    }
+    const std::string key = Trim(stripped.substr(0, eq));
+    const std::string value = Trim(stripped.substr(eq + 1));
+    if (key.empty()) return Err(line, "empty key");
+    if (value.empty()) return Err(line, "empty value for '" + key + "'");
+    if (!seen.insert(key).second) {
+      return Err(line, "duplicate key '" + key + "'");
+    }
+
+    util::Status st = util::Status::OK();
+    if (key == "name") {
+      scenario.name = value;
+    } else if (key == "peers") {
+      auto v = ParseInt(value, "peer count");
+      if (v.ok() && (*v < 1 || *v > UINT32_MAX)) {
+        st = util::Status::InvalidArgument("peers out of range: " + value);
+      } else if (v.ok()) {
+        scenario.peers = static_cast<uint32_t>(*v);
+      } else {
+        st = v.status();
+      }
+    } else if (key == "rounds") {
+      auto v = ParseDuration(value);
+      if (v.ok()) scenario.rounds = *v; else st = v.status();
+    } else if (key == "seed") {
+      auto v = ParseInt(value, "seed");
+      if (v.ok() && *v >= 0) {
+        scenario.seed = static_cast<uint64_t>(*v);
+      } else if (v.ok()) {
+        st = util::Status::InvalidArgument("seed must be >= 0");
+      } else {
+        st = v.status();
+      }
+    } else if (key.rfind("options.", 0) == 0) {
+      const std::string field = key.substr(8);
+      backup::SystemOptions& o = scenario.options;
+      auto set_int = [&](int* dst) {
+        auto v = ParseInt(value, field);
+        if (!v.ok()) return v.status();
+        *dst = static_cast<int>(*v);
+        return util::Status::OK();
+      };
+      auto set_round = [&](sim::Round* dst) {
+        auto v = ParseDuration(value);
+        if (!v.ok()) return v.status();
+        *dst = *v;
+        return util::Status::OK();
+      };
+      auto set_double = [&](double* dst) {
+        auto v = ParseDouble(value, field);
+        if (!v.ok()) return v.status();
+        *dst = *v;
+        return util::Status::OK();
+      };
+      auto set_bool = [&](bool* dst) {
+        auto v = ParseBool(value);
+        if (!v.ok()) return v.status();
+        *dst = *v;
+        return util::Status::OK();
+      };
+      if (field == "k") {
+        st = set_int(&o.k);
+      } else if (field == "m") {
+        st = set_int(&o.m);
+      } else if (field == "repair_threshold") {
+        st = set_int(&o.repair_threshold);
+      } else if (field == "quota_blocks") {
+        st = set_int(&o.quota_blocks);
+      } else if (field == "visibility") {
+        auto v = backup::VisibilityModelFromName(value);
+        if (v.ok()) o.visibility = *v; else st = v.status();
+      } else if (field == "partner_timeout") {
+        st = set_round(&o.partner_timeout);
+      } else if (field == "max_partner_factor") {
+        st = set_double(&o.max_partner_factor);
+      } else if (field == "acceptance_horizon") {
+        st = set_round(&o.acceptance_horizon);
+      } else if (field == "use_acceptance") {
+        st = set_bool(&o.use_acceptance);
+      } else if (field == "selection") {
+        auto v = StrictSelection(value);
+        if (v.ok()) o.selection = *v; else st = v.status();
+      } else if (field == "policy") {
+        auto v = StrictPolicy(value);
+        if (v.ok()) o.policy = *v; else st = v.status();
+      } else if (field == "pool_factor") {
+        st = set_double(&o.pool_factor);
+      } else if (field == "sample_attempt_factor") {
+        st = set_int(&o.sample_attempt_factor);
+      } else if (field == "max_blocks_per_round") {
+        st = set_int(&o.max_blocks_per_round);
+      } else if (field == "quota_market") {
+        st = set_bool(&o.quota_market);
+      } else if (field == "departure_grace") {
+        st = set_round(&o.departure_grace);
+      } else if (field == "loss_rate_tau") {
+        st = set_round(&o.loss_rate_tau);
+      } else if (field == "sample_interval") {
+        st = set_round(&o.sample_interval);
+      } else if (field == "num_peers") {
+        st = util::Status::InvalidArgument(
+            "population size is the top-level 'peers' key");
+      } else {
+        st = util::Status::InvalidArgument("unknown option '" + field + "'");
+      }
+    } else if (key.rfind("profile.", 0) == 0) {
+      auto ik = SplitIndexed(key.substr(8), "profile");
+      if (!ik.ok()) {
+        st = ik.status();
+      } else {
+        ProfileSpec& p = profiles[ik->index];
+        profile_fields[ik->index].insert(ik->field);
+        if (ik->field == "name") {
+          p.name = value;
+        } else if (ik->field == "proportion") {
+          auto v = ParseDouble(value, "proportion");
+          if (v.ok()) p.proportion = *v; else st = v.status();
+        } else if (ik->field == "availability") {
+          auto v = ParseDouble(value, "availability");
+          if (v.ok()) p.availability = *v; else st = v.status();
+        } else if (ik->field == "lifetime") {
+          auto v = ParseLifetime(value);
+          if (v.ok()) p.lifetime = *v; else st = v.status();
+        } else if (ik->field == "sessions") {
+          st = ParseSessions(value, &p);
+        } else {
+          st = util::Status::InvalidArgument("unknown profile field '" +
+                                             ik->field + "'");
+        }
+      }
+    } else if (key.rfind("event.", 0) == 0) {
+      auto ik = SplitIndexed(key.substr(6), "event");
+      if (!ik.ok()) {
+        st = ik.status();
+      } else {
+        WorkloadEvent& e = events[ik->index];
+        event_fields[ik->index].insert(ik->field);
+        if (ik->field == "kind") {
+          auto v = WorkloadKindFromName(value);
+          if (v.ok()) e.kind = *v; else st = v.status();
+        } else if (ik->field == "at") {
+          auto v = ParseDuration(value);
+          if (v.ok()) e.at = *v; else st = v.status();
+        } else if (ik->field == "fraction") {
+          auto v = ParseDouble(value, "fraction");
+          if (v.ok()) e.fraction = *v; else st = v.status();
+        } else if (ik->field == "duration") {
+          auto v = ParseDuration(value);
+          if (v.ok()) e.duration = *v; else st = v.status();
+        } else {
+          st = util::Status::InvalidArgument("unknown event field '" +
+                                             ik->field + "'");
+        }
+      }
+    } else if (key.rfind("observer.", 0) == 0) {
+      auto ik = SplitIndexed(key.substr(9), "observer");
+      if (!ik.ok()) {
+        st = ik.status();
+      } else {
+        auto& obs = observers[ik->index];
+        observer_fields[ik->index].insert(ik->field);
+        if (ik->field == "name") {
+          obs.first = value;
+        } else if (ik->field == "age") {
+          auto v = ParseDuration(value);
+          if (v.ok()) obs.second = *v; else st = v.status();
+        } else {
+          st = util::Status::InvalidArgument("unknown observer field '" +
+                                             ik->field + "'");
+        }
+      }
+    } else {
+      st = util::Status::InvalidArgument("unknown key '" + key + "'");
+    }
+    if (!st.ok()) return Err(line, st.message());
+  }
+
+  if (scenario.name.empty()) {
+    return util::Status::InvalidArgument("scenario needs a 'name' key");
+  }
+
+  P2P_RETURN_IF_ERROR(CheckContiguous(profiles, "profile"));
+  P2P_RETURN_IF_ERROR(CheckContiguous(events, "event"));
+  P2P_RETURN_IF_ERROR(CheckContiguous(observers, "observer"));
+
+  if (!profiles.empty()) {
+    scenario.population.profiles.clear();
+    for (const auto& [index, profile] : profiles) {
+      for (const char* required :
+           {"name", "proportion", "availability", "lifetime"}) {
+        if (profile_fields[index].count(required) == 0) {
+          return util::Status::InvalidArgument(
+              "profile." + std::to_string(index) + " is missing '" + required +
+              "'");
+        }
+      }
+      scenario.population.profiles.push_back(profile);
+    }
+  }
+  for (const auto& [index, event] : events) {
+    for (const char* required : {"kind", "at", "fraction"}) {
+      if (event_fields[index].count(required) == 0) {
+        return util::Status::InvalidArgument(
+            "event." + std::to_string(index) + " is missing '" + required +
+            "'");
+      }
+    }
+    scenario.workload.events.push_back(event);
+  }
+  for (const auto& [index, observer] : observers) {
+    for (const char* required : {"name", "age"}) {
+      if (observer_fields[index].count(required) == 0) {
+        return util::Status::InvalidArgument(
+            "observer." + std::to_string(index) + " is missing '" + required +
+            "'");
+      }
+    }
+    scenario.observers.push_back(observer);
+  }
+
+  P2P_RETURN_IF_ERROR(scenario.Validate());
+  return scenario;
+}
+
+std::string RenderScenarioText(const Scenario& scenario) {
+  std::ostringstream os;
+  os << "# p2p-backup scenario (canonical form; see README 'Scenarios')\n";
+  os << "name = " << scenario.name << "\n";
+  os << "peers = " << scenario.peers << "\n";
+  os << "rounds = " << RenderDuration(scenario.rounds) << "\n";
+  os << "seed = " << scenario.seed << "\n";
+  os << "\n";
+
+  const backup::SystemOptions& o = scenario.options;
+  os << "options.k = " << o.k << "\n";
+  os << "options.m = " << o.m << "\n";
+  os << "options.repair_threshold = " << o.repair_threshold << "\n";
+  os << "options.quota_blocks = " << o.quota_blocks << "\n";
+  os << "options.visibility = " << backup::VisibilityModelName(o.visibility)
+     << "\n";
+  os << "options.partner_timeout = " << RenderDuration(o.partner_timeout)
+     << "\n";
+  os << "options.max_partner_factor = " << RenderDouble(o.max_partner_factor)
+     << "\n";
+  os << "options.acceptance_horizon = " << RenderDuration(o.acceptance_horizon)
+     << "\n";
+  os << "options.use_acceptance = " << RenderBool(o.use_acceptance) << "\n";
+  os << "options.selection = " << core::SelectionKindName(o.selection) << "\n";
+  os << "options.policy = " << core::PolicyKindName(o.policy) << "\n";
+  os << "options.pool_factor = " << RenderDouble(o.pool_factor) << "\n";
+  os << "options.sample_attempt_factor = " << o.sample_attempt_factor << "\n";
+  os << "options.max_blocks_per_round = " << o.max_blocks_per_round << "\n";
+  os << "options.quota_market = " << RenderBool(o.quota_market) << "\n";
+  os << "options.departure_grace = " << RenderDuration(o.departure_grace)
+     << "\n";
+  os << "options.loss_rate_tau = " << RenderDuration(o.loss_rate_tau) << "\n";
+  os << "options.sample_interval = " << RenderDuration(o.sample_interval)
+     << "\n";
+
+  for (size_t i = 0; i < scenario.population.profiles.size(); ++i) {
+    const ProfileSpec& p = scenario.population.profiles[i];
+    const std::string prefix = "profile." + std::to_string(i) + ".";
+    os << "\n";
+    os << prefix << "name = " << p.name << "\n";
+    os << prefix << "proportion = " << RenderDouble(p.proportion) << "\n";
+    os << prefix << "availability = " << RenderDouble(p.availability) << "\n";
+    os << prefix << "lifetime = " << RenderLifetime(p.lifetime) << "\n";
+    os << prefix << "sessions = " << RenderSessions(p) << "\n";
+  }
+
+  for (size_t i = 0; i < scenario.workload.events.size(); ++i) {
+    const WorkloadEvent& e = scenario.workload.events[i];
+    const std::string prefix = "event." + std::to_string(i) + ".";
+    os << "\n";
+    os << prefix << "kind = " << WorkloadKindName(e.kind) << "\n";
+    os << prefix << "at = " << RenderDuration(e.at) << "\n";
+    os << prefix << "fraction = " << RenderDouble(e.fraction) << "\n";
+    if (e.kind == WorkloadKind::kRamp) {
+      os << prefix << "duration = " << RenderDuration(e.duration) << "\n";
+    }
+  }
+
+  for (size_t i = 0; i < scenario.observers.size(); ++i) {
+    const std::string prefix = "observer." + std::to_string(i) + ".";
+    os << "\n";
+    os << prefix << "name = " << scenario.observers[i].first << "\n";
+    os << prefix << "age = " << RenderDuration(scenario.observers[i].second)
+       << "\n";
+  }
+  return os.str();
+}
+
+util::Result<Scenario> LoadScenarioFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open scenario file '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  util::Result<Scenario> parsed = ParseScenarioText(buffer.str());
+  if (!parsed.ok()) {
+    return util::Status::InvalidArgument(path + ": " +
+                                         parsed.status().message());
+  }
+  return parsed;
+}
+
+}  // namespace scenario
+}  // namespace p2p

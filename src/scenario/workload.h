@@ -1,0 +1,96 @@
+// Workload events: scheduled population perturbations.
+//
+// The paper's evaluation keeps the population constant by construction
+// (every departure is immediately replaced). A WorkloadSchedule breaks that
+// assumption deliberately: flash-crowd join waves, correlated mass
+// departures, and growth/shrink ramps, all expressed as fractions of the
+// initial population so one scenario file scales from a 500-peer smoke run
+// to the paper's 25,000 peers.
+//
+// A schedule is declarative; CompileWorkload() resolves it against a
+// concrete population size into the absolute per-round adjustments that
+// backup::BackupNetwork executes (see backup::PopulationAdjustment), and
+// statically rejects schedules that would ever drive the population below
+// the simulation floor.
+
+#ifndef P2P_SCENARIO_WORKLOAD_H_
+#define P2P_SCENARIO_WORKLOAD_H_
+
+#include <string>
+#include <vector>
+
+#include "backup/network.h"
+#include "sim/clock.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace p2p {
+namespace scenario {
+
+/// The perturbation shapes.
+enum class WorkloadKind {
+  kFlashCrowd,  ///< join wave: `fraction` of the base population at once
+  kMassExit,    ///< correlated departure of `fraction`, never replaced
+  kRamp,        ///< gradual growth (fraction > 0) or shrink (< 0) over
+                ///< `duration` rounds
+};
+
+/// \brief One scheduled perturbation.
+struct WorkloadEvent {
+  WorkloadKind kind = WorkloadKind::kFlashCrowd;
+  /// Round the event starts (>= 1; round 0 is the bootstrap).
+  sim::Round at = 0;
+  /// Population delta as a fraction of the *initial* population; sign is
+  /// only meaningful for kRamp (flash-crowd adds, mass-exit removes).
+  double fraction = 0.0;
+  /// kRamp: rounds the change is spread over (>= 1).
+  sim::Round duration = 0;
+
+  static WorkloadEvent FlashCrowd(sim::Round at, double fraction);
+  static WorkloadEvent MassExit(sim::Round at, double fraction);
+  static WorkloadEvent Ramp(sim::Round at, double fraction,
+                            sim::Round duration);
+
+  util::Status Validate() const;
+
+  friend bool operator==(const WorkloadEvent& a, const WorkloadEvent& b) {
+    return a.kind == b.kind && a.at == b.at && a.fraction == b.fraction &&
+           a.duration == b.duration;
+  }
+  friend bool operator!=(const WorkloadEvent& a, const WorkloadEvent& b) {
+    return !(a == b);
+  }
+};
+
+/// \brief The full schedule of one scenario; empty = constant population.
+struct WorkloadSchedule {
+  std::vector<WorkloadEvent> events;
+
+  bool empty() const { return events.empty(); }
+
+  /// Validates every event in isolation (cross-event feasibility is checked
+  /// by CompileWorkload, which knows the population size).
+  util::Status Validate() const;
+
+  friend bool operator==(const WorkloadSchedule& a, const WorkloadSchedule& b) {
+    return a.events == b.events;
+  }
+  friend bool operator!=(const WorkloadSchedule& a, const WorkloadSchedule& b) {
+    return !(a == b);
+  }
+};
+
+/// Resolves `schedule` against an initial population of `num_peers` into
+/// absolute, round-sorted adjustments. Fails when any prefix of the schedule
+/// would drive the live population below the simulation floor (16 peers).
+util::Result<std::vector<backup::PopulationAdjustment>> CompileWorkload(
+    const WorkloadSchedule& schedule, uint32_t num_peers);
+
+/// Token maps for the text format ("flash-crowd", "mass-exit", "ramp").
+const char* WorkloadKindName(WorkloadKind kind);
+util::Result<WorkloadKind> WorkloadKindFromName(const std::string& name);
+
+}  // namespace scenario
+}  // namespace p2p
+
+#endif  // P2P_SCENARIO_WORKLOAD_H_

@@ -1,19 +1,10 @@
 #include "sweep/spec.h"
 
-#include <cerrno>
-#include <chrono>
-#include <climits>
-#include <cstdlib>
-
-#include "churn/profile.h"
-#include "sim/engine.h"
 #include "util/rng.h"
 
 namespace p2p {
 namespace sweep {
 namespace {
-
-std::string IntListToken(int v) { return std::to_string(v); }
 
 // Appends "token=value" pairs joined by spaces.
 std::string JoinCoords(
@@ -28,80 +19,57 @@ std::string JoinCoords(
   return out;
 }
 
-}  // namespace
-
-const char* ProfileMixToken(ProfileMix mix) {
-  switch (mix) {
-    case ProfileMix::kPaper:
-      return "paper";
-    case ProfileMix::kPaperBernoulli:
-      return "bernoulli";
-    case ProfileMix::kPareto:
-      return "pareto";
-  }
-  return "paper";
-}
-
-const char* VisibilityToken(backup::VisibilityModel model) {
-  switch (model) {
-    case backup::VisibilityModel::kInstantOnline:
-      return "instant";
-    case backup::VisibilityModel::kTimeoutPresumed:
-      return "timeout";
-  }
-  return "timeout";
-}
-
-Outcome RunScenario(const Scenario& scenario) {
-  const auto start = std::chrono::steady_clock::now();
-
-  sim::EngineOptions eopts;
-  eopts.seed = scenario.seed;
-  eopts.end_round = scenario.rounds;
-  sim::Engine engine(eopts);
-
-  churn::ProfileSet profiles = [&] {
-    switch (scenario.mix) {
-      case ProfileMix::kPaperBernoulli:
-        return churn::ProfileSet::PaperBernoulli();
-      case ProfileMix::kPareto:
-        // Scale 1 month, shape 1.1: heavy-tailed as in [5]; mean ~ 8 months.
-        return churn::ProfileSet::ParetoMix(sim::MonthsToRounds(1), 1.1);
-      case ProfileMix::kPaper:
-        break;
+// Resolves the named-scenario axis to full scenarios, in axis order.
+util::Result<std::vector<Scenario>> ResolveWorlds(
+    const std::vector<std::string>& names) {
+  std::vector<Scenario> worlds;
+  worlds.reserve(names.size());
+  for (const std::string& name : names) {
+    util::Result<Scenario> world = scenario::LoadScenario(name);
+    if (!world.ok()) {
+      return util::Status::InvalidArgument("scenario axis: " +
+                                           world.status().message());
     }
-    return churn::ProfileSet::Paper();
-  }();
-
-  backup::SystemOptions options = scenario.options;
-  options.num_peers = scenario.peers;
-  backup::BackupNetwork network(&engine, &profiles, options);
-  for (const auto& [name, age] : scenario.observers) {
-    network.AddObserver(name, age);
+    worlds.push_back(std::move(*world));
   }
-
-  engine.Run();
-
-  Outcome out;
-  for (int c = 0; c < metrics::kCategoryCount; ++c) {
-    const auto cat = static_cast<metrics::AgeCategory>(c);
-    out.categories[static_cast<size_t>(c)] = network.accounting().Snapshot(cat);
-    out.repairs_per_1000_day[static_cast<size_t>(c)] =
-        network.accounting().RepairsPer1000PerDay(cat);
-    out.losses_per_1000_day[static_cast<size_t>(c)] =
-        network.accounting().LossesPer1000PerDay(cat);
-    out.mean_population[static_cast<size_t>(c)] =
-        network.accounting().MeanPopulation(cat);
-  }
-  out.totals = network.totals();
-  out.series = network.category_series();
-  out.observers = network.observers();
-  out.population = network.ComputePopulationStats();
-  out.wall_seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
-  return out;
+  return worlds;
 }
+
+// Everything Validate() checks, given the already-resolved scenario axis
+// (shared with Expand() so the axis is resolved - and any files parsed -
+// exactly once per expansion).
+util::Status ValidateResolved(const SweepSpec& spec,
+                              const std::vector<Scenario>& worlds) {
+  if (spec.replicates < 1) {
+    return util::Status::InvalidArgument("replicates must be >= 1, got " +
+                                         std::to_string(spec.replicates));
+  }
+  P2P_RETURN_IF_ERROR(spec.base.Validate());
+  // Every resolved cell must carry valid system options. RunScenario copies
+  // scenario.peers over options.num_peers, so validate with that population.
+  backup::SystemOptions opts = spec.base.options;
+  opts.num_peers = spec.base.peers;
+  for (int t : spec.repair_thresholds) {
+    backup::SystemOptions cell = opts;
+    cell.repair_threshold = t;
+    P2P_RETURN_IF_ERROR(cell.Validate());
+  }
+  for (int q : spec.quotas) {
+    backup::SystemOptions cell = opts;
+    cell.quota_blocks = q;
+    P2P_RETURN_IF_ERROR(cell.Validate());
+  }
+  // Each world's workload must be feasible at the base scale (the axis
+  // swaps populations/workloads but keeps base.peers).
+  for (const Scenario& world : worlds) {
+    Scenario resolved = spec.base;
+    scenario::ApplyWorld(world, &resolved);
+    P2P_RETURN_IF_ERROR(resolved.Validate());
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
 
 uint64_t ReplicateSeed(uint64_t base_seed, uint64_t replicate) {
   if (replicate == 0) return base_seed;
@@ -113,33 +81,16 @@ uint64_t ReplicateSeed(uint64_t base_seed, uint64_t replicate) {
 std::string Cell::Label() const { return JoinCoords(coords); }
 
 util::Status SweepSpec::Validate() const {
-  if (replicates < 1) {
-    return util::Status::InvalidArgument("replicates must be >= 1, got " +
-                                         std::to_string(replicates));
-  }
-  // Every resolved cell must carry valid system options. RunScenario copies
-  // scenario.peers over options.num_peers, so validate with that population.
-  backup::SystemOptions opts = base.options;
-  opts.num_peers = base.peers;
-  P2P_RETURN_IF_ERROR(opts.Validate());
-  for (int t : repair_thresholds) {
-    backup::SystemOptions cell = opts;
-    cell.repair_threshold = t;
-    P2P_RETURN_IF_ERROR(cell.Validate());
-  }
-  for (int q : quotas) {
-    backup::SystemOptions cell = opts;
-    cell.quota_blocks = q;
-    P2P_RETURN_IF_ERROR(cell.Validate());
-  }
-  return util::Status::OK();
+  util::Result<std::vector<Scenario>> worlds = ResolveWorlds(scenarios);
+  if (!worlds.ok()) return worlds.status();
+  return ValidateResolved(*this, *worlds);
 }
 
 size_t SweepSpec::GroupCount() const {
   auto dim = [](size_t n) { return n == 0 ? size_t{1} : n; };
   return dim(repair_thresholds.size()) * dim(quotas.size()) *
-         dim(policies.size()) * dim(selections.size()) * dim(mixes.size()) *
-         dim(visibilities.size());
+         dim(policies.size()) * dim(selections.size()) *
+         dim(scenarios.size()) * dim(visibilities.size());
 }
 
 size_t SweepSpec::CellCount() const {
@@ -152,14 +103,16 @@ std::vector<std::string> SweepSpec::ActiveAxes() const {
   if (!quotas.empty()) axes.push_back("quota");
   if (!policies.empty()) axes.push_back("policy");
   if (!selections.empty()) axes.push_back("selection");
-  if (!mixes.empty()) axes.push_back("mix");
+  if (!scenarios.empty()) axes.push_back("scenario");
   if (!visibilities.empty()) axes.push_back("visibility");
   if (replicates > 1) axes.push_back("rep");
   return axes;
 }
 
 util::Result<std::vector<Cell>> SweepSpec::Expand() const {
-  P2P_RETURN_IF_ERROR(Validate());
+  P2P_ASSIGN_OR_RETURN(const std::vector<Scenario> worlds,
+                       ResolveWorlds(scenarios));
+  P2P_RETURN_IF_ERROR(ValidateResolved(*this, worlds));
 
   std::vector<Cell> cells;
   cells.reserve(CellCount());
@@ -181,7 +134,7 @@ util::Result<std::vector<Cell>> SweepSpec::Expand() const {
     for (int qi : indices(quotas.size())) {
       for (int pi : indices(policies.size())) {
         for (int si : indices(selections.size())) {
-          for (int mi : indices(mixes.size())) {
+          for (int wi : indices(worlds.size())) {
             for (int vi : indices(visibilities.size())) {
               Scenario resolved = base;
               std::vector<std::pair<std::string, std::string>> coords;
@@ -190,12 +143,12 @@ util::Result<std::vector<Cell>> SweepSpec::Expand() const {
                     repair_thresholds[static_cast<size_t>(ti)];
                 coords.emplace_back(
                     "threshold",
-                    IntListToken(resolved.options.repair_threshold));
+                    std::to_string(resolved.options.repair_threshold));
               }
               if (qi >= 0) {
                 resolved.options.quota_blocks = quotas[static_cast<size_t>(qi)];
                 coords.emplace_back(
-                    "quota", IntListToken(resolved.options.quota_blocks));
+                    "quota", std::to_string(resolved.options.quota_blocks));
               }
               if (pi >= 0) {
                 resolved.options.policy = policies[static_cast<size_t>(pi)];
@@ -209,16 +162,17 @@ util::Result<std::vector<Cell>> SweepSpec::Expand() const {
                     "selection",
                     core::SelectionKindName(resolved.options.selection));
               }
-              if (mi >= 0) {
-                resolved.mix = mixes[static_cast<size_t>(mi)];
-                coords.emplace_back("mix", ProfileMixToken(resolved.mix));
+              if (wi >= 0) {
+                scenario::ApplyWorld(worlds[static_cast<size_t>(wi)],
+                                     &resolved);
+                coords.emplace_back("scenario", resolved.name);
               }
               if (vi >= 0) {
                 resolved.options.visibility =
                     visibilities[static_cast<size_t>(vi)];
                 coords.emplace_back(
                     "visibility",
-                    VisibilityToken(resolved.options.visibility));
+                    backup::VisibilityModelName(resolved.options.visibility));
               }
               for (int rep = 0; rep < replicates; ++rep) {
                 Cell cell;
@@ -242,34 +196,6 @@ util::Result<std::vector<Cell>> SweepSpec::Expand() const {
     }
   }
   return cells;
-}
-
-util::Status ParseIntList(const std::string& csv, std::vector<int>* out) {
-  out->clear();
-  size_t pos = 0;
-  while (pos <= csv.size()) {
-    size_t comma = csv.find(',', pos);
-    if (comma == std::string::npos) comma = csv.size();
-    const std::string item = csv.substr(pos, comma - pos);
-    if (item.empty()) {
-      return util::Status::InvalidArgument("empty element in int list: '" +
-                                           csv + "'");
-    }
-    char* end = nullptr;
-    errno = 0;
-    const long v = std::strtol(item.c_str(), &end, 10);
-    if (errno != 0 || end != item.c_str() + item.size() || v < INT_MIN ||
-        v > INT_MAX) {
-      return util::Status::InvalidArgument("not an int: '" + item + "'");
-    }
-    out->push_back(static_cast<int>(v));
-    pos = comma + 1;
-    if (comma == csv.size()) break;
-  }
-  if (out->empty()) {
-    return util::Status::InvalidArgument("empty int list");
-  }
-  return util::Status::OK();
 }
 
 }  // namespace sweep

@@ -1,10 +1,13 @@
 // Declarative scenario sweeps (the paper's evaluation grid as data).
 //
 // The paper's results are grids: repair thresholds 132-180 by age category,
-// churn mixes, observer ages, policy/selection ablations. A `SweepSpec`
-// describes such a grid as a base `Scenario` plus axes; `Expand()` turns it
-// into a flat, deterministically ordered list of `Cell`s that the parallel
-// runner (runner.h) can execute in any order without changing any result.
+// churn worlds, observer ages, policy/selection ablations. A `SweepSpec`
+// describes such a grid as a base `scenario::Scenario` plus axes; `Expand()`
+// turns it into a flat, deterministically ordered list of `Cell`s that the
+// parallel runner (runner.h) can execute in any order without changing any
+// result. What one cell simulates - population, workload events, options -
+// is entirely the scenario subsystem's business (src/scenario/); this layer
+// only expands grids.
 //
 // Determinism contract: a cell's full configuration - including its RNG seed
 // - is a pure function of (spec, cell coordinates), fixed at expansion time.
@@ -18,64 +21,26 @@
 #ifndef P2P_SWEEP_SPEC_H_
 #define P2P_SWEEP_SPEC_H_
 
-#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "backup/network.h"
 #include "backup/options.h"
 #include "core/maintenance_policy.h"
 #include "core/selection.h"
-#include "metrics/categories.h"
-#include "sim/clock.h"
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
 #include "util/result.h"
 #include "util/status.h"
 
 namespace p2p {
 namespace sweep {
 
-/// Which population mix to simulate.
-enum class ProfileMix {
-  kPaper,           ///< diurnal sessions (default calibration)
-  kPaperBernoulli,  ///< per-round coin availability
-  kPareto,          ///< shared Pareto lifetimes (ablation A2)
-};
-
-/// Lowercase token for tables ("paper", "bernoulli", "pareto").
-const char* ProfileMixToken(ProfileMix mix);
-
-/// Lowercase token for a visibility model ("instant", "timeout").
-const char* VisibilityToken(backup::VisibilityModel model);
-
-/// One simulation scenario: a fully resolved cell configuration.
-struct Scenario {
-  uint32_t peers = 1500;
-  sim::Round rounds = 18'000;  // 750 days
-  uint64_t seed = 42;
-  ProfileMix mix = ProfileMix::kPaper;
-  backup::SystemOptions options;
-  /// Observer frozen ages (rounds); empty = no observers.
-  std::vector<std::pair<std::string, sim::Round>> observers;
-};
-
-/// Everything the figures need from one run.
-struct Outcome {
-  std::array<metrics::CategorySnapshot, metrics::kCategoryCount> categories;
-  std::array<double, metrics::kCategoryCount> repairs_per_1000_day{};
-  std::array<double, metrics::kCategoryCount> losses_per_1000_day{};
-  std::array<double, metrics::kCategoryCount> mean_population{};
-  backup::RunTotals totals;
-  std::vector<backup::CategorySample> series;
-  std::vector<backup::ObserverResult> observers;
-  backup::BackupNetwork::PopulationStats population;
-  double wall_seconds = 0.0;  ///< excluded from deterministic reports
-};
-
-/// Runs one scenario to completion on a private Engine + BackupNetwork.
-/// Thread-safe: concurrent calls share no mutable state.
-Outcome RunScenario(const Scenario& scenario);
+/// The sweep layer runs scenario cells; the types live in src/scenario/.
+using Scenario = scenario::Scenario;
+using Outcome = scenario::Outcome;
+using scenario::RunScenario;
 
 /// Seed of replicate `replicate` under master seed `base_seed`. Replicate 0
 /// is `base_seed` itself; the rest are SplitMix64-derived, mirroring
@@ -107,13 +72,17 @@ struct SweepSpec {
   std::vector<int> quotas;
   std::vector<core::PolicyKind> policies;
   std::vector<core::SelectionKind> selections;
-  std::vector<ProfileMix> mixes;
+  /// Named-scenario axis: each value is a registry name or scenario file;
+  /// a cell takes that scenario's *world* (population + workload) while
+  /// keeping the base scale and options (common random numbers across the
+  /// axis). The generalization of the old three-value ProfileMix axis.
+  std::vector<std::string> scenarios;
   std::vector<backup::VisibilityModel> visibilities;
   /// Seed replicates per grid point (>= 1); replicate 0 keeps the base seed.
   int replicates = 1;
 
-  /// Rejects empty grids (replicates < 1) and any cell whose resolved
-  /// SystemOptions fail SystemOptions::Validate().
+  /// Rejects empty grids (replicates < 1), unresolvable scenario names, and
+  /// any cell whose resolved SystemOptions fail SystemOptions::Validate().
   util::Status Validate() const;
 
   /// Number of grid points ignoring the replicate axis.
@@ -130,9 +99,6 @@ struct SweepSpec {
   /// row-major order with index == position.
   util::Result<std::vector<Cell>> Expand() const;
 };
-
-/// Parses "132,148,164" into integers (used by sweep-driving binaries).
-util::Status ParseIntList(const std::string& csv, std::vector<int>* out);
 
 }  // namespace sweep
 }  // namespace p2p

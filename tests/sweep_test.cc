@@ -1,6 +1,7 @@
 // Tests for the scenario-sweep subsystem: grid expansion (counts, ordering,
 // seed derivation), SystemOptions validation, and the load-bearing guarantee
-// that report bytes do not depend on the runner's thread count.
+// that report bytes do not depend on the runner's thread count - including
+// over the named-scenario axis that replaced the old ProfileMix enum.
 
 #include <sstream>
 #include <string>
@@ -77,6 +78,36 @@ TEST(SweepSpecTest, EmptyAxesYieldOneCell) {
   ASSERT_EQ(cells->size(), 1u);
   EXPECT_TRUE((*cells)[0].coords.empty());
   EXPECT_EQ((*cells)[0].scenario.seed, spec.base.seed);
+}
+
+TEST(SweepSpecTest, ScenarioAxisSwapsWorldsOnly) {
+  SweepSpec spec;
+  spec.base.peers = 120;
+  spec.base.rounds = 400;
+  spec.scenarios = {"paper", "bernoulli", "weekend-heavy"};
+
+  EXPECT_EQ(spec.ActiveAxes(), (std::vector<std::string>{"scenario"}));
+  auto cells = spec.Expand();
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  ASSERT_EQ(cells->size(), 3u);
+  for (size_t i = 0; i < cells->size(); ++i) {
+    const Cell& cell = (*cells)[i];
+    // The axis swaps the simulated world...
+    EXPECT_EQ(cell.scenario.name, spec.scenarios[i]);
+    EXPECT_EQ(cell.coords[0],
+              (std::pair<std::string, std::string>{"scenario",
+                                                   spec.scenarios[i]}));
+    // ...but keeps the base scale and options (common random numbers).
+    EXPECT_EQ(cell.scenario.peers, 120u);
+    EXPECT_EQ(cell.scenario.rounds, 400);
+    EXPECT_EQ(cell.scenario.seed, spec.base.seed);
+    EXPECT_EQ(cell.scenario.options, spec.base.options);
+  }
+  EXPECT_NE((*cells)[0].scenario.population, (*cells)[2].scenario.population);
+
+  spec.scenarios = {"no-such-scenario"};
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+  EXPECT_FALSE(spec.Expand().ok());
 }
 
 TEST(SweepSpecTest, SeedDerivation) {
@@ -158,18 +189,38 @@ TEST(SystemOptionsTest, ValidateRejectsBadKnobs) {
   EXPECT_TRUE(options.Validate().IsInvalidArgument());
 }
 
-TEST(ParseIntListTest, ParsesAndRejects) {
-  std::vector<int> out;
-  ASSERT_TRUE(ParseIntList("132,148,164", &out).ok());
-  EXPECT_EQ(out, (std::vector<int>{132, 148, 164}));
-  ASSERT_TRUE(ParseIntList("7", &out).ok());
-  EXPECT_EQ(out, (std::vector<int>{7}));
-  ASSERT_TRUE(ParseIntList("-4,5", &out).ok());
-  EXPECT_EQ(out, (std::vector<int>{-4, 5}));
-  EXPECT_TRUE(ParseIntList("", &out).IsInvalidArgument());
-  EXPECT_TRUE(ParseIntList("1,,2", &out).IsInvalidArgument());
-  EXPECT_TRUE(ParseIntList("1,x", &out).IsInvalidArgument());
-  EXPECT_TRUE(ParseIntList("12cats", &out).IsInvalidArgument());
+TEST(SystemOptionsTest, ValidateRejectsNonPositiveSampleInterval) {
+  // sample_interval <= 0 would stall the series sampler forever.
+  backup::SystemOptions options;
+  options.sample_interval = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  EXPECT_NE(options.Validate().message().find("sample_interval"),
+            std::string::npos);
+
+  options = backup::SystemOptions();
+  options.sample_interval = -24;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+
+  options = backup::SystemOptions();
+  options.sample_interval = 1;
+  EXPECT_TRUE(options.Validate().ok());
+}
+
+TEST(SystemOptionsTest, ValidateRejectsNonPositiveLossRateTau) {
+  // loss_rate_tau <= 0 divides by zero in the loss-rate EMA decay.
+  backup::SystemOptions options;
+  options.loss_rate_tau = 0;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+  EXPECT_NE(options.Validate().message().find("loss_rate_tau"),
+            std::string::npos);
+
+  options = backup::SystemOptions();
+  options.loss_rate_tau = -1;
+  EXPECT_TRUE(options.Validate().IsInvalidArgument());
+
+  options = backup::SystemOptions();
+  options.loss_rate_tau = 1;
+  EXPECT_TRUE(options.Validate().ok());
 }
 
 TEST(RunnerTest, OneCellSweepMatchesDirectRun) {
@@ -224,6 +275,37 @@ TEST(RunnerTest, ReportsAreThreadCountInvariant) {
   int lines = 0;
   for (char ch : cells_csv[0]) lines += ch == '\n';
   EXPECT_EQ(lines, 5);
+}
+
+TEST(RunnerTest, ScenarioAxisIsThreadCountInvariant) {
+  // The named-scenario axis (including a workload-event scenario) must
+  // produce byte-identical CSV at 1 and 8 threads: each cell's run is a
+  // pure function of its resolved scenario, regardless of scheduling.
+  SweepSpec spec;
+  spec.base.peers = 120;
+  spec.base.rounds = 2'600;  // past day 100, so the mass exit actually fires
+  spec.base.seed = 11;
+  spec.scenarios = {"paper", "mass-exit"};
+
+  std::string csv[2];
+  const int thread_counts[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    RunnerOptions ropts;
+    ropts.threads = thread_counts[i];
+    auto results = RunSweep(spec, ropts);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    // The workload-event cell ends with a visibly different population:
+    // 30% of 120 peers left for good at day 100.
+    EXPECT_EQ((*results)[0].outcome.final_population, 120);
+    EXPECT_EQ((*results)[1].outcome.final_population, 120 - 36);
+    const SweepReport report = SweepReport::Build(spec, *results);
+    std::ostringstream os;
+    report.WriteCellsCsv(os);
+    csv[i] = os.str();
+  }
+  EXPECT_EQ(csv[0], csv[1]);
+  EXPECT_NE(csv[0].find("scenario"), std::string::npos);
+  EXPECT_NE(csv[0].find("mass-exit"), std::string::npos);
 }
 
 TEST(ReportTest, AggregatesGroupReplicates) {
