@@ -41,22 +41,27 @@ int main(int argc, char** argv) {
 
   struct Config {
     const char* name;
-    core::PolicyKind policy;
+    const char* policy;  // strategy-spec string (core/strategy_spec.h)
     sim::Round grace;
   };
   const Config configs[] = {
-      {"fixed k'=148 (paper)", core::PolicyKind::kFixedThreshold, 0},
-      {"adaptive threshold", core::PolicyKind::kAdaptiveThreshold, 0},
-      {"proactive batches", core::PolicyKind::kProactive, 0},
-      {"fixed + 1-week grace", core::PolicyKind::kFixedThreshold,
-       sim::kRoundsPerWeek},
+      {"fixed k'=148 (paper)", "fixed-threshold", 0},
+      {"adaptive threshold", "adaptive-threshold", 0},
+      {"proactive batches", "proactive", 0},
+      {"adaptive redundancy", "adaptive-redundancy", 0},
+      {"fixed + 1-week grace", "fixed-threshold", sim::kRoundsPerWeek},
   };
 
   util::Table t({"policy", "repairs", "blocks uploaded", "blocks/repair",
                  "losses", "newcomers/1000/day", "elder/1000/day"});
   for (const Config& config : configs) {
     bench::Scenario s = base;
-    s.options.policy = config.policy;
+    auto policy = core::PolicySpec::Parse(config.policy);
+    if (!policy.ok()) {
+      std::cerr << policy.status().ToString() << "\n";
+      return 1;
+    }
+    s.options.policy = *policy;
     s.options.departure_grace = config.grace;
     const bench::Outcome out = bench::Run(s);
     t.BeginRow();

@@ -41,22 +41,28 @@ int main(int argc, char** argv) {
 
   struct Config {
     const char* name;
-    core::SelectionKind selection;
+    const char* selection;  // strategy-spec string (core/strategy_spec.h)
     bool use_acceptance;
   };
   const Config configs[] = {
-      {"oldest+accept (paper)", core::SelectionKind::kOldestFirst, true},
-      {"sort-only", core::SelectionKind::kOldestFirst, false},
-      {"accept-only", core::SelectionKind::kRandom, true},
-      {"random", core::SelectionKind::kRandom, false},
-      {"youngest (adversarial)", core::SelectionKind::kYoungestFirst, true},
+      {"oldest+accept (paper)", "oldest-first", true},
+      {"sort-only", "oldest-first", false},
+      {"accept-only", "random", true},
+      {"random", "random", false},
+      {"age-weighted (exp=2)", "weighted-random{age_exponent=2}", true},
+      {"youngest (adversarial)", "youngest-first", true},
   };
 
   util::Table t({"config", "newcomers/1000/day", "young", "old", "elder",
                  "elder:newcomer ratio", "total repairs", "losses"});
   for (const Config& config : configs) {
     bench::Scenario s = base;
-    s.options.selection = config.selection;
+    auto selection = core::SelectionSpec::Parse(config.selection);
+    if (!selection.ok()) {
+      std::cerr << selection.status().ToString() << "\n";
+      return 1;
+    }
+    s.options.selection = *selection;
     s.options.use_acceptance = config.use_acceptance;
     const bench::Outcome out = bench::Run(s);
     t.BeginRow();

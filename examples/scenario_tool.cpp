@@ -2,19 +2,26 @@
 // the canonical text form, validate a file, or run one end to end.
 //
 //   ./scenario_tool list                       # registry names, one per line
+//   ./scenario_tool policies                   # registered maintenance policies
+//   ./scenario_tool selections                 # registered selection strategies
 //   ./scenario_tool show flash-crowd           # canonical key=value text
 //   ./scenario_tool show flash-crowd > my.scenario   # ... then edit and:
 //   ./scenario_tool run my.scenario --peers=500 --rounds=200 --check
+//   ./scenario_tool run paper --policy='proactive{batch_blocks=4}' --check
 //
-// `run` validates first, simulates, and prints a one-screen summary; with
-// --check it also verifies the full partnership/quota invariant set during
-// and after the run (the CI smoke loop in scripts/check.sh runs every
-// registered scenario this way and fails on any Validate() or invariant
+// `policies` / `selections` list every registered strategy with its
+// parameters, defaults, and valid ranges (--names for just the names, one
+// per line - what scripts/check.sh iterates). `run` validates first,
+// simulates, and prints a one-screen summary; with --check it also verifies
+// the full partnership/quota invariant set during and after the run (the CI
+// smoke loop in scripts/check.sh runs every registered scenario AND every
+// registered strategy this way and fails on any Validate() or invariant
 // error).
 
 #include <cstdio>
 #include <iostream>
 
+#include "core/strategy_registry.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 #include "scenario/text.h"
@@ -26,12 +33,45 @@ namespace {
 int Usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s list\n"
+               "       %s policies [--names]\n"
+               "       %s selections [--names]\n"
                "       %s show <name|file>\n"
                "       %s run <name|file> [--peers=N] [--rounds=R] [--seed=S] "
-               "[--check]\n",
-               prog, prog, prog);
+               "[--policy=SPEC] [--selection=SPEC] [--check]\n",
+               prog, prog, prog, prog, prog);
   return 1;
 }
+
+// One table row per (strategy, parameter); parameterless strategies get a
+// single row. Shared by `policies` and `selections`.
+struct ParamRowSink {
+  p2p::util::Table table{{"strategy", "parameter", "type", "default", "range",
+                          "description"}};
+
+  void Add(const std::string& strategy, const std::string& summary,
+           const std::vector<p2p::core::ParamInfo>& params) {
+    using p2p::core::ParamValue;
+    table.BeginRow();
+    table.Add(strategy);
+    table.Add("-");
+    table.Add("-");
+    table.Add("-");
+    table.Add("-");
+    table.Add(summary);
+    for (const p2p::core::ParamInfo& info : params) {
+      table.BeginRow();
+      table.Add("");
+      table.Add(info.name);
+      table.Add(p2p::core::ParamTypeName(info.type));
+      table.Add(info.contextual_default.empty()
+                    ? info.def.Render()
+                    : "(" + info.contextual_default + ")");
+      table.Add("[" + ParamValue::Double(info.min_value).Render() + ", " +
+                ParamValue::Double(info.max_value).Render() + "]");
+      table.Add(info.help);
+    }
+  }
+};
 
 }  // namespace
 
@@ -42,12 +82,21 @@ int main(int argc, char** argv) {
   int64_t rounds = 0;
   int64_t seed = -1;
   bool check = false;
+  bool names_only = false;
+  std::string policy_spec;
+  std::string selection_spec;
 
   util::FlagSet flags;
   flags.Int64("peers", &peers, "population size (0 = scenario value)");
   flags.Int64("rounds", &rounds, "rounds to simulate (0 = scenario value)");
   flags.Int64("seed", &seed, "random seed (-1 = scenario value)");
   flags.Bool("check", &check, "verify simulation invariants during the run");
+  flags.Bool("names", &names_only,
+             "policies/selections: print registered names only");
+  flags.String("policy", &policy_spec,
+               "run: override the maintenance policy (spec string)");
+  flags.String("selection", &selection_spec,
+               "run: override the selection strategy (spec string)");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return Usage(argv[0]);
@@ -61,6 +110,34 @@ int main(int argc, char** argv) {
     for (const std::string& name : scenario::RegistryNames()) {
       std::printf("%s\n", name.c_str());
     }
+    return 0;
+  }
+
+  if (command == "policies") {
+    if (args.size() != 1) return Usage(argv[0]);
+    ParamRowSink sink;
+    for (const core::PolicyDescriptor* d : core::ListPolicies()) {
+      if (names_only) {
+        std::printf("%s\n", d->name.c_str());
+      } else {
+        sink.Add(d->name, d->summary, d->params);
+      }
+    }
+    if (!names_only) sink.table.RenderPretty(std::cout);
+    return 0;
+  }
+
+  if (command == "selections") {
+    if (args.size() != 1) return Usage(argv[0]);
+    ParamRowSink sink;
+    for (const core::SelectionDescriptor* d : core::ListSelections()) {
+      if (names_only) {
+        std::printf("%s\n", d->name.c_str());
+      } else {
+        sink.Add(d->name, d->summary, d->params);
+      }
+    }
+    if (!names_only) sink.table.RenderPretty(std::cout);
     return 0;
   }
 
@@ -81,6 +158,22 @@ int main(int argc, char** argv) {
   if (peers > 0) s.peers = static_cast<uint32_t>(peers);
   if (rounds > 0) s.rounds = rounds;
   if (seed >= 0) s.seed = static_cast<uint64_t>(seed);
+  if (!policy_spec.empty()) {
+    auto parsed = core::PolicySpec::Parse(policy_spec);
+    if (!parsed.ok()) {
+      std::cerr << "--policy: " << parsed.status().ToString() << "\n";
+      return 1;
+    }
+    s.options.policy = *parsed;
+  }
+  if (!selection_spec.empty()) {
+    auto parsed = core::SelectionSpec::Parse(selection_spec);
+    if (!parsed.ok()) {
+      std::cerr << "--selection: " << parsed.status().ToString() << "\n";
+      return 1;
+    }
+    s.options.selection = *parsed;
+  }
   if (auto st = s.Validate(); !st.ok()) {
     std::cerr << "scenario '" << s.name << "': " << st.ToString() << "\n";
     return 1;

@@ -1,8 +1,11 @@
 // Drive a multi-axis scenario sweep (repair threshold x host quota x named
-// scenario) through the parallel runner and print a report.
+// scenario x policy spec x selection spec) through the parallel runner and
+// print a report.
 //
 //   ./sweep_demo --thresholds=132,148,164 --quotas=256,384
 //                --scenarios=paper,flash-crowd
+//                --policies='fixed-threshold,proactive{batch_blocks=8}'
+//                --selections='oldest-first,weighted-random{age_exponent=2}'
 //                --replicates=3 --threads=4 --format=pretty
 //
 // Formats: pretty (per-cell + aggregate tables), csv (per-cell rows),
@@ -26,6 +29,8 @@ int main(int argc, char** argv) {
   std::string thresholds = "132,148,164";
   std::string quotas = "";
   std::string scenarios = "";
+  std::string policies = "";
+  std::string selections = "";
   int64_t replicates = 1;
   int threads = 0;
   std::string format = "pretty";
@@ -40,6 +45,14 @@ int main(int argc, char** argv) {
   flags.String("scenarios", &scenarios,
                "comma-separated scenario names/files (axis 3; empty = base "
                "world only)");
+  flags.String("policies", &policies,
+               "comma-separated policy specs, e.g. "
+               "'fixed-threshold{threshold=140},adaptive-redundancy' (empty "
+               "= base policy)");
+  flags.String("selections", &selections,
+               "comma-separated selection specs, e.g. "
+               "'oldest-first,weighted-random{age_exponent=2}' (empty = base "
+               "selection)");
   flags.Int64("replicates", &replicates, "seed replicates per grid point");
   flags.Int32("threads", &threads, "worker threads (0 = hardware)");
   flags.String("format", &format, "pretty | csv | aggregate | json");
@@ -68,6 +81,20 @@ int main(int argc, char** argv) {
     if (auto st = scenario::ParseStringList(scenarios, &spec.scenarios);
         !st.ok()) {
       std::cerr << "--scenarios: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!policies.empty()) {
+    if (auto st = scenario::ParseSpecList(policies, &spec.policies);
+        !st.ok()) {
+      std::cerr << "--policies: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!selections.empty()) {
+    if (auto st = scenario::ParseSpecList(selections, &spec.selections);
+        !st.ok()) {
+      std::cerr << "--selections: " << st.ToString() << "\n";
       return 1;
     }
   }

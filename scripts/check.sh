@@ -28,6 +28,21 @@ for scenario in $(./build/scenario_tool list); do
 done
 
 echo
+echo "== strategy smoke: every registered policy and selection, invariant-checked =="
+# A registered strategy that cannot complete a short run (bad defaults, a
+# FlagLevel that masks its own trigger, a crash in Choose) fails CI here.
+for policy in $(./build/scenario_tool policies --names); do
+  echo "-- policy: ${policy}"
+  ./build/scenario_tool run paper --peers=500 --rounds=200 --check \
+    --policy="${policy}" > /dev/null
+done
+for selection in $(./build/scenario_tool selections --names); do
+  echo "-- selection: ${selection}"
+  ./build/scenario_tool run paper --peers=500 --rounds=200 --check \
+    --selection="${selection}" > /dev/null
+done
+
+echo
 echo "== workload smoke: population events actually fire, invariant-checked =="
 # The registry's workload events start at day 30-100 (rounds 720-2400), so
 # the 200-round loop above never executes a join wave or exit. Run the three

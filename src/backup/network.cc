@@ -41,8 +41,6 @@ BackupNetwork::BackupNetwork(sim::Engine* engine,
       normal_slots_(options.num_peers + TotalScheduledJoins(workload)),
       next_join_slot_(options.num_peers),
       workload_(std::move(workload)),
-      selection_(core::MakeSelection(options.selection)),
-      policy_(core::MakePolicy(options.policy, options.repair_threshold)),
       acceptance_(options.acceptance_horizon),
       churn_rng_(engine->Stream(kChurnStream)),
       place_rng_(engine->Stream(kPlacementStream)),
@@ -56,6 +54,23 @@ BackupNetwork::BackupNetwork(sim::Engine* engine,
     P2P_CHECK(workload_[i - 1].at <= workload_[i].at);  // round-sorted
   }
   const int n_total = options.k + options.m;
+  core::StrategyEnv env;
+  env.k = options.k;
+  env.n = n_total;
+  env.repair_threshold = options.repair_threshold;
+  auto policy = core::MakePolicy(options.policy, env);
+  auto selection = core::MakeSelection(options.selection);
+  // Validate() above vetted both specs against the registry; MakePolicy can
+  // still reject a cross-parameter check once contextual defaults resolve
+  // against this run's repair_threshold, so name the reason before dying.
+  if (!policy.ok()) {
+    P2P_LOG_ERROR("policy spec '%s': %s", options.policy.ToString().c_str(),
+                  policy.status().ToString().c_str());
+  }
+  P2P_CHECK(policy.ok());
+  P2P_CHECK(selection.ok());
+  policy_ = std::move(*policy);
+  selection_ = std::move(*selection);
   flag_level_ = policy_->FlagLevel(options.k, n_total);
   partner_cap_ = static_cast<int>(options.max_partner_factor * n_total);
 
@@ -514,6 +529,9 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
 
   if (!p.episode_active) {
     const int basis = VisibleBasis(id);
+    // Initial placements always target full redundancy; a policy verdict
+    // below may lower the target for maintenance repairs.
+    p.episode_target = n;
     if (p.backed_up) {
       core::MaintenanceContext ctx;
       ctx.k = options_.k;
@@ -529,6 +547,9 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
         p.needs_repair = false;
         return;
       }
+      // Honor the policy's redundancy verdict (adaptive-redundancy moves
+      // it with the loss rate; every fixed-target policy returns n).
+      p.episode_target = std::clamp(decision.restore_to, options_.k, n);
       if (instant_visibility()) {
         // Write the missing blocks off: the repair REPLACES the partners
         // that were unreachable when it was triggered ("replace the blocks
@@ -543,11 +564,11 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
     if (p.is_observer) {
       ++observer_results_[id - normal_slots_].repairs;
     } else {
-      accounting_.RecordRepair(CategoryAt(id, now), n - basis);
+      accounting_.RecordRepair(CategoryAt(id, now), p.episode_target - basis);
     }
   }
 
-  int needed = n - static_cast<int>(partners_[id].size());
+  int needed = p.episode_target - static_cast<int>(partners_[id].size());
   if (needed > 0 && options_.max_blocks_per_round > 0) {
     needed = std::min(needed, options_.max_blocks_per_round);
   }
@@ -563,7 +584,7 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
     totals_.blocks_uploaded += placed;
   }
 
-  if (static_cast<int>(partners_[id].size()) >= n) {
+  if (static_cast<int>(partners_[id].size()) >= p.episode_target) {
     p.episode_active = false;
     p.needs_repair = false;
     p.last_repair = now;

@@ -24,6 +24,7 @@
 #include "core/acceptance.h"
 #include "core/maintenance_policy.h"
 #include "core/selection.h"
+#include "core/strategy_registry.h"
 #include "metrics/accounting.h"
 #include "monitor/availability_monitor.h"
 #include "sim/engine.h"
@@ -166,6 +167,9 @@ class BackupNetwork {
     bool needs_repair = false;
     bool in_repair_queue = false;
     bool episode_active = false;
+    // Block level the active repair episode restores to (the policy's
+    // restore_to verdict, clamped to [k, n]); n for initial placements.
+    int episode_target = 0;
     sim::Round frozen_age = 0;  // observers only
     int hosted = 0;             // quota consumed by non-observer clients
     int visible = 0;            // partners online right now (instant mode)

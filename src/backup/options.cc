@@ -67,6 +67,9 @@ util::Status SystemOptions::Validate() const {
     return Invalid("sample_interval must be >= 1 round, got " +
                    std::to_string(sample_interval));
   }
+  // Strategy specs: name must be registered, parameters typed and in range.
+  if (util::Status st = policy.Validate(); !st.ok()) return st;
+  if (util::Status st = selection.Validate(); !st.ok()) return st;
   return util::Status::OK();
 }
 

@@ -7,8 +7,7 @@
 #include <cstdint>
 #include <string>
 
-#include "core/maintenance_policy.h"
-#include "core/selection.h"
+#include "core/strategy_spec.h"
 #include "sim/clock.h"
 #include "util/result.h"
 #include "util/status.h"
@@ -72,10 +71,15 @@ struct SystemOptions {
   bool use_acceptance = true;
 
   /// Partner selection strategy applied to the pool (paper: oldest-first).
-  core::SelectionKind selection = core::SelectionKind::kOldestFirst;
+  /// A registry-backed spec: `weighted-random{age_exponent=2}` etc.; see
+  /// core/strategy_registry.h for the vocabulary.
+  core::SelectionSpec selection;
 
-  /// Repair-trigger policy (paper: fixed threshold).
-  core::PolicyKind policy = core::PolicyKind::kFixedThreshold;
+  /// Repair-trigger policy (paper: fixed threshold at repair_threshold).
+  /// Also a registry-backed spec: `proactive{batch_blocks=8}` etc. With no
+  /// explicit `threshold` parameter, threshold-bearing policies follow
+  /// `repair_threshold` above.
+  core::PolicySpec policy;
 
   /// Candidate pool size as a multiple of the blocks needed ("once the pool
   /// is big enough"); the selection strategy then picks from the pool.

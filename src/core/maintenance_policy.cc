@@ -49,38 +49,27 @@ MaintenanceDecision ProactivePolicy::Evaluate(const MaintenanceContext& ctx) con
   return d;
 }
 
-std::unique_ptr<MaintenancePolicy> MakePolicy(PolicyKind kind, int fixed_threshold) {
-  switch (kind) {
-    case PolicyKind::kFixedThreshold:
-      return std::make_unique<FixedThresholdPolicy>(fixed_threshold);
-    case PolicyKind::kAdaptiveThreshold:
-      return std::make_unique<AdaptiveThresholdPolicy>(
-          AdaptiveThresholdPolicy::Options{});
-    case PolicyKind::kProactive: {
-      ProactivePolicy::Options opts;
-      opts.emergency_threshold = fixed_threshold;
-      return std::make_unique<ProactivePolicy>(opts);
-    }
-  }
-  return std::make_unique<FixedThresholdPolicy>(fixed_threshold);
+AdaptiveRedundancyPolicy::AdaptiveRedundancyPolicy(const Options& options)
+    : options_(options) {
+  P2P_CHECK(options.threshold >= 1);
+  P2P_CHECK(options.min_extra >= 1);
 }
 
-PolicyKind PolicyKindFromName(const std::string& name) {
-  if (name.rfind("adaptive", 0) == 0) return PolicyKind::kAdaptiveThreshold;
-  if (name.rfind("proactive", 0) == 0) return PolicyKind::kProactive;
-  return PolicyKind::kFixedThreshold;
-}
-
-std::string PolicyKindName(PolicyKind kind) {
-  switch (kind) {
-    case PolicyKind::kFixedThreshold:
-      return "fixed";
-    case PolicyKind::kAdaptiveThreshold:
-      return "adaptive";
-    case PolicyKind::kProactive:
-      return "proactive";
-  }
-  return "fixed";
+MaintenanceDecision AdaptiveRedundancyPolicy::Evaluate(
+    const MaintenanceContext& ctx) const {
+  MaintenanceDecision d;
+  d.trigger = ctx.alive < options_.threshold;
+  const double expected_losses =
+      ctx.partner_loss_rate * static_cast<double>(options_.horizon_rounds) *
+      options_.safety_factor;
+  const int margin = static_cast<int>(
+      std::min(std::ceil(expected_losses), static_cast<double>(ctx.n)));
+  // Restore at least a little past the trigger so a repair buys headroom,
+  // and never beyond the erasure code's n.
+  const int floor_target = std::min(options_.threshold + options_.min_extra,
+                                    ctx.n);
+  d.restore_to = std::clamp(ctx.k + margin, floor_target, ctx.n);
+  return d;
 }
 
 }  // namespace core

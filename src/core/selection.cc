@@ -1,6 +1,7 @@
 #include "core/selection.h"
 
 #include <algorithm>
+#include <cmath>
 
 namespace p2p {
 namespace core {
@@ -43,34 +44,43 @@ void YoungestFirstSelection::Choose(std::vector<Candidate>* pool, int d,
   TakeFront(*pool, d, out);
 }
 
-std::unique_ptr<SelectionStrategy> MakeSelection(SelectionKind kind) {
-  switch (kind) {
-    case SelectionKind::kOldestFirst:
-      return std::make_unique<OldestFirstSelection>();
-    case SelectionKind::kRandom:
-      return std::make_unique<RandomSelection>();
-    case SelectionKind::kYoungestFirst:
-      return std::make_unique<YoungestFirstSelection>();
-  }
-  return std::make_unique<OldestFirstSelection>();
-}
+WeightedRandomSelection::WeightedRandomSelection(double age_exponent)
+    : age_exponent_(age_exponent) {}
 
-SelectionKind SelectionKindFromName(const std::string& name) {
-  if (name.rfind("random", 0) == 0) return SelectionKind::kRandom;
-  if (name.rfind("young", 0) == 0) return SelectionKind::kYoungestFirst;
-  return SelectionKind::kOldestFirst;
-}
-
-std::string SelectionKindName(SelectionKind kind) {
-  switch (kind) {
-    case SelectionKind::kOldestFirst:
-      return "oldest";
-    case SelectionKind::kRandom:
-      return "random";
-    case SelectionKind::kYoungestFirst:
-      return "youngest";
+void WeightedRandomSelection::Choose(std::vector<Candidate>* pool, int d,
+                                     util::Rng* rng,
+                                     std::vector<uint32_t>* out) const {
+  const size_t take = std::min<size_t>(static_cast<size_t>(std::max(d, 0)),
+                                       pool->size());
+  if (take == 0) return;
+  // One weight per candidate; +1 so age-0 newcomers stay selectable at any
+  // exponent. Each pick walks the prefix sums and swap-removes the winner -
+  // O(pool * d), fine at pool sizes of a few hundred.
+  std::vector<double> weights(pool->size());
+  double total = 0.0;
+  for (size_t i = 0; i < pool->size(); ++i) {
+    weights[i] = std::pow(static_cast<double>((*pool)[i].age) + 1.0,
+                          age_exponent_);
+    total += weights[i];
   }
-  return "oldest";
+  size_t live = pool->size();
+  for (size_t pick = 0; pick < take; ++pick) {
+    size_t chosen = live - 1;  // fallback against FP drift in `total`
+    const double r = rng->UniformDouble(0.0, std::max(total, 0.0));
+    double acc = 0.0;
+    for (size_t i = 0; i < live; ++i) {
+      acc += weights[i];
+      if (r < acc) {
+        chosen = i;
+        break;
+      }
+    }
+    out->push_back((*pool)[chosen].id);
+    total -= weights[chosen];
+    --live;
+    std::swap((*pool)[chosen], (*pool)[live]);
+    std::swap(weights[chosen], weights[live]);
+  }
 }
 
 }  // namespace core

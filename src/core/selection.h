@@ -27,13 +27,6 @@ struct Candidate {
   sim::Round age = 0;
 };
 
-/// Which strategy to instantiate (wired to flags in benches).
-enum class SelectionKind {
-  kOldestFirst,    ///< the paper's scheme
-  kRandom,         ///< age-oblivious baseline
-  kYoungestFirst,  ///< adversarial baseline
-};
-
 /// \brief Chooses up to d candidates from a pool.
 class SelectionStrategy {
  public:
@@ -73,15 +66,24 @@ class YoungestFirstSelection : public SelectionStrategy {
   std::string name() const override { return "youngest-first"; }
 };
 
-/// Factory for the enum.
-std::unique_ptr<SelectionStrategy> MakeSelection(SelectionKind kind);
+/// Age-weighted random selection: candidate i is drawn with probability
+/// proportional to (age_i + 1)^exponent, without replacement. Exponent 0 is
+/// uniform random; large exponents approach oldest-first. The continuum
+/// between the paper's scheme and its age-oblivious baseline.
+class WeightedRandomSelection : public SelectionStrategy {
+ public:
+  explicit WeightedRandomSelection(double age_exponent);
+  void Choose(std::vector<Candidate>* pool, int d, util::Rng* rng,
+              std::vector<uint32_t>* out) const override;
+  std::string name() const override { return "weighted-random"; }
+  double age_exponent() const { return age_exponent_; }
 
-/// Parses "oldest" / "random" / "youngest" (prefix-insensitive names used by
-/// bench flags); returns kOldestFirst for unknown strings.
-SelectionKind SelectionKindFromName(const std::string& name);
+ private:
+  double age_exponent_;
+};
 
-/// Canonical flag name of a kind.
-std::string SelectionKindName(SelectionKind kind);
+// Instantiation from declarative specs lives in strategy_registry.h; the
+// closed SelectionKind enum and its silent-fallback FromName parser are gone.
 
 }  // namespace core
 }  // namespace p2p

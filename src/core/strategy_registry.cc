@@ -1,0 +1,327 @@
+#include "core/strategy_registry.h"
+
+#include <deque>
+#include <mutex>
+
+#include "sim/clock.h"
+#include "util/logging.h"
+
+namespace p2p {
+namespace core {
+namespace {
+
+// Stable-address storage (deque) so ListPolicies/FindPolicy pointers stay
+// valid across later registrations.
+struct Registries {
+  std::mutex mutex;
+  std::deque<PolicyDescriptor> policies;
+  std::deque<SelectionDescriptor> selections;
+};
+
+ParamInfo IntParam(const std::string& name, int64_t def, double min_value,
+                   double max_value, const std::string& help) {
+  ParamInfo info;
+  info.name = name;
+  info.type = ParamType::kInt;
+  info.def = ParamValue::Int(def);
+  info.min_value = min_value;
+  info.max_value = max_value;
+  info.help = help;
+  return info;
+}
+
+ParamInfo DoubleParam(const std::string& name, double def, double min_value,
+                      double max_value, const std::string& help) {
+  ParamInfo info;
+  info.name = name;
+  info.type = ParamType::kDouble;
+  info.def = ParamValue::Double(def);
+  info.min_value = min_value;
+  info.max_value = max_value;
+  info.help = help;
+  return info;
+}
+
+// The repair threshold defaults to SystemOptions::repair_threshold, so a
+// bare `fixed-threshold` reproduces the paper's configuration exactly.
+ParamInfo ContextualThreshold(const std::string& help) {
+  ParamInfo info = IntParam("threshold", 0, 1.0, 1 << 20, help);
+  info.contextual_default = "repair_threshold";
+  return info;
+}
+
+void RegisterBuiltinsLocked(Registries* r) {
+  // --- policies ---
+  {
+    PolicyDescriptor d;
+    d.name = "fixed-threshold";
+    d.summary = "repair when alive < threshold; restore to n (the paper)";
+    d.params = {ContextualThreshold("trigger level k'")};
+    d.make = [](const ResolvedParams& p, const StrategyEnv&) {
+      return std::make_unique<FixedThresholdPolicy>(
+          static_cast<int>(p.Int("threshold")));
+    };
+    r->policies.push_back(std::move(d));
+  }
+  {
+    PolicyDescriptor d;
+    d.name = "adaptive-threshold";
+    d.summary = "threshold follows the measured partner loss rate "
+                "(paper future work)";
+    d.params = {
+        DoubleParam("safety_factor", 3.0, 0.0, 1e6,
+                    "multiplier on the expected losses"),
+        IntParam("reaction_rounds", 3 * sim::kRoundsPerDay, 1, 1 << 20,
+                 "rounds of expected losses the margin covers"),
+        IntParam("floor_margin", 4, 0, 1 << 20, "threshold >= k + floor"),
+        IntParam("ceiling_margin", 64, 0, 1 << 20, "threshold <= k + ceiling"),
+    };
+    d.check = [](const ResolvedParams& p) {
+      if (p.Int("floor_margin") > p.Int("ceiling_margin")) {
+        return util::Status::InvalidArgument(
+            "adaptive-threshold: floor_margin " +
+            std::to_string(p.Int("floor_margin")) + " > ceiling_margin " +
+            std::to_string(p.Int("ceiling_margin")));
+      }
+      return util::Status::OK();
+    };
+    d.make = [](const ResolvedParams& p, const StrategyEnv&) {
+      AdaptiveThresholdPolicy::Options o;
+      o.safety_factor = p.Double("safety_factor");
+      o.reaction_rounds = p.Int("reaction_rounds");
+      o.floor_margin = static_cast<int>(p.Int("floor_margin"));
+      o.ceiling_margin = static_cast<int>(p.Int("ceiling_margin"));
+      return std::make_unique<AdaptiveThresholdPolicy>(o);
+    };
+    r->policies.push_back(std::move(d));
+  }
+  {
+    PolicyDescriptor d;
+    d.name = "proactive";
+    d.summary = "top up missing blocks in small batches (Duminuco et al.)";
+    d.params = {
+        IntParam("batch_blocks", 8, 1, 1 << 20,
+                 "repair once this many blocks are missing"),
+        [] {
+          ParamInfo info =
+              IntParam("emergency_threshold", 0, 1, 1 << 20,
+                       "always repair below this level");
+          info.contextual_default = "repair_threshold";
+          return info;
+        }(),
+    };
+    d.make = [](const ResolvedParams& p, const StrategyEnv&) {
+      ProactivePolicy::Options o;
+      o.batch_blocks = static_cast<int>(p.Int("batch_blocks"));
+      o.emergency_threshold = static_cast<int>(p.Int("emergency_threshold"));
+      return std::make_unique<ProactivePolicy>(o);
+    };
+    r->policies.push_back(std::move(d));
+  }
+  {
+    PolicyDescriptor d;
+    d.name = "adaptive-redundancy";
+    d.summary = "redundancy target follows the measured loss rate "
+                "(Dell'Amico et al.)";
+    d.params = {
+        ContextualThreshold("trigger level"),
+        DoubleParam("safety_factor", 2.0, 0.0, 1e6,
+                    "multiplier on the expected losses"),
+        IntParam("horizon_rounds", 14 * sim::kRoundsPerDay, 1, 1 << 20,
+                 "rounds of losses the redundancy target must absorb"),
+        IntParam("min_extra", 8, 1, 1 << 20,
+                 "restore at least this far above the trigger level"),
+    };
+    d.make = [](const ResolvedParams& p, const StrategyEnv&) {
+      AdaptiveRedundancyPolicy::Options o;
+      o.threshold = static_cast<int>(p.Int("threshold"));
+      o.safety_factor = p.Double("safety_factor");
+      o.horizon_rounds = p.Int("horizon_rounds");
+      o.min_extra = static_cast<int>(p.Int("min_extra"));
+      return std::make_unique<AdaptiveRedundancyPolicy>(o);
+    };
+    r->policies.push_back(std::move(d));
+  }
+
+  // --- selections ---
+  {
+    SelectionDescriptor d;
+    d.name = "oldest-first";
+    d.summary = "sort by age descending, random tie-break (the paper)";
+    d.make = [](const ResolvedParams&) {
+      return std::make_unique<OldestFirstSelection>();
+    };
+    r->selections.push_back(std::move(d));
+  }
+  {
+    SelectionDescriptor d;
+    d.name = "random";
+    d.summary = "uniform over the pool (age-oblivious baseline)";
+    d.make = [](const ResolvedParams&) {
+      return std::make_unique<RandomSelection>();
+    };
+    r->selections.push_back(std::move(d));
+  }
+  {
+    SelectionDescriptor d;
+    d.name = "youngest-first";
+    d.summary = "sort by age ascending (adversarial baseline)";
+    d.make = [](const ResolvedParams&) {
+      return std::make_unique<YoungestFirstSelection>();
+    };
+    r->selections.push_back(std::move(d));
+  }
+  {
+    SelectionDescriptor d;
+    d.name = "weighted-random";
+    d.summary = "draw hosts with probability ~ (age+1)^age_exponent; 0 = "
+                "uniform, large = oldest-first";
+    d.params = {DoubleParam("age_exponent", 1.0, 0.0, 16.0,
+                            "age weighting exponent")};
+    d.make = [](const ResolvedParams& p) {
+      return std::make_unique<WeightedRandomSelection>(
+          p.Double("age_exponent"));
+    };
+    r->selections.push_back(std::move(d));
+  }
+}
+
+Registries& GetRegistries() {
+  static Registries* r = [] {
+    auto* fresh = new Registries();
+    RegisterBuiltinsLocked(fresh);
+    return fresh;
+  }();
+  return *r;
+}
+
+}  // namespace
+
+ResolvedParams::ResolvedParams(const std::vector<ParamInfo>& infos,
+                               const ParamMap& given, const StrategyEnv& env) {
+  for (const ParamInfo& info : infos) {
+    const auto it = given.find(info.name);
+    if (it != given.end()) {
+      values_[info.name] = it->second;
+    } else if (info.contextual_default == "repair_threshold") {
+      values_[info.name] = ParamValue::Int(env.repair_threshold);
+    } else {
+      P2P_CHECK(info.contextual_default.empty());
+      values_[info.name] = info.def;
+    }
+  }
+}
+
+int64_t ResolvedParams::Int(const std::string& name) const {
+  const auto it = values_.find(name);
+  P2P_CHECK(it != values_.end() && it->second.type == ParamType::kInt);
+  return it->second.int_value;
+}
+
+double ResolvedParams::Double(const std::string& name) const {
+  const auto it = values_.find(name);
+  P2P_CHECK(it != values_.end());
+  return it->second.AsDouble();
+}
+
+std::vector<const PolicyDescriptor*> ListPolicies() {
+  Registries& r = GetRegistries();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<const PolicyDescriptor*> out;
+  for (const PolicyDescriptor& d : r.policies) out.push_back(&d);
+  return out;
+}
+
+std::vector<const SelectionDescriptor*> ListSelections() {
+  Registries& r = GetRegistries();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<const SelectionDescriptor*> out;
+  for (const SelectionDescriptor& d : r.selections) out.push_back(&d);
+  return out;
+}
+
+const PolicyDescriptor* FindPolicy(const std::string& name) {
+  Registries& r = GetRegistries();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const PolicyDescriptor& d : r.policies) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const SelectionDescriptor* FindSelection(const std::string& name) {
+  Registries& r = GetRegistries();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const SelectionDescriptor& d : r.selections) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// The contextual-default vocabulary: the only SystemOptions knob a
+// parameter default may follow today. Checked at registration so a typo'd
+// descriptor fails at startup, not at first instantiation mid-run.
+template <typename Descriptor>
+void CheckDescriptorParams(const Descriptor& descriptor) {
+  for (const ParamInfo& info : descriptor.params) {
+    P2P_CHECK(info.contextual_default.empty() ||
+              info.contextual_default == "repair_threshold");
+  }
+}
+
+}  // namespace
+
+void RegisterPolicy(PolicyDescriptor descriptor) {
+  P2P_CHECK(!descriptor.name.empty());
+  P2P_CHECK(descriptor.make != nullptr);
+  CheckDescriptorParams(descriptor);
+  Registries& r = GetRegistries();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  // Duplicate check under the same lock as the insert, so two concurrent
+  // registrations of one name cannot both slip past it.
+  for (const PolicyDescriptor& d : r.policies) {
+    P2P_CHECK(d.name != descriptor.name);
+  }
+  r.policies.push_back(std::move(descriptor));
+}
+
+void RegisterSelection(SelectionDescriptor descriptor) {
+  P2P_CHECK(!descriptor.name.empty());
+  P2P_CHECK(descriptor.make != nullptr);
+  CheckDescriptorParams(descriptor);
+  Registries& r = GetRegistries();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const SelectionDescriptor& d : r.selections) {
+    P2P_CHECK(d.name != descriptor.name);
+  }
+  r.selections.push_back(std::move(descriptor));
+}
+
+util::Result<std::unique_ptr<MaintenancePolicy>> MakePolicy(
+    const PolicySpec& spec, const StrategyEnv& env) {
+  P2P_RETURN_IF_ERROR(spec.Validate());
+  const PolicyDescriptor* descriptor = FindPolicy(spec.name);
+  ResolvedParams resolved(descriptor->params, spec.params, env);
+  // Validate() could only exercise the cross-parameter check against a
+  // default env; re-run it here with the contextual defaults actually
+  // resolved, so a check involving e.g. `threshold` sees the real value.
+  if (descriptor->check) {
+    P2P_RETURN_IF_ERROR(descriptor->check(resolved));
+  }
+  return descriptor->make(resolved, env);
+}
+
+util::Result<std::unique_ptr<SelectionStrategy>> MakeSelection(
+    const SelectionSpec& spec) {
+  P2P_RETURN_IF_ERROR(spec.Validate());
+  const SelectionDescriptor* descriptor = FindSelection(spec.name);
+  // Selections have no contextual parameters, so Validate()'s check pass
+  // already saw the final values; no re-run needed.
+  return descriptor->make(
+      ResolvedParams(descriptor->params, spec.params, {}));
+}
+
+}  // namespace core
+}  // namespace p2p

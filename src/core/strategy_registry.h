@@ -1,0 +1,113 @@
+// The strategy registry: the set of maintenance policies and selection
+// strategies a run can name, each described declaratively (parameters with
+// types, defaults, valid ranges) and instantiated through a factory.
+//
+// Built-ins register themselves on first access; RegisterPolicy /
+// RegisterSelection add further strategies (call before any concurrent
+// sweep starts - registration is mutex-guarded, but a strategy must be
+// registered before a cell naming it is expanded). `scenario_tool policies`
+// and `scenario_tool selections` list everything here, and scripts/check.sh
+// smoke-runs every registered strategy, so an unrunnable registration
+// fails CI rather than lurking.
+
+#ifndef P2P_CORE_STRATEGY_REGISTRY_H_
+#define P2P_CORE_STRATEGY_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/maintenance_policy.h"
+#include "core/selection.h"
+#include "core/strategy_spec.h"
+#include "util/result.h"
+#include "util/status.h"
+
+namespace p2p {
+namespace core {
+
+/// Declares one parameter of a registered strategy.
+struct ParamInfo {
+  std::string name;
+  ParamType type = ParamType::kInt;
+  /// Default when the spec does not set the parameter. Ignored when
+  /// `contextual_default` is non-empty.
+  ParamValue def;
+  /// Name of the SystemOptions knob the default follows ("repair_threshold")
+  /// - resolved from StrategyEnv at instantiation; empty = use `def`.
+  std::string contextual_default;
+  /// Inclusive numeric range a value must lie in.
+  double min_value = 0.0;
+  double max_value = 0.0;
+  std::string help;
+};
+
+/// The run context a factory may consult for contextual defaults: the
+/// erasure-code geometry and the configured repair threshold.
+struct StrategyEnv {
+  int k = 128;
+  int n = 256;  ///< k + m, the redundancy target
+  int repair_threshold = 148;
+};
+
+/// \brief Parameter lookup with defaults applied; what factories consume.
+class ResolvedParams {
+ public:
+  ResolvedParams(const std::vector<ParamInfo>& infos, const ParamMap& given,
+                 const StrategyEnv& env);
+
+  /// Value of a declared parameter; aborts on an undeclared name (factory
+  /// bugs, not user input - user input is validated before resolution).
+  int64_t Int(const std::string& name) const;
+  double Double(const std::string& name) const;
+
+ private:
+  ParamMap values_;
+};
+
+/// One registered maintenance policy.
+struct PolicyDescriptor {
+  std::string name;
+  std::string summary;
+  std::vector<ParamInfo> params;
+  /// Cross-parameter consistency check (e.g. floor <= ceiling); optional.
+  std::function<util::Status(const ResolvedParams&)> check;
+  std::function<std::unique_ptr<MaintenancePolicy>(const ResolvedParams&,
+                                                   const StrategyEnv&)>
+      make;
+};
+
+/// One registered selection strategy.
+struct SelectionDescriptor {
+  std::string name;
+  std::string summary;
+  std::vector<ParamInfo> params;
+  std::function<util::Status(const ResolvedParams&)> check;
+  std::function<std::unique_ptr<SelectionStrategy>(const ResolvedParams&)> make;
+};
+
+/// Registered descriptors in registration order (built-ins first). The
+/// returned pointers stay valid for the process lifetime.
+std::vector<const PolicyDescriptor*> ListPolicies();
+std::vector<const SelectionDescriptor*> ListSelections();
+
+/// Looks a strategy up by exact name; null when unknown.
+const PolicyDescriptor* FindPolicy(const std::string& name);
+const SelectionDescriptor* FindSelection(const std::string& name);
+
+/// Registers a strategy; aborts on a duplicate name.
+void RegisterPolicy(PolicyDescriptor descriptor);
+void RegisterSelection(SelectionDescriptor descriptor);
+
+/// Instantiates a validated spec. Errors (unknown name, bad parameters)
+/// name the offending token; a spec that passed Validate() cannot fail.
+util::Result<std::unique_ptr<MaintenancePolicy>> MakePolicy(
+    const PolicySpec& spec, const StrategyEnv& env);
+util::Result<std::unique_ptr<SelectionStrategy>> MakeSelection(
+    const SelectionSpec& spec);
+
+}  // namespace core
+}  // namespace p2p
+
+#endif  // P2P_CORE_STRATEGY_REGISTRY_H_

@@ -1,0 +1,115 @@
+// Declarative strategy specifications: a registry-backed strategy name plus
+// a typed parameter map.
+//
+// Maintenance policies and selection strategies used to be closed enums
+// (core::PolicyKind / core::SelectionKind), hard-coded at construction and
+// unreachable from the scenario text format. A StrategySpec makes them data:
+//
+//   fixed-threshold                         (all defaults)
+//   fixed-threshold{threshold=140}
+//   proactive{batch_blocks=8,emergency_threshold=136}
+//   weighted-random{age_exponent=2}
+//
+// The spec grammar is `name` or `name{key=value,...}`. Parsing is
+// type-directed against the strategy registry (strategy_registry.h): unknown
+// strategy names, unknown parameters, type mismatches, and out-of-range
+// values are all util::Result errors naming the offending token - never a
+// silent fallback. Render is canonical (parameters in name order, shortest
+// value form), so Parse(Render(spec)) == spec exactly; only explicitly-set
+// parameters are stored and rendered, which keeps `fixed-threshold` and
+// `fixed-threshold{threshold=148}` distinct as text while both resolve to
+// the same policy under the default options.
+
+#ifndef P2P_CORE_STRATEGY_SPEC_H_
+#define P2P_CORE_STRATEGY_SPEC_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace p2p {
+namespace core {
+
+/// Type of one strategy parameter.
+enum class ParamType {
+  kInt,     ///< integer counts / levels / round counts
+  kDouble,  ///< rates, exponents, factors
+};
+
+/// Lowercase token of a parameter type ("int", "double"); for listings.
+const char* ParamTypeName(ParamType type);
+
+/// One typed parameter value.
+struct ParamValue {
+  ParamType type = ParamType::kInt;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+
+  static ParamValue Int(int64_t v);
+  static ParamValue Double(double v);
+
+  /// Numeric view, whatever the type (used by range checks).
+  double AsDouble() const;
+
+  /// Canonical text form ("8", "2.5"); doubles render with the fewest
+  /// digits that parse back to the same value.
+  std::string Render() const;
+};
+
+bool operator==(const ParamValue& a, const ParamValue& b);
+inline bool operator!=(const ParamValue& a, const ParamValue& b) {
+  return !(a == b);
+}
+
+/// Explicitly-set parameters, keyed by name. std::map so the canonical
+/// render order is deterministic.
+using ParamMap = std::map<std::string, ParamValue>;
+
+/// \brief A strategy reference: registry name + explicit parameters.
+struct StrategySpec {
+  std::string name;
+  ParamMap params;
+
+  /// Canonical text: `name` or `name{key=value,...}` (params in key order).
+  std::string ToString() const;
+};
+
+bool operator==(const StrategySpec& a, const StrategySpec& b);
+inline bool operator!=(const StrategySpec& a, const StrategySpec& b) {
+  return !(a == b);
+}
+
+/// \brief A maintenance-policy spec; defaults to the paper's fixed
+/// threshold with no explicit parameters (the threshold then follows
+/// SystemOptions::repair_threshold).
+struct PolicySpec : StrategySpec {
+  PolicySpec() { name = "fixed-threshold"; }
+
+  /// Checks the name against the policy registry and every parameter for
+  /// existence, type, range, and cross-parameter consistency. Errors name
+  /// the offending token.
+  util::Status Validate() const;
+
+  /// Parses the spec grammar against the policy registry (type-directed:
+  /// values are coerced to the declared parameter types) and validates.
+  static util::Result<PolicySpec> Parse(const std::string& text);
+};
+
+/// \brief A selection-strategy spec; defaults to the paper's oldest-first.
+struct SelectionSpec : StrategySpec {
+  SelectionSpec() { name = "oldest-first"; }
+
+  /// See PolicySpec::Validate().
+  util::Status Validate() const;
+
+  /// See PolicySpec::Parse().
+  static util::Result<SelectionSpec> Parse(const std::string& text);
+};
+
+}  // namespace core
+}  // namespace p2p
+
+#endif  // P2P_CORE_STRATEGY_SPEC_H_

@@ -1,19 +1,13 @@
 #include "scenario/parse.h"
 
-#include <cctype>
-#include <cerrno>
-#include <cinttypes>
 #include <climits>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <cstring>
+
+#include "util/text.h"
 
 namespace p2p {
 namespace scenario {
 namespace {
-
-bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
 
 struct Unit {
   const char* suffix;
@@ -32,13 +26,7 @@ constexpr Unit kUnits[] = {
 
 }  // namespace
 
-std::string Trim(const std::string& s) {
-  size_t b = 0;
-  size_t e = s.size();
-  while (b < e && IsSpace(s[b])) ++b;
-  while (e > b && IsSpace(s[e - 1])) --e;
-  return s.substr(b, e - b);
-}
+std::string Trim(const std::string& s) { return util::TrimWhitespace(s); }
 
 util::Result<int64_t> ParseInt(const std::string& token,
                                const std::string& what) {
@@ -46,13 +34,11 @@ util::Result<int64_t> ParseInt(const std::string& token,
   if (t.empty()) {
     return util::Status::InvalidArgument("empty " + what);
   }
-  char* end = nullptr;
-  errno = 0;
-  const long long v = std::strtoll(t.c_str(), &end, 10);
-  if (errno != 0 || end != t.c_str() + t.size()) {
+  int64_t v = 0;
+  if (!util::ParseInt64Token(t, &v)) {
     return util::Status::InvalidArgument("not an " + what + ": '" + t + "'");
   }
-  return static_cast<int64_t>(v);
+  return v;
 }
 
 util::Result<double> ParseDouble(const std::string& token,
@@ -61,10 +47,8 @@ util::Result<double> ParseDouble(const std::string& token,
   if (t.empty()) {
     return util::Status::InvalidArgument("empty " + what);
   }
-  char* end = nullptr;
-  errno = 0;
-  const double v = std::strtod(t.c_str(), &end);
-  if (errno != 0 || end != t.c_str() + t.size() || !std::isfinite(v)) {
+  double v = 0.0;
+  if (!util::ParseDoubleToken(t, &v)) {
     return util::Status::InvalidArgument("not a " + what + ": '" + t + "'");
   }
   return v;
@@ -129,14 +113,7 @@ std::string RenderDuration(sim::Round rounds) {
   return std::to_string(rounds);
 }
 
-std::string RenderDouble(double v) {
-  char buf[64];
-  for (int precision = 1; precision <= 17; ++precision) {
-    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
-    if (std::strtod(buf, nullptr) == v) break;
-  }
-  return buf;
-}
+std::string RenderDouble(double v) { return util::RenderShortestDouble(v); }
 
 std::string RenderBool(bool v) { return v ? "true" : "false"; }
 
@@ -192,6 +169,44 @@ util::Status ParseStringList(const std::string& csv,
   if (out->empty()) {
     return util::Status::InvalidArgument("empty list");
   }
+  return util::Status::OK();
+}
+
+util::Status ParseSpecList(const std::string& csv,
+                           std::vector<std::string>* out) {
+  out->clear();
+  std::string current;
+  int depth = 0;
+  int element = 1;
+  auto flush = [&]() {
+    const std::string item = Trim(current);
+    current.clear();
+    if (item.empty()) {
+      return util::Status::InvalidArgument(
+          "empty element " + std::to_string(element) + " in list '" + csv +
+          "'");
+    }
+    out->push_back(item);
+    ++element;
+    return util::Status::OK();
+  };
+  for (char ch : csv) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    if (depth < 0) {
+      return util::Status::InvalidArgument("stray '}' in list '" + csv + "'");
+    }
+    if (ch == ',' && depth == 0) {
+      P2P_RETURN_IF_ERROR(flush());
+    } else {
+      current.push_back(ch);
+    }
+  }
+  if (depth != 0) {
+    return util::Status::InvalidArgument("unbalanced '{' in list '" + csv +
+                                         "'");
+  }
+  P2P_RETURN_IF_ERROR(flush());
   return util::Status::OK();
 }
 

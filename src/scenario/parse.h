@@ -63,6 +63,13 @@ util::Status ParseIntList(const std::string& csv, std::vector<int>* out);
 util::Status ParseStringList(const std::string& csv,
                              std::vector<std::string>* out);
 
+/// Splits a comma-separated list of strategy-spec strings, honouring braces:
+/// "fixed-threshold{threshold=140},proactive{batch_blocks=8,emergency_threshold=136}"
+/// yields two tokens, not four. Errors on unbalanced braces and empty
+/// elements, naming the offending token.
+util::Status ParseSpecList(const std::string& csv,
+                           std::vector<std::string>* out);
+
 }  // namespace scenario
 }  // namespace p2p
 

@@ -133,24 +133,6 @@ std::string RenderSessions(const ProfileSpec& profile) {
   return std::string("diurnal(") + RenderDuration(profile.session_cycle) + ")";
 }
 
-// Strict enum lookup: the lenient prefix-matching FromName helpers of
-// core/ would silently accept typos in a config file.
-util::Result<core::SelectionKind> StrictSelection(const std::string& token) {
-  const core::SelectionKind kind = core::SelectionKindFromName(token);
-  if (core::SelectionKindName(kind) != token) {
-    return util::Status::InvalidArgument("unknown selection: '" + token + "'");
-  }
-  return kind;
-}
-
-util::Result<core::PolicyKind> StrictPolicy(const std::string& token) {
-  const core::PolicyKind kind = core::PolicyKindFromName(token);
-  if (core::PolicyKindName(kind) != token) {
-    return util::Status::InvalidArgument("unknown policy: '" + token + "'");
-  }
-  return kind;
-}
-
 // One `section.<index>.<field>` key split into its parts.
 struct IndexedKey {
   int index = 0;
@@ -299,10 +281,10 @@ util::Result<Scenario> ParseScenarioText(const std::string& text) {
       } else if (field == "use_acceptance") {
         st = set_bool(&o.use_acceptance);
       } else if (field == "selection") {
-        auto v = StrictSelection(value);
+        auto v = core::SelectionSpec::Parse(value);
         if (v.ok()) o.selection = *v; else st = v.status();
       } else if (field == "policy") {
-        auto v = StrictPolicy(value);
+        auto v = core::PolicySpec::Parse(value);
         if (v.ok()) o.policy = *v; else st = v.status();
       } else if (field == "pool_factor") {
         st = set_double(&o.pool_factor);
@@ -466,8 +448,8 @@ std::string RenderScenarioText(const Scenario& scenario) {
   os << "options.acceptance_horizon = " << RenderDuration(o.acceptance_horizon)
      << "\n";
   os << "options.use_acceptance = " << RenderBool(o.use_acceptance) << "\n";
-  os << "options.selection = " << core::SelectionKindName(o.selection) << "\n";
-  os << "options.policy = " << core::PolicyKindName(o.policy) << "\n";
+  os << "options.selection = " << o.selection.ToString() << "\n";
+  os << "options.policy = " << o.policy.ToString() << "\n";
   os << "options.pool_factor = " << RenderDouble(o.pool_factor) << "\n";
   os << "options.sample_attempt_factor = " << o.sample_attempt_factor << "\n";
   os << "options.max_blocks_per_round = " << o.max_blocks_per_round << "\n";

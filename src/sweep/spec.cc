@@ -35,6 +35,38 @@ util::Result<std::vector<Scenario>> ResolveWorlds(
   return worlds;
 }
 
+// Resolves the policy axis to parsed specs; errors name the axis and token.
+util::Result<std::vector<core::PolicySpec>> ResolvePolicies(
+    const std::vector<std::string>& tokens) {
+  std::vector<core::PolicySpec> specs;
+  specs.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    util::Result<core::PolicySpec> parsed = core::PolicySpec::Parse(token);
+    if (!parsed.ok()) {
+      return util::Status::InvalidArgument("policy axis: " +
+                                           parsed.status().message());
+    }
+    specs.push_back(std::move(*parsed));
+  }
+  return specs;
+}
+
+util::Result<std::vector<core::SelectionSpec>> ResolveSelections(
+    const std::vector<std::string>& tokens) {
+  std::vector<core::SelectionSpec> specs;
+  specs.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    util::Result<core::SelectionSpec> parsed =
+        core::SelectionSpec::Parse(token);
+    if (!parsed.ok()) {
+      return util::Status::InvalidArgument("selection axis: " +
+                                           parsed.status().message());
+    }
+    specs.push_back(std::move(*parsed));
+  }
+  return specs;
+}
+
 // Everything Validate() checks, given the already-resolved scenario axis
 // (shared with Expand() so the axis is resolved - and any files parsed -
 // exactly once per expansion).
@@ -83,6 +115,8 @@ std::string Cell::Label() const { return JoinCoords(coords); }
 util::Status SweepSpec::Validate() const {
   util::Result<std::vector<Scenario>> worlds = ResolveWorlds(scenarios);
   if (!worlds.ok()) return worlds.status();
+  if (auto p = ResolvePolicies(policies); !p.ok()) return p.status();
+  if (auto s = ResolveSelections(selections); !s.ok()) return s.status();
   return ValidateResolved(*this, *worlds);
 }
 
@@ -112,6 +146,10 @@ std::vector<std::string> SweepSpec::ActiveAxes() const {
 util::Result<std::vector<Cell>> SweepSpec::Expand() const {
   P2P_ASSIGN_OR_RETURN(const std::vector<Scenario> worlds,
                        ResolveWorlds(scenarios));
+  P2P_ASSIGN_OR_RETURN(const std::vector<core::PolicySpec> policy_specs,
+                       ResolvePolicies(policies));
+  P2P_ASSIGN_OR_RETURN(const std::vector<core::SelectionSpec> selection_specs,
+                       ResolveSelections(selections));
   P2P_RETURN_IF_ERROR(ValidateResolved(*this, worlds));
 
   std::vector<Cell> cells;
@@ -151,16 +189,16 @@ util::Result<std::vector<Cell>> SweepSpec::Expand() const {
                     "quota", std::to_string(resolved.options.quota_blocks));
               }
               if (pi >= 0) {
-                resolved.options.policy = policies[static_cast<size_t>(pi)];
-                coords.emplace_back(
-                    "policy", core::PolicyKindName(resolved.options.policy));
+                resolved.options.policy =
+                    policy_specs[static_cast<size_t>(pi)];
+                coords.emplace_back("policy",
+                                    resolved.options.policy.ToString());
               }
               if (si >= 0) {
                 resolved.options.selection =
-                    selections[static_cast<size_t>(si)];
-                coords.emplace_back(
-                    "selection",
-                    core::SelectionKindName(resolved.options.selection));
+                    selection_specs[static_cast<size_t>(si)];
+                coords.emplace_back("selection",
+                                    resolved.options.selection.ToString());
               }
               if (wi >= 0) {
                 scenario::ApplyWorld(worlds[static_cast<size_t>(wi)],

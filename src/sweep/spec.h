@@ -27,8 +27,7 @@
 #include <vector>
 
 #include "backup/options.h"
-#include "core/maintenance_policy.h"
-#include "core/selection.h"
+#include "core/strategy_spec.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 #include "util/result.h"
@@ -70,8 +69,13 @@ struct SweepSpec {
 
   std::vector<int> repair_thresholds;
   std::vector<int> quotas;
-  std::vector<core::PolicyKind> policies;
-  std::vector<core::SelectionKind> selections;
+  /// Policy axis: each value is a strategy-spec string parsed against the
+  /// registry ("fixed-threshold{threshold=140}", "adaptive-redundancy", ...).
+  /// Unknown names or bad parameters fail Validate()/Expand() with an error
+  /// naming the token; coordinates carry the canonical spec form.
+  std::vector<std::string> policies;
+  /// Selection axis; spec strings like "weighted-random{age_exponent=2}".
+  std::vector<std::string> selections;
   /// Named-scenario axis: each value is a registry name or scenario file;
   /// a cell takes that scenario's *world* (population + workload) while
   /// keeping the base scale and options (common random numbers across the

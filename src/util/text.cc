@@ -1,0 +1,52 @@
+#include "util/text.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace p2p {
+namespace util {
+
+std::string TrimWhitespace(const std::string& s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool ParseInt64Token(const std::string& token, int64_t* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(token.c_str(), &end, 10);
+  if (errno != 0 || end != token.c_str() + token.size()) return false;
+  *out = static_cast<int64_t>(v);
+  return true;
+}
+
+bool ParseDoubleToken(const std::string& token, double* out) {
+  if (token.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(token.c_str(), &end);
+  if (errno != 0 || end != token.c_str() + token.size() || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+std::string RenderShortestDouble(double v) {
+  char buf[64];
+  for (int precision = 1; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace util
+}  // namespace p2p

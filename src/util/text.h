@@ -1,0 +1,41 @@
+// Token-level text helpers shared by every layer that lexes or renders
+// configuration values: whitespace trimming, strict full-consumption number
+// parsing, and shortest-round-trip double rendering.
+//
+// One home for these disciplines matters more than it looks: both the
+// scenario text format (scenario/parse) and the strategy-spec grammar
+// (core/strategy_spec) promise Parse(Render(x)) == x, and that guarantee
+// only composes across layers if both use the *same* canonical double
+// rendering. Error-message formatting stays at the call sites, which know
+// what they are parsing.
+
+#ifndef P2P_UTIL_TEXT_H_
+#define P2P_UTIL_TEXT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace p2p {
+namespace util {
+
+/// Strips leading/trailing ASCII whitespace.
+std::string TrimWhitespace(const std::string& s);
+
+/// Parses a decimal integer, requiring the whole token to be consumed.
+/// Returns false (leaving `*out` untouched) on empty input, trailing
+/// garbage, or overflow.
+bool ParseInt64Token(const std::string& token, int64_t* out);
+
+/// Parses a finite floating-point number, requiring the whole token to be
+/// consumed. Returns false on empty input, trailing garbage, overflow, or
+/// a non-finite result.
+bool ParseDoubleToken(const std::string& token, double* out);
+
+/// Renders `v` with the fewest digits that still parse back to the same
+/// double, so text round-trips are exact and renders are canonical.
+std::string RenderShortestDouble(double v);
+
+}  // namespace util
+}  // namespace p2p
+
+#endif  // P2P_UTIL_TEXT_H_

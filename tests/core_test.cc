@@ -1,6 +1,9 @@
 // Tests of the paper's core contribution: the acceptance function's printed
-// properties, age-based selection, lifetime estimators and repair policies.
+// properties, age-based selection, lifetime estimators and repair policies -
+// plus the declarative strategy-spec layer (parse/render round trips, the
+// registry, and registry-backed instantiation).
 
+#include <map>
 #include <set>
 
 #include <gtest/gtest.h>
@@ -9,6 +12,8 @@
 #include "core/lifetime_estimator.h"
 #include "core/maintenance_policy.h"
 #include "core/selection.h"
+#include "core/strategy_registry.h"
+#include "core/strategy_spec.h"
 #include "util/rng.h"
 
 namespace p2p {
@@ -168,15 +173,65 @@ TEST(SelectionTest, RequestMoreThanPool) {
   EXPECT_EQ(out.size(), 5u);
 }
 
-TEST(SelectionTest, FactoryAndNames) {
-  EXPECT_EQ(MakeSelection(SelectionKind::kOldestFirst)->name(), "oldest-first");
-  EXPECT_EQ(MakeSelection(SelectionKind::kRandom)->name(), "random");
-  EXPECT_EQ(MakeSelection(SelectionKind::kYoungestFirst)->name(),
-            "youngest-first");
-  EXPECT_EQ(SelectionKindFromName("random"), SelectionKind::kRandom);
-  EXPECT_EQ(SelectionKindFromName("youngest"), SelectionKind::kYoungestFirst);
-  EXPECT_EQ(SelectionKindFromName("oldest"), SelectionKind::kOldestFirst);
-  EXPECT_EQ(SelectionKindName(SelectionKind::kRandom), "random");
+TEST(SelectionTest, RegistryInstantiatesEveryBuiltin) {
+  for (const char* name :
+       {"oldest-first", "random", "youngest-first", "weighted-random"}) {
+    auto spec = SelectionSpec::Parse(name);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    auto strategy = MakeSelection(*spec);
+    ASSERT_TRUE(strategy.ok()) << strategy.status().ToString();
+    EXPECT_EQ((*strategy)->name(), name);
+  }
+}
+
+TEST(SelectionTest, WeightedRandomExponentZeroCoversPool) {
+  // age_exponent = 0 degenerates to uniform random.
+  WeightedRandomSelection sel(0.0);
+  util::Rng rng(7);
+  std::set<uint32_t> seen;
+  for (int i = 0; i < 200; ++i) {
+    auto pool = MakePool();
+    std::vector<uint32_t> out;
+    sel.Choose(&pool, 1, &rng, &out);
+    seen.insert(out[0]);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(SelectionTest, WeightedRandomFavoursAgeAndInterpolates) {
+  util::Rng rng(8);
+  auto count_oldest_first_picks = [&rng](double exponent) {
+    WeightedRandomSelection sel(exponent);
+    int oldest = 0;
+    for (int i = 0; i < 500; ++i) {
+      auto pool = MakePool();
+      std::vector<uint32_t> out;
+      sel.Choose(&pool, 1, &rng, &out);
+      if (out[0] == 5) ++oldest;  // id 5 has age 1000, the maximum
+    }
+    return oldest;
+  };
+  const int flat = count_oldest_first_picks(0.0);
+  const int linear = count_oldest_first_picks(1.0);
+  const int steep = count_oldest_first_picks(8.0);
+  // Uniform picks the oldest ~1/5 of the time; raising the exponent moves
+  // the distribution monotonically toward oldest-first.
+  EXPECT_LT(flat, linear);
+  EXPECT_LT(linear, steep);
+  EXPECT_GT(steep, 450);  // (1000/500)^8 = 256: near-deterministic
+}
+
+TEST(SelectionTest, WeightedRandomSelectsWithoutReplacement) {
+  WeightedRandomSelection sel(2.0);
+  util::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    auto pool = MakePool();
+    std::vector<uint32_t> out;
+    sel.Choose(&pool, 5, &rng, &out);
+    std::set<uint32_t> distinct(out.begin(), out.end());
+    EXPECT_EQ(out.size(), 5u);
+    EXPECT_EQ(distinct.size(), 5u);
+  }
 }
 
 // --- Maintenance policies ---
@@ -229,14 +284,197 @@ TEST(PolicyTest, ProactiveBatchesAndEmergency) {
   EXPECT_GE(policy.FlagLevel(128, 256), 249);
 }
 
-TEST(PolicyTest, FactoryWiresThreshold) {
-  auto fixed = MakePolicy(PolicyKind::kFixedThreshold, 140);
-  EXPECT_TRUE(fixed->Evaluate(Ctx(139)).trigger);
-  EXPECT_FALSE(fixed->Evaluate(Ctx(140)).trigger);
-  auto adaptive = MakePolicy(PolicyKind::kAdaptiveThreshold, 140);
-  EXPECT_EQ(adaptive->name(), "adaptive-threshold");
-  auto proactive = MakePolicy(PolicyKind::kProactive, 140);
-  EXPECT_TRUE(proactive->Evaluate(Ctx(139)).trigger);  // emergency floor
+TEST(PolicyTest, AdaptiveRedundancyMovesRestoreTargetWithLossRate) {
+  AdaptiveRedundancyPolicy::Options opts;
+  opts.threshold = 148;
+  opts.safety_factor = 2.0;
+  opts.horizon_rounds = 100;
+  opts.min_extra = 8;
+  AdaptiveRedundancyPolicy policy(opts);
+
+  // Trigger is the fixed threshold, whatever the rate.
+  EXPECT_FALSE(policy.Evaluate(Ctx(148)).trigger);
+  EXPECT_TRUE(policy.Evaluate(Ctx(147)).trigger);
+  EXPECT_EQ(policy.FlagLevel(128, 256), 148);
+
+  // Quiet partner set: restore just past the threshold (cheap repair).
+  MaintenanceContext quiet = Ctx(140);
+  quiet.partner_loss_rate = 0.0;
+  EXPECT_EQ(policy.Evaluate(quiet).restore_to, 148 + 8);
+
+  // Moderate churn: target tracks k + safety * rate * horizon.
+  MaintenanceContext churny = Ctx(140);
+  churny.partner_loss_rate = 0.25;  // 2.0 * 0.25 * 100 = 50 expected losses
+  EXPECT_EQ(policy.Evaluate(churny).restore_to, 128 + 50);
+
+  // Heavy churn: clamped at n.
+  MaintenanceContext bleeding = Ctx(140);
+  bleeding.partner_loss_rate = 10.0;
+  EXPECT_EQ(policy.Evaluate(bleeding).restore_to, 256);
+}
+
+// --- Strategy specs: grammar, round trips, registry ---
+
+TEST(StrategySpecTest, ParseRenderRoundTrips) {
+  for (const char* text : {
+           "fixed-threshold",
+           "fixed-threshold{threshold=140}",
+           "adaptive-threshold{ceiling_margin=32,safety_factor=2.5}",
+           "proactive{batch_blocks=4,emergency_threshold=136}",
+           "adaptive-redundancy{min_extra=16,safety_factor=4}",
+       }) {
+    SCOPED_TRACE(text);
+    auto spec = PolicySpec::Parse(text);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    EXPECT_EQ(spec->ToString(), text);  // canonical inputs are fixed points
+    auto again = PolicySpec::Parse(spec->ToString());
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(*again == *spec);
+  }
+  for (const char* text : {"oldest-first", "weighted-random{age_exponent=2}"}) {
+    SCOPED_TRACE(text);
+    auto spec = SelectionSpec::Parse(text);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    EXPECT_EQ(spec->ToString(), text);
+  }
+}
+
+TEST(StrategySpecTest, ParseNormalizesWhitespaceAndParamOrder) {
+  auto spec =
+      PolicySpec::Parse("  proactive{ emergency_threshold = 136 , "
+                        "batch_blocks = 4 }  ");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  // Canonical form: no spaces, parameters in name order.
+  EXPECT_EQ(spec->ToString(), "proactive{batch_blocks=4,emergency_threshold=136}");
+}
+
+TEST(StrategySpecTest, ErrorsNameTheOffendingToken) {
+  auto unknown = PolicySpec::Parse("reactive-gold-plated");
+  EXPECT_TRUE(unknown.status().IsInvalidArgument());
+  EXPECT_NE(unknown.status().message().find("reactive-gold-plated"),
+            std::string::npos);
+
+  // The pre-redesign short enum names are gone, not silently mapped.
+  EXPECT_FALSE(PolicySpec::Parse("fixed").ok());
+  EXPECT_FALSE(PolicySpec::Parse("adaptive").ok());
+  EXPECT_FALSE(SelectionSpec::Parse("oldest").ok());
+  EXPECT_FALSE(SelectionSpec::Parse("youngest").ok());
+
+  auto bad_param = PolicySpec::Parse("proactive{batch_size=4}");
+  EXPECT_TRUE(bad_param.status().IsInvalidArgument());
+  EXPECT_NE(bad_param.status().message().find("batch_size"),
+            std::string::npos);
+
+  auto bad_value = PolicySpec::Parse("proactive{batch_blocks=lots}");
+  EXPECT_NE(bad_value.status().message().find("lots"), std::string::npos);
+
+  auto out_of_range = SelectionSpec::Parse("weighted-random{age_exponent=99}");
+  EXPECT_TRUE(out_of_range.status().IsInvalidArgument());
+  EXPECT_NE(out_of_range.status().message().find("age_exponent"),
+            std::string::npos);
+
+  EXPECT_FALSE(PolicySpec::Parse("proactive{batch_blocks=4").ok());
+  EXPECT_FALSE(PolicySpec::Parse("proactive{batch_blocks}").ok());
+  EXPECT_FALSE(PolicySpec::Parse("").ok());
+
+  // Cross-parameter consistency.
+  auto inverted = PolicySpec::Parse(
+      "adaptive-threshold{floor_margin=32,ceiling_margin=8}");
+  EXPECT_TRUE(inverted.status().IsInvalidArgument());
+  EXPECT_NE(inverted.status().message().find("floor_margin"),
+            std::string::npos);
+}
+
+TEST(StrategySpecTest, ValidateCatchesHandBuiltMistakes) {
+  PolicySpec spec;  // default fixed-threshold
+  EXPECT_TRUE(spec.Validate().ok());
+  spec.params["no_such_param"] = ParamValue::Int(3);
+  EXPECT_TRUE(spec.Validate().IsInvalidArgument());
+
+  PolicySpec wrong_type;
+  wrong_type.params["threshold"] = ParamValue::Double(140.0);
+  EXPECT_TRUE(wrong_type.Validate().IsInvalidArgument());
+
+  SelectionSpec unknown;
+  unknown.name = "no-such-selection";
+  EXPECT_TRUE(unknown.Validate().IsInvalidArgument());
+  EXPECT_NE(unknown.Validate().message().find("no-such-selection"),
+            std::string::npos);
+}
+
+TEST(StrategySpecTest, FactoryWiresContextualThreshold) {
+  StrategyEnv env;
+  env.repair_threshold = 140;
+
+  // No explicit threshold: the spec follows env.repair_threshold, exactly
+  // like the historical MakePolicy(kind, fixed_threshold) wiring.
+  auto fixed = MakePolicy(PolicySpec(), env);
+  ASSERT_TRUE(fixed.ok());
+  EXPECT_TRUE((*fixed)->Evaluate(Ctx(139)).trigger);
+  EXPECT_FALSE((*fixed)->Evaluate(Ctx(140)).trigger);
+
+  // An explicit threshold parameter overrides the context.
+  auto spec = PolicySpec::Parse("fixed-threshold{threshold=150}");
+  ASSERT_TRUE(spec.ok());
+  auto overridden = MakePolicy(*spec, env);
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_TRUE((*overridden)->Evaluate(Ctx(149)).trigger);
+  EXPECT_FALSE((*overridden)->Evaluate(Ctx(150)).trigger);
+
+  // The proactive emergency floor is contextual too.
+  auto proactive = MakePolicy(*PolicySpec::Parse("proactive"), env);
+  ASSERT_TRUE(proactive.ok());
+  EXPECT_TRUE((*proactive)->Evaluate(Ctx(139)).trigger);
+}
+
+TEST(StrategySpecTest, RegistryIsOpenForExtension) {
+  // Registering a new policy makes it parseable, listable, and runnable -
+  // the whole point of replacing the closed enums.
+  if (FindPolicy("test-always-repair") == nullptr) {
+    PolicyDescriptor d;
+    d.name = "test-always-repair";
+    d.summary = "test fixture";
+    d.params = {[] {
+      ParamInfo info;
+      info.name = "restore_to";
+      info.type = ParamType::kInt;
+      info.def = ParamValue::Int(200);
+      info.min_value = 1;
+      info.max_value = 4096;
+      info.help = "fixed restore level";
+      return info;
+    }()};
+    d.make = [](const ResolvedParams& p, const StrategyEnv&) {
+      class AlwaysRepair : public MaintenancePolicy {
+       public:
+        explicit AlwaysRepair(int restore_to) : restore_to_(restore_to) {}
+        MaintenanceDecision Evaluate(const MaintenanceContext&) const override {
+          return {true, restore_to_};
+        }
+        int FlagLevel(int, int n) const override { return n + 1; }
+        std::string name() const override { return "test-always-repair"; }
+
+       private:
+        int restore_to_;
+      };
+      return std::unique_ptr<MaintenancePolicy>(
+          new AlwaysRepair(static_cast<int>(p.Int("restore_to"))));
+    };
+    RegisterPolicy(std::move(d));
+  }
+
+  auto spec = PolicySpec::Parse("test-always-repair{restore_to=180}");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto policy = MakePolicy(*spec, StrategyEnv{});
+  ASSERT_TRUE(policy.ok());
+  EXPECT_TRUE((*policy)->Evaluate(Ctx(255)).trigger);
+  EXPECT_EQ((*policy)->Evaluate(Ctx(255)).restore_to, 180);
+
+  bool listed = false;
+  for (const PolicyDescriptor* d : ListPolicies()) {
+    listed = listed || d->name == "test-always-repair";
+  }
+  EXPECT_TRUE(listed);
 }
 
 }  // namespace

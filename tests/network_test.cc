@@ -269,9 +269,9 @@ TEST(NetworkTest, SelectionStrategyChangesPartnerQuality) {
   // Oldest-first should hand elder-age owners older partner sets than
   // youngest-first does.
   const auto profiles = churn::ProfileSet::Paper();
-  auto mean_age = [&](core::SelectionKind kind) {
+  auto mean_age = [&](const char* selection) {
     SystemOptions opts = SmallOptions();
-    opts.selection = kind;
+    opts.selection = *core::SelectionSpec::Parse(selection);
     sim::EngineOptions eopts;
     eopts.end_round = sim::MonthsToRounds(8);
     eopts.seed = 41;
@@ -289,20 +289,33 @@ TEST(NetworkTest, SelectionStrategyChangesPartnerQuality) {
     }
     return sum / n;
   };
-  EXPECT_GT(mean_age(core::SelectionKind::kOldestFirst),
-            mean_age(core::SelectionKind::kYoungestFirst));
+  EXPECT_GT(mean_age("oldest-first"), mean_age("youngest-first"));
 }
 
 TEST(NetworkTest, PoliciesRun) {
+  // Every registered policy (including parameterized instances of the new
+  // ones) drives a short run without stalling repairs.
   const auto profiles = churn::ProfileSet::Paper();
-  for (core::PolicyKind kind :
-       {core::PolicyKind::kFixedThreshold, core::PolicyKind::kAdaptiveThreshold,
-        core::PolicyKind::kProactive}) {
+  for (const char* policy :
+       {"fixed-threshold", "adaptive-threshold", "proactive",
+        "adaptive-redundancy", "adaptive-redundancy{safety_factor=8}",
+        "proactive{batch_blocks=4,emergency_threshold=132}"}) {
+    SCOPED_TRACE(policy);
     SystemOptions opts = SmallOptions();
-    opts.policy = kind;
+    auto spec = core::PolicySpec::Parse(policy);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    opts.policy = *spec;
     const auto r = RunSmall(opts, 3000, 43, profiles, 2);
     EXPECT_GT(r.totals.repairs, 0);
   }
+}
+
+TEST(NetworkTest, WeightedRandomSelectionRuns) {
+  const auto profiles = churn::ProfileSet::Paper();
+  SystemOptions opts = SmallOptions();
+  opts.selection = *core::SelectionSpec::Parse("weighted-random{age_exponent=2}");
+  const auto r = RunSmall(opts, 3000, 47, profiles, 2);
+  EXPECT_GT(r.totals.repairs, 0);
 }
 
 TEST(NetworkTest, MaxBlocksPerRoundSpreadsPlacement) {

@@ -6,6 +6,9 @@
 #include "archive/builder.h"
 #include "backup/pipeline.h"
 #include "core/acceptance.h"
+#include "core/maintenance_policy.h"
+#include "core/strategy_registry.h"
+#include "core/strategy_spec.h"
 #include "erasure/reed_solomon.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
@@ -122,7 +125,9 @@ TEST_P(AcceptanceGrid, PropertiesHoldForHorizon) {
       ASSERT_GT(p, 0.0);
       ASSERT_LE(p, 1.0);
       // One whenever the candidate is at least as old.
-      if (std::min(s2, L) >= std::min(s1, L)) ASSERT_DOUBLE_EQ(p, 1.0);
+      if (std::min(s2, L) >= std::min(s1, L)) {
+        ASSERT_DOUBLE_EQ(p, 1.0);
+      }
       // Minimum is 1/L, achieved at (>=L, 0).
       ASSERT_GE(p, 1.0 / static_cast<double>(L) - 1e-12);
     }
@@ -203,6 +208,65 @@ INSTANTIATE_TEST_SUITE_P(Grid, RsSubsetGrid,
                                            std::pair{32, 32},
                                            std::pair{128, 128},
                                            std::pair{200, 56}));
+
+// --- Strategy registry: FlagLevel really bounds every trigger. ---
+//
+// The network flags a peer for policy evaluation only when its visible
+// count drops below FlagLevel(k, n); a policy whose Evaluate could trigger
+// at or above its own FlagLevel would silently never repair. Sweep every
+// registered policy under randomly drawn in-range parameters and random
+// reachable contexts: alive >= FlagLevel must never trigger.
+
+TEST(StrategyProperty, FlagLevelBoundsEveryRegisteredPolicy) {
+  util::Rng rng(20240728);
+  core::StrategyEnv env;  // k = 128, n = 256, repair_threshold = 148
+
+  for (const core::PolicyDescriptor* descriptor : core::ListPolicies()) {
+    SCOPED_TRACE(descriptor->name);
+    int valid_trials = 0;
+    for (int trial = 0; trial < 200 && valid_trials < 50; ++trial) {
+      core::PolicySpec spec;
+      spec.name = descriptor->name;
+      // Half the trials run pure defaults; the rest set every parameter to
+      // a uniformly drawn in-range value.
+      if (trial % 2 == 1) {
+        for (const core::ParamInfo& info : descriptor->params) {
+          // Keep integer draws in a simulation-sized window: the declared
+          // ranges go to 2^20 and huge levels are valid but uninteresting.
+          const double hi = std::min(info.max_value, 4096.0);
+          if (info.type == core::ParamType::kInt) {
+            spec.params[info.name] = core::ParamValue::Int(rng.UniformInt(
+                static_cast<int64_t>(info.min_value),
+                static_cast<int64_t>(hi)));
+          } else {
+            spec.params[info.name] = core::ParamValue::Double(
+                rng.UniformDouble(info.min_value, std::min(hi, 64.0)));
+          }
+        }
+      }
+      if (!spec.Validate().ok()) continue;  // e.g. floor > ceiling draws
+      ++valid_trials;
+      auto policy = core::MakePolicy(spec, env);
+      ASSERT_TRUE(policy.ok()) << policy.status().ToString();
+      const int flag = (*policy)->FlagLevel(env.k, env.n);
+      for (int probe = 0; probe < 40; ++probe) {
+        core::MaintenanceContext ctx;
+        ctx.k = env.k;
+        ctx.n = env.n;
+        ctx.alive =
+            flag + static_cast<int>(rng.UniformInt(0, 2 * env.n));
+        ctx.partner_loss_rate = rng.UniformDouble(0.0, 50.0);
+        ctx.rounds_since_repair = rng.UniformInt(0, 100'000);
+        const auto decision = (*policy)->Evaluate(ctx);
+        ASSERT_FALSE(decision.trigger)
+            << spec.ToString() << " triggered at alive=" << ctx.alive
+            << " >= FlagLevel=" << flag
+            << " (loss_rate=" << ctx.partner_loss_rate << ")";
+      }
+    }
+    EXPECT_GT(valid_trials, 0);
+  }
+}
 
 }  // namespace
 }  // namespace p2p

@@ -111,6 +111,23 @@ TEST(ParseTest, StringLists) {
   EXPECT_TRUE(ParseStringList("", &out).IsInvalidArgument());
 }
 
+TEST(ParseTest, SpecListsHonourBraces) {
+  std::vector<std::string> out;
+  ASSERT_TRUE(ParseSpecList(
+                  "fixed-threshold{threshold=140}, "
+                  "proactive{batch_blocks=8,emergency_threshold=136},random",
+                  &out)
+                  .ok());
+  EXPECT_EQ(out, (std::vector<std::string>{
+                     "fixed-threshold{threshold=140}",
+                     "proactive{batch_blocks=8,emergency_threshold=136}",
+                     "random"}));
+  EXPECT_TRUE(ParseSpecList("a,,b", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseSpecList("a{x=1,b", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseSpecList("a}b", &out).IsInvalidArgument());
+  EXPECT_TRUE(ParseSpecList("", &out).IsInvalidArgument());
+}
+
 // ------------------------------------------------------------- population
 
 TEST(PopulationTest, BuiltInsValidateAndCompile) {
@@ -355,6 +372,76 @@ TEST(TextTest, ErrorsNameLineAndToken) {
 
   bad = ParseScenarioText("name = x\noptions.visibility = psychic\n");
   EXPECT_NE(bad.status().message().find("psychic"), std::string::npos);
+
+  // Strategy specs: unknown names and bad parameters fail loudly, naming
+  // the token - the silent-fallback FromName era is over.
+  bad = ParseScenarioText("name = x\noptions.policy = psychic-repair\n");
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("psychic-repair"), std::string::npos);
+
+  bad = ParseScenarioText("name = x\noptions.selection = oldest\n");
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("oldest"), std::string::npos);
+
+  bad = ParseScenarioText(
+      "name = x\noptions.policy = proactive{batch_blocks=none}\n");
+  EXPECT_NE(bad.status().message().find("none"), std::string::npos);
+}
+
+TEST(TextTest, ParameterizedStrategySpecsRoundTrip) {
+  auto parsed = ParseScenarioText(
+      "name = strategies\n"
+      "options.policy = adaptive-redundancy{safety_factor=4,min_extra=16}\n"
+      "options.selection = weighted-random{age_exponent=2}\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->options.policy.name, "adaptive-redundancy");
+  EXPECT_EQ(parsed->options.policy.params.at("safety_factor"),
+            core::ParamValue::Double(4.0));
+  EXPECT_EQ(parsed->options.policy.params.at("min_extra"),
+            core::ParamValue::Int(16));
+  EXPECT_EQ(parsed->options.selection.ToString(),
+            "weighted-random{age_exponent=2}");
+
+  const std::string text = RenderScenarioText(*parsed);
+  auto reparsed = ParseScenarioText(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(*reparsed == *parsed);
+  EXPECT_EQ(RenderScenarioText(*reparsed), text);
+}
+
+TEST(TextTest, GoldenParameterizedStrategiesFile) {
+  const std::string path = std::string(P2P_SOURCE_DIR) +
+                           "/tests/golden/parameterized_strategies.scenario";
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  auto parsed = ParseScenarioText(buffer.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // The checked-in file is canonical: render reproduces it byte for byte.
+  EXPECT_EQ(RenderScenarioText(*parsed), buffer.str());
+
+  // The strategy specs survive with their exact parameters.
+  core::PolicySpec policy;
+  policy.name = "proactive";
+  policy.params["batch_blocks"] = core::ParamValue::Int(4);
+  policy.params["emergency_threshold"] = core::ParamValue::Int(136);
+  EXPECT_TRUE(parsed->options.policy == policy);
+
+  core::SelectionSpec selection;
+  selection.name = "weighted-random";
+  selection.params["age_exponent"] = core::ParamValue::Double(2.5);
+  EXPECT_TRUE(parsed->options.selection == selection);
+
+  // And the scenario actually runs with them.
+  Scenario s = *parsed;
+  s.peers = 120;
+  s.rounds = 200;
+  RunOptions run;
+  run.check_invariants = true;
+  const Outcome out = RunScenario(s, run);
+  EXPECT_GT(out.totals.repairs, 0);
 }
 
 // ----------------------------------------------------- registry and flags

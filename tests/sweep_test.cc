@@ -110,6 +110,40 @@ TEST(SweepSpecTest, ScenarioAxisSwapsWorldsOnly) {
   EXPECT_FALSE(spec.Expand().ok());
 }
 
+TEST(SweepSpecTest, StrategyAxesResolveSpecsAndRejectUnknownTokens) {
+  SweepSpec spec;
+  spec.base.peers = 120;
+  spec.base.rounds = 400;
+  spec.policies = {"fixed-threshold", "proactive{ batch_blocks = 4 }"};
+  spec.selections = {"weighted-random{age_exponent=2}"};
+
+  EXPECT_EQ(spec.ActiveAxes(),
+            (std::vector<std::string>{"policy", "selection"}));
+  auto cells = spec.Expand();
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  ASSERT_EQ(cells->size(), 2u);
+  // Coordinates carry the canonical spec form, whatever spacing came in.
+  EXPECT_EQ((*cells)[1].coords[0],
+            (std::pair<std::string, std::string>{"policy",
+                                                 "proactive{batch_blocks=4}"}));
+  EXPECT_EQ((*cells)[1].scenario.options.policy.name, "proactive");
+  EXPECT_EQ((*cells)[0].coords[1],
+            (std::pair<std::string, std::string>{
+                "selection", "weighted-random{age_exponent=2}"}));
+
+  spec.policies = {"no-such-policy"};
+  util::Status bad = spec.Validate();
+  EXPECT_TRUE(bad.IsInvalidArgument());
+  EXPECT_NE(bad.message().find("no-such-policy"), std::string::npos);
+  EXPECT_FALSE(spec.Expand().ok());
+
+  spec.policies.clear();
+  spec.selections = {"weighted-random{age_exponent=99}"};
+  bad = spec.Validate();
+  EXPECT_TRUE(bad.IsInvalidArgument());
+  EXPECT_NE(bad.message().find("age_exponent"), std::string::npos);
+}
+
 TEST(SweepSpecTest, SeedDerivation) {
   // Replicate 0 keeps the base seed, so a 1-replicate sweep reproduces a
   // plain RunScenario; later replicates get distinct derived seeds.
@@ -306,6 +340,77 @@ TEST(RunnerTest, ScenarioAxisIsThreadCountInvariant) {
   EXPECT_EQ(csv[0], csv[1]);
   EXPECT_NE(csv[0].find("scenario"), std::string::npos);
   EXPECT_NE(csv[0].find("mass-exit"), std::string::npos);
+}
+
+TEST(RunnerTest, DefaultSpecsMatchHistoricalEnumPaths) {
+  // The pre-redesign enum path instantiated FixedThresholdPolicy at
+  // options.repair_threshold and OldestFirstSelection. The spec-backed
+  // equivalents - default-constructed specs, a bare name, and the fully
+  // explicit `fixed-threshold{threshold=148}` - must all produce
+  // byte-identical metrics (same simulation, block for block).
+  SweepSpec base;
+  base.base.peers = 120;
+  base.base.rounds = 400;
+  base.base.seed = 7;
+  auto baseline = RunSweep(base, RunnerOptions{});
+  ASSERT_TRUE(baseline.ok());
+  const SweepReport baseline_report = SweepReport::Build(base, *baseline);
+  ASSERT_EQ(baseline_report.cells().size(), 1u);
+
+  SweepSpec specced = base;
+  specced.policies = {"fixed-threshold{threshold=148}", "fixed-threshold"};
+  specced.selections = {"oldest-first"};
+  auto results = RunSweep(specced, RunnerOptions{});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  const SweepReport report = SweepReport::Build(specced, *results);
+  ASSERT_EQ(report.cells().size(), 2u);
+
+  const CellRow& reference = baseline_report.cells()[0];
+  for (const CellRow& cell : report.cells()) {
+    SCOPED_TRACE(cell.coords[0].second);
+    EXPECT_EQ(cell.repairs, reference.repairs);
+    EXPECT_EQ(cell.losses, reference.losses);
+    EXPECT_EQ(cell.blocks_uploaded, reference.blocks_uploaded);
+    EXPECT_EQ(cell.departures, reference.departures);
+    EXPECT_EQ(cell.timeouts, reference.timeouts);
+    for (size_t i = 0; i < cell.repairs_per_1000_day.size(); ++i) {
+      EXPECT_EQ(cell.repairs_per_1000_day[i],
+                reference.repairs_per_1000_day[i]);
+      EXPECT_EQ(cell.losses_per_1000_day[i], reference.losses_per_1000_day[i]);
+    }
+  }
+}
+
+TEST(RunnerTest, StrategyAxesAreThreadCountInvariant) {
+  // The spec-string policy/selection axes must emit byte-identical CSV at
+  // 1 and 8 threads, like every other axis (CRN: all cells share the seed).
+  SweepSpec spec;
+  spec.base.peers = 120;
+  spec.base.rounds = 400;
+  spec.base.seed = 13;
+  spec.policies = {"fixed-threshold", "adaptive-redundancy{safety_factor=4}",
+                   "proactive{batch_blocks=4}"};
+  spec.selections = {"oldest-first", "weighted-random{age_exponent=2}"};
+
+  std::string csv[2];
+  const int thread_counts[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    RunnerOptions ropts;
+    ropts.threads = thread_counts[i];
+    auto results = RunSweep(spec, ropts);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results->size(), 6u);
+    const SweepReport report = SweepReport::Build(spec, *results);
+    std::ostringstream os;
+    report.WriteCellsCsv(os);
+    csv[i] = os.str();
+  }
+  EXPECT_EQ(csv[0], csv[1]);
+  // Spec strings with commas survive the CSV (quoted), canonical form.
+  EXPECT_NE(csv[0].find("adaptive-redundancy{safety_factor=4}"),
+            std::string::npos);
+  EXPECT_NE(csv[0].find("weighted-random{age_exponent=2}"),
+            std::string::npos);
 }
 
 TEST(ReportTest, AggregatesGroupReplicates) {
