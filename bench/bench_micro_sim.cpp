@@ -1,10 +1,12 @@
 // Micro-benchmark M4: simulator substrate throughput - calendar queue event
-// rates and whole-network rounds per second at a small scale.
+// rates, whole-network rounds per second at a small scale, and the
+// availability-monitor query path the estimator-driven placement leans on.
 
 #include <benchmark/benchmark.h>
 
 #include "backup/network.h"
 #include "churn/profile.h"
+#include "monitor/availability_monitor.h"
 #include "sim/engine.h"
 #include "sim/event_queue.h"
 
@@ -53,6 +55,55 @@ void BM_NetworkRoundsPerSecond(benchmark::State& state) {
 }
 BENCHMARK(BM_NetworkRoundsPerSecond)->Arg(1000)->Arg(5000)->Unit(
     benchmark::kMicrosecond);
+
+// Builds a monitor whose one peer has `sessions` closed sessions inside the
+// 90-day window - the worst case the estimator path queries every episode.
+monitor::AvailabilityMonitor SessionHeavyMonitor(int sessions,
+                                                 sim::Round* now_out) {
+  monitor::AvailabilityMonitor mon(1);
+  mon.RecordJoin(0, 0);
+  sim::Round now = 0;
+  for (int s = 0; s < sessions; ++s) {
+    mon.RecordConnect(0, now);
+    mon.RecordDisconnect(0, now + 1);
+    now += 2;
+  }
+  *now_out = now;
+  return mon;
+}
+
+// The window query the estimators ask per candidate. Session histories used
+// to be rescanned end to end on every call (O(sessions in window)); the
+// prefix-summed sessions answer in O(log sessions), so throughput should
+// stay flat as the per-peer session count grows.
+void BM_MonitorAvailabilityQuery(benchmark::State& state) {
+  sim::Round now = 0;
+  const auto mon = SessionHeavyMonitor(static_cast<int>(state.range(0)), &now);
+  const sim::Round window = 90 * sim::kRoundsPerDay;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += mon.AvailabilityOver(0, window, now);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonitorAvailabilityQuery)->Arg(16)->Arg(256)->Arg(1024);
+
+// The batched per-episode snapshot: repeated Observe calls within one round
+// (a peer pooled by many repairing owners) are served from the per-round
+// memo instead of recomputing the window sum.
+void BM_MonitorObserveMemoized(benchmark::State& state) {
+  sim::Round now = 0;
+  const auto mon = SessionHeavyMonitor(static_cast<int>(state.range(0)), &now);
+  const sim::Round window = 90 * sim::kRoundsPerDay;
+  double acc = 0.0;
+  for (auto _ : state) {
+    acc += mon.Observe(0, window, now).availability;
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MonitorObserveMemoized)->Arg(256)->Arg(1024);
 
 }  // namespace
 

@@ -4,14 +4,16 @@
 //   ./scenario_tool list                       # registry names, one per line
 //   ./scenario_tool policies                   # registered maintenance policies
 //   ./scenario_tool selections                 # registered selection strategies
+//   ./scenario_tool estimators                 # registered lifetime estimators
 //   ./scenario_tool show flash-crowd           # canonical key=value text
 //   ./scenario_tool show flash-crowd > my.scenario   # ... then edit and:
 //   ./scenario_tool run my.scenario --peers=500 --rounds=200 --check
 //   ./scenario_tool run paper --policy='proactive{batch_blocks=4}' --check
+//   ./scenario_tool run paper --estimator='availability-weighted' --check
 //
-// `policies` / `selections` list every registered strategy with its
-// parameters, defaults, and valid ranges (--names for just the names, one
-// per line - what scripts/check.sh iterates). `run` validates first,
+// `policies` / `selections` / `estimators` list every registered strategy
+// with its parameters, defaults, and valid ranges (--names for just the
+// names, one per line - what scripts/check.sh iterates). `run` validates first,
 // simulates, and prints a one-screen summary; with --check it also verifies
 // the full partnership/quota invariant set during and after the run (the CI
 // smoke loop in scripts/check.sh runs every registered scenario AND every
@@ -35,10 +37,12 @@ int Usage(const char* prog) {
                "usage: %s list\n"
                "       %s policies [--names]\n"
                "       %s selections [--names]\n"
+               "       %s estimators [--names]\n"
                "       %s show <name|file>\n"
                "       %s run <name|file> [--peers=N] [--rounds=R] [--seed=S] "
-               "[--policy=SPEC] [--selection=SPEC] [--check]\n",
-               prog, prog, prog, prog, prog);
+               "[--policy=SPEC] [--selection=SPEC] [--estimator=SPEC] "
+               "[--check]\n",
+               prog, prog, prog, prog, prog, prog);
   return 1;
 }
 
@@ -85,6 +89,7 @@ int main(int argc, char** argv) {
   bool names_only = false;
   std::string policy_spec;
   std::string selection_spec;
+  std::string estimator_spec;
 
   util::FlagSet flags;
   flags.Int64("peers", &peers, "population size (0 = scenario value)");
@@ -97,6 +102,8 @@ int main(int argc, char** argv) {
                "run: override the maintenance policy (spec string)");
   flags.String("selection", &selection_spec,
                "run: override the selection strategy (spec string)");
+  flags.String("estimator", &estimator_spec,
+               "run: override the lifetime estimator (spec string)");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return Usage(argv[0]);
@@ -141,6 +148,20 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (command == "estimators") {
+    if (args.size() != 1) return Usage(argv[0]);
+    ParamRowSink sink;
+    for (const core::EstimatorDescriptor* d : core::ListEstimators()) {
+      if (names_only) {
+        std::printf("%s\n", d->name.c_str());
+      } else {
+        sink.Add(d->name, d->summary, d->params);
+      }
+    }
+    if (!names_only) sink.table.RenderPretty(std::cout);
+    return 0;
+  }
+
   if (args.size() != 2) return Usage(argv[0]);
   auto loaded = scenario::LoadScenario(args[1]);
   if (!loaded.ok()) {
@@ -173,6 +194,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     s.options.selection = *parsed;
+  }
+  if (!estimator_spec.empty()) {
+    auto parsed = core::EstimatorSpec::Parse(estimator_spec);
+    if (!parsed.ok()) {
+      std::cerr << "--estimator: " << parsed.status().ToString() << "\n";
+      return 1;
+    }
+    s.options.estimator = *parsed;
   }
   if (auto st = s.Validate(); !st.ok()) {
     std::cerr << "scenario '" << s.name << "': " << st.ToString() << "\n";

@@ -6,6 +6,7 @@
 //                --scenarios=paper,flash-crowd
 //                --policies='fixed-threshold,proactive{batch_blocks=8}'
 //                --selections='oldest-first,weighted-random{age_exponent=2}'
+//                --estimators='age-rank,availability-weighted{exponent=2}'
 //                --replicates=3 --threads=4 --format=pretty
 //
 // Formats: pretty (per-cell + aggregate tables), csv (per-cell rows),
@@ -31,6 +32,7 @@ int main(int argc, char** argv) {
   std::string scenarios = "";
   std::string policies = "";
   std::string selections = "";
+  std::string estimators = "";
   int64_t replicates = 1;
   int threads = 0;
   std::string format = "pretty";
@@ -53,6 +55,10 @@ int main(int argc, char** argv) {
                "comma-separated selection specs, e.g. "
                "'oldest-first,weighted-random{age_exponent=2}' (empty = base "
                "selection)");
+  flags.String("estimators", &estimators,
+               "comma-separated estimator specs, e.g. "
+               "'age-rank,availability-weighted{exponent=2}' (empty = base "
+               "estimator)");
   flags.Int64("replicates", &replicates, "seed replicates per grid point");
   flags.Int32("threads", &threads, "worker threads (0 = hardware)");
   flags.String("format", &format, "pretty | csv | aggregate | json");
@@ -95,6 +101,13 @@ int main(int argc, char** argv) {
     if (auto st = scenario::ParseSpecList(selections, &spec.selections);
         !st.ok()) {
       std::cerr << "--selections: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!estimators.empty()) {
+    if (auto st = scenario::ParseSpecList(estimators, &spec.estimators);
+        !st.ok()) {
+      std::cerr << "--estimators: " << st.ToString() << "\n";
       return 1;
     }
   }

@@ -1,14 +1,20 @@
 #!/usr/bin/env bash
 # Single CI entry point: tier-1 verify (configure + build + ctest) followed
 # by a ~30-second smoke sweep exercising the parallel runner end to end.
+# Set P2P_CHECK_SKIP_TIER1=1 to skip the tier-1 preamble when the caller
+# (e.g. the CI workflow) has already configured, built, and run ctest.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-echo "== tier-1: configure + build + ctest =="
-cmake -B build -S .
-cmake --build build -j
-(cd build && ctest --output-on-failure -j"$(nproc)")
+if [[ "${P2P_CHECK_SKIP_TIER1:-0}" != "1" ]]; then
+  echo "== tier-1: configure + build + ctest =="
+  cmake -B build -S .
+  cmake --build build -j
+  (cd build && ctest --output-on-failure -j"$(nproc)")
+else
+  echo "== tier-1 skipped (P2P_CHECK_SKIP_TIER1=1); using the existing build =="
+fi
 
 echo
 echo "== smoke sweep: 2x2 grid, 2 replicates, 2 threads =="
@@ -28,9 +34,10 @@ for scenario in $(./build/scenario_tool list); do
 done
 
 echo
-echo "== strategy smoke: every registered policy and selection, invariant-checked =="
+echo "== strategy smoke: every registered policy, selection, and estimator, invariant-checked =="
 # A registered strategy that cannot complete a short run (bad defaults, a
-# FlagLevel that masks its own trigger, a crash in Choose) fails CI here.
+# FlagLevel that masks its own trigger, a crash in Choose or StabilityScore)
+# fails CI here.
 for policy in $(./build/scenario_tool policies --names); do
   echo "-- policy: ${policy}"
   ./build/scenario_tool run paper --peers=500 --rounds=200 --check \
@@ -40,6 +47,11 @@ for selection in $(./build/scenario_tool selections --names); do
   echo "-- selection: ${selection}"
   ./build/scenario_tool run paper --peers=500 --rounds=200 --check \
     --selection="${selection}" > /dev/null
+done
+for estimator in $(./build/scenario_tool estimators --names); do
+  echo "-- estimator: ${estimator}"
+  ./build/scenario_tool run paper --peers=500 --rounds=200 --check \
+    --estimator="${estimator}" > /dev/null
 done
 
 echo

@@ -58,19 +58,29 @@ BackupNetwork::BackupNetwork(sim::Engine* engine,
   env.k = options.k;
   env.n = n_total;
   env.repair_threshold = options.repair_threshold;
+  env.acceptance_horizon = options.acceptance_horizon;
   auto policy = core::MakePolicy(options.policy, env);
   auto selection = core::MakeSelection(options.selection);
-  // Validate() above vetted both specs against the registry; MakePolicy can
-  // still reject a cross-parameter check once contextual defaults resolve
-  // against this run's repair_threshold, so name the reason before dying.
+  auto estimator = core::MakeEstimator(options.estimator, env);
+  // Validate() above vetted the specs against the registry; MakePolicy /
+  // MakeEstimator can still reject a cross-parameter check once contextual
+  // defaults resolve against this run's options, so name the reason before
+  // dying.
   if (!policy.ok()) {
     P2P_LOG_ERROR("policy spec '%s': %s", options.policy.ToString().c_str(),
                   policy.status().ToString().c_str());
   }
+  if (!estimator.ok()) {
+    P2P_LOG_ERROR("estimator spec '%s': %s",
+                  options.estimator.ToString().c_str(),
+                  estimator.status().ToString().c_str());
+  }
   P2P_CHECK(policy.ok());
   P2P_CHECK(selection.ok());
+  P2P_CHECK(estimator.ok());
   policy_ = std::move(*policy);
   selection_ = std::move(*selection);
+  estimator_ = std::move(*estimator);
   flag_level_ = policy_->FlagLevel(options.k, n_total);
   partner_cap_ = static_cast<int>(options.max_partner_factor * n_total);
 
@@ -155,6 +165,8 @@ void BackupNetwork::DepartPeer(PeerId id, sim::Round now, bool replace) {
   --live_count_;
   accounting_.PeerLeft(CategoryAt(id, now));
   monitor_.RecordDeparture(id, now);
+  // Online estimators learn the departure-age distribution as it unfolds.
+  estimator_->ObserveDeparture(now - p.join_round);
 
   // The machine is gone: every block it hosted disappears now.
   SeverAsHost(id, now);
@@ -639,7 +651,15 @@ int BackupNetwork::BuildPool(PeerId owner, int needed,
         !acceptance_.MutualAccept(owner_age, cand_age, place_rng_)) {
       continue;
     }
-    pool->push_back(core::Candidate{c, cand_age});
+    pool->push_back(core::Candidate{c, cand_age, 0.0});
+  }
+  // One monitor snapshot pass per episode scores the whole pool: the
+  // estimator ranks by what the monitoring protocol can actually answer
+  // (age, recent uptime, last-seen), and the per-round memo means a peer
+  // pooled by many repairing owners in one round is observed once.
+  for (core::Candidate& cand : *pool) {
+    cand.score = estimator_->StabilityScore(
+        monitor_.Observe(cand.id, monitor_.history_window(), now));
   }
   return static_cast<int>(pool->size());
 }

@@ -22,6 +22,7 @@
 #include "backup/options.h"
 #include "churn/profile.h"
 #include "core/acceptance.h"
+#include "core/lifetime_estimator.h"
 #include "core/maintenance_policy.h"
 #include "core/selection.h"
 #include "core/strategy_registry.h"
@@ -122,6 +123,8 @@ class BackupNetwork {
   sim::Round AgeOf(PeerId id) const;
   uint32_t ProfileOf(PeerId id) const { return peers_[id].profile; }
   const SystemOptions& options() const { return options_; }
+  /// The instantiated lifetime estimator (tests, reports).
+  const core::LifetimeEstimator& estimator() const { return *estimator_; }
   /// Verifies every cross-index / quota / distinctness invariant; aborts on
   /// violation. O(population * partners); used by tests.
   void CheckInvariants() const;
@@ -260,6 +263,7 @@ class BackupNetwork {
   size_t workload_next_ = 0;
   std::unique_ptr<core::SelectionStrategy> selection_;
   std::unique_ptr<core::MaintenancePolicy> policy_;
+  std::unique_ptr<core::LifetimeEstimator> estimator_;
   core::AcceptanceFunction acceptance_;
   int flag_level_ = 0;     // visible level below which repair is evaluated
   int partner_cap_ = 0;    // instant mode: max partners per owner

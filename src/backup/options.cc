@@ -70,6 +70,7 @@ util::Status SystemOptions::Validate() const {
   // Strategy specs: name must be registered, parameters typed and in range.
   if (util::Status st = policy.Validate(); !st.ok()) return st;
   if (util::Status st = selection.Validate(); !st.ok()) return st;
+  if (util::Status st = estimator.Validate(); !st.ok()) return st;
   return util::Status::OK();
 }
 
@@ -81,7 +82,8 @@ bool operator==(const SystemOptions& a, const SystemOptions& b) {
          a.max_partner_factor == b.max_partner_factor &&
          a.acceptance_horizon == b.acceptance_horizon &&
          a.use_acceptance == b.use_acceptance && a.selection == b.selection &&
-         a.policy == b.policy && a.pool_factor == b.pool_factor &&
+         a.policy == b.policy && a.estimator == b.estimator &&
+         a.pool_factor == b.pool_factor &&
          a.sample_attempt_factor == b.sample_attempt_factor &&
          a.max_blocks_per_round == b.max_blocks_per_round &&
          a.quota_market == b.quota_market &&

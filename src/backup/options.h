@@ -81,6 +81,12 @@ struct SystemOptions {
   /// `repair_threshold` above.
   core::PolicySpec policy;
 
+  /// Lifetime estimator scoring placement candidates (paper: age rank).
+  /// A registry-backed spec: `availability-weighted{exponent=2}` etc. With
+  /// no explicit `horizon` parameter, horizon-bearing estimators follow
+  /// `acceptance_horizon` above.
+  core::EstimatorSpec estimator;
+
   /// Candidate pool size as a multiple of the blocks needed ("once the pool
   /// is big enough"); the selection strategy then picks from the pool.
   double pool_factor = 3.0;

@@ -7,13 +7,21 @@ namespace p2p {
 namespace core {
 namespace {
 
-// Shuffle-then-stable-sort gives a deterministic random tie-break.
+// Shuffle-then-stable-sort gives a deterministic random tie-break. Ranking
+// is by estimator score with age refining score ties: since every estimator
+// is monotone in age, this reduces to the historical pure-age ordering
+// whenever the score is a function of age alone (e.g. the default
+// age-rank), and exact (score, age) ties keep the shuffled order.
 void ShuffleThenSort(std::vector<Candidate>* pool, util::Rng* rng,
-                     bool oldest_first) {
+                     bool best_first) {
   rng->Shuffle(pool);
   std::stable_sort(pool->begin(), pool->end(),
-                   [oldest_first](const Candidate& a, const Candidate& b) {
-                     return oldest_first ? a.age > b.age : a.age < b.age;
+                   [best_first](const Candidate& a, const Candidate& b) {
+                     if (a.score != b.score) {
+                       return best_first ? a.score > b.score
+                                         : a.score < b.score;
+                     }
+                     return best_first ? a.age > b.age : a.age < b.age;
                    });
 }
 
@@ -27,7 +35,7 @@ void TakeFront(const std::vector<Candidate>& pool, int d,
 
 void OldestFirstSelection::Choose(std::vector<Candidate>* pool, int d,
                                   util::Rng* rng, std::vector<uint32_t>* out) const {
-  ShuffleThenSort(pool, rng, /*oldest_first=*/true);
+  ShuffleThenSort(pool, rng, /*best_first=*/true);
   TakeFront(*pool, d, out);
 }
 
@@ -40,7 +48,7 @@ void RandomSelection::Choose(std::vector<Candidate>* pool, int d, util::Rng* rng
 void YoungestFirstSelection::Choose(std::vector<Candidate>* pool, int d,
                                     util::Rng* rng,
                                     std::vector<uint32_t>* out) const {
-  ShuffleThenSort(pool, rng, /*oldest_first=*/false);
+  ShuffleThenSort(pool, rng, /*best_first=*/false);
   TakeFront(*pool, d, out);
 }
 
@@ -54,8 +62,12 @@ void WeightedRandomSelection::Choose(std::vector<Candidate>* pool, int d,
                                        pool->size());
   if (take == 0) return;
   // One weight per candidate; +1 so age-0 newcomers stay selectable at any
-  // exponent. Each pick walks the prefix sums and swap-removes the winner -
-  // O(pool * d), fine at pool sizes of a few hundred.
+  // exponent. Weights use the raw age, not the estimator score: this
+  // strategy is the deliberate age-continuum knob between random and
+  // oldest-first (and raw age keeps it byte-identical across estimators and
+  // to its pre-estimator behaviour past the saturation horizon). Each pick
+  // walks the prefix sums and swap-removes the winner - O(pool * d), fine
+  // at pool sizes of a few hundred.
   std::vector<double> weights(pool->size());
   double total = 0.0;
   for (size_t i = 0; i < pool->size(); ++i) {

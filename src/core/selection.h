@@ -1,11 +1,14 @@
 // Partner selection strategies: given the pool of mutually-accepting
 // candidates, decide who receives the d new blocks.
 //
-// The paper sorts the pool by age and picks the oldest ("Nodes are selected
-// according to their stability ... the protocol uses the ages of the peers
-// in the system to sort them"). Alternatives here serve as baselines in the
-// ablation benches: uniform random (age-oblivious) and youngest-first
-// (adversarial).
+// The paper sorts the pool by stability ("Nodes are selected according to
+// their stability ... the protocol uses the ages of the peers in the system
+// to sort them"). Stability is an estimator verdict (lifetime_estimator.h):
+// every candidate carries the score the configured estimator assigned it,
+// and the strategies rank by (score, age) - under the default age-rank
+// estimator that ordering is exactly the paper's oldest-first. Alternatives
+// serve as baselines in the ablation benches: uniform random
+// (estimator-oblivious) and youngest-first (adversarial).
 
 #ifndef P2P_CORE_SELECTION_H_
 #define P2P_CORE_SELECTION_H_
@@ -21,10 +24,13 @@
 namespace p2p {
 namespace core {
 
-/// A placement candidate: id plus the age the monitor reports for it.
+/// A placement candidate: id, the age the monitor reports for it, and the
+/// stability score the configured lifetime estimator assigned (nonnegative,
+/// arbitrary scale; ties are refined by age, then broken randomly).
 struct Candidate {
   uint32_t id = 0;
   sim::Round age = 0;
+  double score = 0.0;
 };
 
 /// \brief Chooses up to d candidates from a pool.
@@ -41,8 +47,9 @@ class SelectionStrategy {
   virtual std::string name() const = 0;
 };
 
-/// Sorts by age descending; ties broken randomly (so equal-age newcomers do
-/// not all dogpile onto the lowest peer id).
+/// Sorts by estimator score descending (age refines score ties, the rest
+/// broken randomly so equal newcomers do not all dogpile onto the lowest
+/// peer id). Under the age-rank estimator this is the paper's oldest-first.
 class OldestFirstSelection : public SelectionStrategy {
  public:
   void Choose(std::vector<Candidate>* pool, int d, util::Rng* rng,
@@ -58,7 +65,7 @@ class RandomSelection : public SelectionStrategy {
   std::string name() const override { return "random"; }
 };
 
-/// Sorts by age ascending; the pessimal counterpart of the paper's scheme.
+/// Sorts by score ascending; the pessimal counterpart of the paper's scheme.
 class YoungestFirstSelection : public SelectionStrategy {
  public:
   void Choose(std::vector<Candidate>* pool, int d, util::Rng* rng,
@@ -69,7 +76,9 @@ class YoungestFirstSelection : public SelectionStrategy {
 /// Age-weighted random selection: candidate i is drawn with probability
 /// proportional to (age_i + 1)^exponent, without replacement. Exponent 0 is
 /// uniform random; large exponents approach oldest-first. The continuum
-/// between the paper's scheme and its age-oblivious baseline.
+/// between the paper's scheme and its age-oblivious baseline; weights stay
+/// on the raw age (estimator-oblivious) by design, so the knob's meaning is
+/// identical whatever estimator scores the pool.
 class WeightedRandomSelection : public SelectionStrategy {
  public:
   explicit WeightedRandomSelection(double age_exponent);

@@ -16,6 +16,7 @@ struct Registries {
   std::mutex mutex;
   std::deque<PolicyDescriptor> policies;
   std::deque<SelectionDescriptor> selections;
+  std::deque<EstimatorDescriptor> estimators;
 };
 
 ParamInfo IntParam(const std::string& name, int64_t def, double min_value,
@@ -47,6 +48,14 @@ ParamInfo DoubleParam(const std::string& name, double def, double min_value,
 ParamInfo ContextualThreshold(const std::string& help) {
   ParamInfo info = IntParam("threshold", 0, 1.0, 1 << 20, help);
   info.contextual_default = "repair_threshold";
+  return info;
+}
+
+// Estimator horizons default to SystemOptions::acceptance_horizon, so a
+// bare `age-rank` saturates exactly where the acceptance function does.
+ParamInfo ContextualHorizon(const std::string& help) {
+  ParamInfo info = IntParam("horizon", 0, 1.0, 1 << 20, help);
+  info.contextual_default = "acceptance_horizon";
   return info;
 }
 
@@ -184,6 +193,72 @@ void RegisterBuiltinsLocked(Registries* r) {
     };
     r->selections.push_back(std::move(d));
   }
+
+  // --- estimators ---
+  {
+    EstimatorDescriptor d;
+    d.name = "age-rank";
+    d.summary = "score = min(age, horizon) (the paper)";
+    d.params = {ContextualHorizon("age saturation horizon L, rounds")};
+    d.make = [](const ResolvedParams& p, const StrategyEnv&) {
+      return std::make_unique<AgeRankEstimator>(
+          static_cast<sim::Round>(p.Int("horizon")));
+    };
+    r->estimators.push_back(std::move(d));
+  }
+  {
+    EstimatorDescriptor d;
+    d.name = "pareto-residual";
+    d.summary = "expected residual lifetime under Pareto(scale, shape) "
+                "lifetimes (the paper's analytic model)";
+    d.params = {
+        DoubleParam("scale", 24.0, 1.0, 1e9,
+                    "Pareto scale (minimum lifetime), rounds"),
+        DoubleParam("shape", 2.0, 0.01, 64.0,
+                    "Pareto tail exponent; <= 1 is the infinite-mean regime"),
+    };
+    d.make = [](const ResolvedParams& p, const StrategyEnv&) {
+      return std::make_unique<ParetoResidualEstimator>(p.Double("scale"),
+                                                      p.Double("shape"));
+    };
+    r->estimators.push_back(std::move(d));
+  }
+  {
+    EstimatorDescriptor d;
+    d.name = "empirical-residual";
+    d.summary = "departure-age histogram CDF learned online during the run";
+    d.params = {
+        IntParam("buckets", 90, 2, 1 << 16, "histogram buckets"),
+        IntParam("bucket_rounds", sim::kRoundsPerDay, 1, 1 << 20,
+                 "rounds per bucket (default one day)"),
+        ContextualHorizon("age-rank tie-break horizon, rounds"),
+    };
+    d.make = [](const ResolvedParams& p, const StrategyEnv&) {
+      return std::make_unique<EmpiricalResidualEstimator>(
+          static_cast<int>(p.Int("buckets")),
+          static_cast<sim::Round>(p.Int("bucket_rounds")),
+          static_cast<sim::Round>(p.Int("horizon")));
+    };
+    r->estimators.push_back(std::move(d));
+  }
+  {
+    EstimatorDescriptor d;
+    d.name = "availability-weighted";
+    d.summary = "age rank discounted by recent uptime (Dell'Amico et al.)";
+    d.params = {
+        ContextualHorizon("age saturation horizon, rounds"),
+        DoubleParam("exponent", 1.0, 0.0, 16.0,
+                    "uptime weight exponent; 0 = pure age-rank"),
+        DoubleParam("floor", 0.05, 0.0, 1.0,
+                    "minimum uptime weight (keeps fresh peers selectable)"),
+    };
+    d.make = [](const ResolvedParams& p, const StrategyEnv&) {
+      return std::make_unique<AvailabilityWeightedEstimator>(
+          static_cast<sim::Round>(p.Int("horizon")), p.Double("exponent"),
+          p.Double("floor"));
+    };
+    r->estimators.push_back(std::move(d));
+  }
 }
 
 Registries& GetRegistries() {
@@ -205,6 +280,8 @@ ResolvedParams::ResolvedParams(const std::vector<ParamInfo>& infos,
       values_[info.name] = it->second;
     } else if (info.contextual_default == "repair_threshold") {
       values_[info.name] = ParamValue::Int(env.repair_threshold);
+    } else if (info.contextual_default == "acceptance_horizon") {
+      values_[info.name] = ParamValue::Int(env.acceptance_horizon);
     } else {
       P2P_CHECK(info.contextual_default.empty());
       values_[info.name] = info.def;
@@ -258,16 +335,34 @@ const SelectionDescriptor* FindSelection(const std::string& name) {
   return nullptr;
 }
 
+std::vector<const EstimatorDescriptor*> ListEstimators() {
+  Registries& r = GetRegistries();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<const EstimatorDescriptor*> out;
+  for (const EstimatorDescriptor& d : r.estimators) out.push_back(&d);
+  return out;
+}
+
+const EstimatorDescriptor* FindEstimator(const std::string& name) {
+  Registries& r = GetRegistries();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const EstimatorDescriptor& d : r.estimators) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
 namespace {
 
-// The contextual-default vocabulary: the only SystemOptions knob a
+// The contextual-default vocabulary: the only SystemOptions knobs a
 // parameter default may follow today. Checked at registration so a typo'd
 // descriptor fails at startup, not at first instantiation mid-run.
 template <typename Descriptor>
 void CheckDescriptorParams(const Descriptor& descriptor) {
   for (const ParamInfo& info : descriptor.params) {
     P2P_CHECK(info.contextual_default.empty() ||
-              info.contextual_default == "repair_threshold");
+              info.contextual_default == "repair_threshold" ||
+              info.contextual_default == "acceptance_horizon");
   }
 }
 
@@ -299,6 +394,18 @@ void RegisterSelection(SelectionDescriptor descriptor) {
   r.selections.push_back(std::move(descriptor));
 }
 
+void RegisterEstimator(EstimatorDescriptor descriptor) {
+  P2P_CHECK(!descriptor.name.empty());
+  P2P_CHECK(descriptor.make != nullptr);
+  CheckDescriptorParams(descriptor);
+  Registries& r = GetRegistries();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const EstimatorDescriptor& d : r.estimators) {
+    P2P_CHECK(d.name != descriptor.name);
+  }
+  r.estimators.push_back(std::move(descriptor));
+}
+
 util::Result<std::unique_ptr<MaintenancePolicy>> MakePolicy(
     const PolicySpec& spec, const StrategyEnv& env) {
   P2P_RETURN_IF_ERROR(spec.Validate());
@@ -321,6 +428,19 @@ util::Result<std::unique_ptr<SelectionStrategy>> MakeSelection(
   // already saw the final values; no re-run needed.
   return descriptor->make(
       ResolvedParams(descriptor->params, spec.params, {}));
+}
+
+util::Result<std::unique_ptr<LifetimeEstimator>> MakeEstimator(
+    const EstimatorSpec& spec, const StrategyEnv& env) {
+  P2P_RETURN_IF_ERROR(spec.Validate());
+  const EstimatorDescriptor* descriptor = FindEstimator(spec.name);
+  ResolvedParams resolved(descriptor->params, spec.params, env);
+  // Re-run the cross-parameter check with contextual defaults resolved
+  // against this run's env (see MakePolicy).
+  if (descriptor->check) {
+    P2P_RETURN_IF_ERROR(descriptor->check(resolved));
+  }
+  return descriptor->make(resolved, env);
 }
 
 }  // namespace core

@@ -1,14 +1,15 @@
-// The strategy registry: the set of maintenance policies and selection
-// strategies a run can name, each described declaratively (parameters with
-// types, defaults, valid ranges) and instantiated through a factory.
+// The strategy registry: the set of maintenance policies, selection
+// strategies, and lifetime estimators a run can name, each described
+// declaratively (parameters with types, defaults, valid ranges) and
+// instantiated through a factory.
 //
 // Built-ins register themselves on first access; RegisterPolicy /
-// RegisterSelection add further strategies (call before any concurrent
-// sweep starts - registration is mutex-guarded, but a strategy must be
-// registered before a cell naming it is expanded). `scenario_tool policies`
-// and `scenario_tool selections` list everything here, and scripts/check.sh
-// smoke-runs every registered strategy, so an unrunnable registration
-// fails CI rather than lurking.
+// RegisterSelection / RegisterEstimator add further strategies (call before
+// any concurrent sweep starts - registration is mutex-guarded, but a
+// strategy must be registered before a cell naming it is expanded).
+// `scenario_tool policies` / `selections` / `estimators` list everything
+// here, and scripts/check.sh smoke-runs every registered strategy, so an
+// unrunnable registration fails CI rather than lurking.
 
 #ifndef P2P_CORE_STRATEGY_REGISTRY_H_
 #define P2P_CORE_STRATEGY_REGISTRY_H_
@@ -18,9 +19,11 @@
 #include <string>
 #include <vector>
 
+#include "core/lifetime_estimator.h"
 #include "core/maintenance_policy.h"
 #include "core/selection.h"
 #include "core/strategy_spec.h"
+#include "sim/clock.h"
 #include "util/result.h"
 #include "util/status.h"
 
@@ -34,8 +37,9 @@ struct ParamInfo {
   /// Default when the spec does not set the parameter. Ignored when
   /// `contextual_default` is non-empty.
   ParamValue def;
-  /// Name of the SystemOptions knob the default follows ("repair_threshold")
-  /// - resolved from StrategyEnv at instantiation; empty = use `def`.
+  /// Name of the SystemOptions knob the default follows ("repair_threshold"
+  /// or "acceptance_horizon") - resolved from StrategyEnv at instantiation;
+  /// empty = use `def`.
   std::string contextual_default;
   /// Inclusive numeric range a value must lie in.
   double min_value = 0.0;
@@ -44,11 +48,13 @@ struct ParamInfo {
 };
 
 /// The run context a factory may consult for contextual defaults: the
-/// erasure-code geometry and the configured repair threshold.
+/// erasure-code geometry, the configured repair threshold, and the
+/// acceptance horizon L (estimator horizons follow it by default).
 struct StrategyEnv {
   int k = 128;
   int n = 256;  ///< k + m, the redundancy target
   int repair_threshold = 148;
+  sim::Round acceptance_horizon = 90 * sim::kRoundsPerDay;
 };
 
 /// \brief Parameter lookup with defaults applied; what factories consume.
@@ -87,18 +93,34 @@ struct SelectionDescriptor {
   std::function<std::unique_ptr<SelectionStrategy>(const ResolvedParams&)> make;
 };
 
+/// One registered lifetime estimator. Estimators may be stateful (the
+/// empirical family learns from observed departures), so the factory makes
+/// a fresh instance per network.
+struct EstimatorDescriptor {
+  std::string name;
+  std::string summary;
+  std::vector<ParamInfo> params;
+  std::function<util::Status(const ResolvedParams&)> check;
+  std::function<std::unique_ptr<LifetimeEstimator>(const ResolvedParams&,
+                                                   const StrategyEnv&)>
+      make;
+};
+
 /// Registered descriptors in registration order (built-ins first). The
 /// returned pointers stay valid for the process lifetime.
 std::vector<const PolicyDescriptor*> ListPolicies();
 std::vector<const SelectionDescriptor*> ListSelections();
+std::vector<const EstimatorDescriptor*> ListEstimators();
 
 /// Looks a strategy up by exact name; null when unknown.
 const PolicyDescriptor* FindPolicy(const std::string& name);
 const SelectionDescriptor* FindSelection(const std::string& name);
+const EstimatorDescriptor* FindEstimator(const std::string& name);
 
 /// Registers a strategy; aborts on a duplicate name.
 void RegisterPolicy(PolicyDescriptor descriptor);
 void RegisterSelection(SelectionDescriptor descriptor);
+void RegisterEstimator(EstimatorDescriptor descriptor);
 
 /// Instantiates a validated spec. Errors (unknown name, bad parameters)
 /// name the offending token; a spec that passed Validate() cannot fail.
@@ -106,6 +128,8 @@ util::Result<std::unique_ptr<MaintenancePolicy>> MakePolicy(
     const PolicySpec& spec, const StrategyEnv& env);
 util::Result<std::unique_ptr<SelectionStrategy>> MakeSelection(
     const SelectionSpec& spec);
+util::Result<std::unique_ptr<LifetimeEstimator>> MakeEstimator(
+    const EstimatorSpec& spec, const StrategyEnv& env);
 
 }  // namespace core
 }  // namespace p2p

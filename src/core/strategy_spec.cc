@@ -282,5 +282,34 @@ util::Result<SelectionSpec> SelectionSpec::Parse(const std::string& text) {
   return spec;
 }
 
+util::Status EstimatorSpec::Validate() const {
+  const EstimatorDescriptor* descriptor = FindEstimator(name);
+  if (descriptor == nullptr) {
+    return util::Status::InvalidArgument("unknown estimator: '" + name + "'");
+  }
+  P2P_RETURN_IF_ERROR(ValidateAgainst(*this, descriptor->params, "estimator"));
+  if (descriptor->check) {
+    P2P_RETURN_IF_ERROR(
+        descriptor->check(ResolvedParams(descriptor->params, params, {})));
+  }
+  return util::Status::OK();
+}
+
+util::Result<EstimatorSpec> EstimatorSpec::Parse(const std::string& text) {
+  EstimatorSpec spec;
+  spec.name.clear();
+  std::vector<std::pair<std::string, std::string>> kv;
+  P2P_RETURN_IF_ERROR(SplitSpec(text, &spec.name, &kv));
+  const EstimatorDescriptor* descriptor = FindEstimator(spec.name);
+  if (descriptor == nullptr) {
+    return util::Status::InvalidArgument("unknown estimator: '" + spec.name +
+                                         "'");
+  }
+  P2P_RETURN_IF_ERROR(CoerceParams(spec.name, kv, descriptor->params,
+                                   "estimator", &spec.params));
+  P2P_RETURN_IF_ERROR(spec.Validate());
+  return spec;
+}
+
 }  // namespace core
 }  // namespace p2p

@@ -109,6 +109,18 @@ struct SelectionSpec : StrategySpec {
   static util::Result<SelectionSpec> Parse(const std::string& text);
 };
 
+/// \brief A lifetime-estimator spec; defaults to the paper's age rank (its
+/// horizon then follows SystemOptions::acceptance_horizon).
+struct EstimatorSpec : StrategySpec {
+  EstimatorSpec() { name = "age-rank"; }
+
+  /// See PolicySpec::Validate().
+  util::Status Validate() const;
+
+  /// See PolicySpec::Parse().
+  static util::Result<EstimatorSpec> Parse(const std::string& text);
+};
+
 }  // namespace core
 }  // namespace p2p
 

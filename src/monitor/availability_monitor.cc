@@ -24,14 +24,21 @@ void AvailabilityMonitor::RecordConnect(PeerId peer, sim::Round now) {
   if (h.first_seen < 0) h.first_seen = now;
   if (h.online_since < 0) h.online_since = now;
   h.last_seen = now;
+  h.obs_round = -1;
 }
 
 void AvailabilityMonitor::RecordDisconnect(PeerId peer, sim::Round now) {
   PeerHistory& h = peers_[peer];
   if (h.online_since >= 0) {
-    if (now > h.online_since) h.sessions.emplace_back(h.online_since, now);
+    if (now > h.online_since) {
+      const int64_t prev =
+          h.sessions.empty() ? 0 : h.sessions.back().cum_online;
+      h.sessions.push_back(
+          Session{h.online_since, now, prev + (now - h.online_since)});
+    }
     h.last_seen = now;  // online through the end of the previous round
     h.online_since = -1;
+    h.obs_round = -1;
     Prune(&h, now);
   }
 }
@@ -39,6 +46,7 @@ void AvailabilityMonitor::RecordDisconnect(PeerId peer, sim::Round now) {
 void AvailabilityMonitor::RecordDeparture(PeerId peer, sim::Round now) {
   RecordDisconnect(peer, now);
   peers_[peer].departed = true;
+  peers_[peer].obs_round = -1;
 }
 
 bool AvailabilityMonitor::IsOnline(PeerId peer) const {
@@ -63,9 +71,18 @@ double AvailabilityMonitor::AvailabilityOver(PeerId peer, sim::Round window,
   window = std::min(window, history_window_);
   const sim::Round lo = now - window;
   const PeerHistory& h = peers_[peer];
-  sim::Round online = 0;
-  for (const auto& [start, end] : h.sessions) {
-    online += std::max<sim::Round>(0, std::min(end, now) - std::max(start, lo));
+  int64_t online = 0;
+  // Binary search for the first closed session that ends inside the window;
+  // everything from there on contributes, read off the prefix sums. Only
+  // that first session can straddle `lo`, so one clip suffices.
+  const auto it = std::lower_bound(
+      h.sessions.begin(), h.sessions.end(), lo,
+      [](const Session& s, sim::Round bound) { return s.end <= bound; });
+  if (it != h.sessions.end()) {
+    const int64_t before =
+        it->cum_online - (it->end - it->start);  // closed sessions before it
+    online += h.sessions.back().cum_online - before;
+    online -= std::max<sim::Round>(0, lo - it->start);
   }
   if (h.online_since >= 0) {
     online += now - std::max(h.online_since, lo);
@@ -82,9 +99,35 @@ bool AvailabilityMonitor::PresumedDeparted(PeerId peer, sim::Round timeout,
   return now - h.last_seen > timeout;
 }
 
+core::PeerObservation AvailabilityMonitor::Observe(PeerId peer,
+                                                   sim::Round window,
+                                                   sim::Round now) const {
+  PeerHistory& h = peers_[peer];
+  if (h.obs_round == now && h.obs_window == window) return h.obs;
+  core::PeerObservation obs;
+  obs.age = Age(peer, now);
+  obs.availability = AvailabilityOver(peer, window, now);
+  const sim::Round seen = LastSeen(peer, now);
+  obs.rounds_since_seen = seen < 0 ? obs.age : now - seen;
+  h.obs_round = now;
+  h.obs_window = window;
+  h.obs = obs;
+  return obs;
+}
+
+void AvailabilityMonitor::ObserveBatch(
+    const std::vector<PeerId>& peers, sim::Round window, sim::Round now,
+    std::vector<core::PeerObservation>* out) const {
+  out->clear();
+  out->reserve(peers.size());
+  for (PeerId peer : peers) {
+    out->push_back(Observe(peer, window, now));
+  }
+}
+
 void AvailabilityMonitor::Prune(PeerHistory* h, sim::Round now) const {
   const sim::Round lo = now - history_window_;
-  while (!h->sessions.empty() && h->sessions.front().second <= lo) {
+  while (!h->sessions.empty() && h->sessions.front().end <= lo) {
     h->sessions.pop_front();
   }
 }

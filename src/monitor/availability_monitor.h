@@ -6,8 +6,16 @@
 // In the simulation the monitor is fed connect/disconnect/join/departure
 // events and answers the queries the backup protocol needs: is a peer online,
 // when was it last seen, how old is it, and what fraction of a recent window
-// was it online. Session histories are stored per peer and pruned lazily, so
-// cost is proportional to churn, not to rounds.
+// was it online. Session histories are stored per peer with running online
+// totals and pruned lazily, so event cost is proportional to churn and a
+// window query costs O(log sessions) (a binary search plus prefix-sum
+// arithmetic), not a scan of the whole window.
+//
+// The estimator-driven placement path asks for the full observation triple
+// (age, availability, rounds since seen) for every pooled candidate of
+// every maintenance episode; Observe/ObserveBatch answer it from a
+// per-round memo, so a peer sampled by many repairing owners in one round
+// is evaluated once.
 
 #ifndef P2P_MONITOR_AVAILABILITY_MONITOR_H_
 #define P2P_MONITOR_AVAILABILITY_MONITOR_H_
@@ -16,6 +24,7 @@
 #include <deque>
 #include <vector>
 
+#include "core/lifetime_estimator.h"
 #include "sim/clock.h"
 
 namespace p2p {
@@ -61,17 +70,47 @@ class AvailabilityMonitor {
   bool PresumedDeparted(PeerId peer, sim::Round timeout, sim::Round now) const;
   /// @}
 
+  /// \name Estimator snapshots.
+  /// @{
+  /// The full observation triple for one peer: age, availability over
+  /// `window`, rounds since last seen (the peer's whole age if never seen).
+  /// Memoized per (peer, round, window): repeat queries in one round are
+  /// answered from the cache. Any event on the peer invalidates its entry.
+  core::PeerObservation Observe(PeerId peer, sim::Round window,
+                                sim::Round now) const;
+  /// Batched snapshot: fills `out` (cleared first) with one observation per
+  /// id, in id order - Observe over a whole candidate list in one call.
+  void ObserveBatch(const std::vector<PeerId>& peers, sim::Round window,
+                    sim::Round now,
+                    std::vector<core::PeerObservation>* out) const;
+  /// @}
+
   /// History window bound.
   sim::Round history_window() const { return history_window_; }
 
  private:
+  /// One closed online session [start, end), plus the running total of
+  /// online rounds in every closed session up to and including this one
+  /// since the peer joined. The total is monotone and survives pruning, so
+  /// a window query binary-searches the first intersecting session and
+  /// reads the rest off the prefix sums.
+  struct Session {
+    sim::Round start = 0;
+    sim::Round end = 0;
+    int64_t cum_online = 0;
+  };
+
   struct PeerHistory {
     sim::Round first_seen = -1;
     sim::Round online_since = -1;  // -1 when offline
     sim::Round last_seen = -1;     // last round online (end of last session)
     bool departed = false;
-    // Closed sessions [start, end) intersecting the history window.
-    std::deque<std::pair<sim::Round, sim::Round>> sessions;
+    // Closed sessions intersecting the history window.
+    std::deque<Session> sessions;
+    // Per-round observation memo (Observe); -1 = empty.
+    sim::Round obs_round = -1;
+    sim::Round obs_window = -1;
+    core::PeerObservation obs;
   };
 
   void Prune(PeerHistory* h, sim::Round now) const;

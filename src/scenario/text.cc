@@ -286,6 +286,9 @@ util::Result<Scenario> ParseScenarioText(const std::string& text) {
       } else if (field == "policy") {
         auto v = core::PolicySpec::Parse(value);
         if (v.ok()) o.policy = *v; else st = v.status();
+      } else if (field == "estimator") {
+        auto v = core::EstimatorSpec::Parse(value);
+        if (v.ok()) o.estimator = *v; else st = v.status();
       } else if (field == "pool_factor") {
         st = set_double(&o.pool_factor);
       } else if (field == "sample_attempt_factor") {
@@ -450,6 +453,7 @@ std::string RenderScenarioText(const Scenario& scenario) {
   os << "options.use_acceptance = " << RenderBool(o.use_acceptance) << "\n";
   os << "options.selection = " << o.selection.ToString() << "\n";
   os << "options.policy = " << o.policy.ToString() << "\n";
+  os << "options.estimator = " << o.estimator.ToString() << "\n";
   os << "options.pool_factor = " << RenderDouble(o.pool_factor) << "\n";
   os << "options.sample_attempt_factor = " << o.sample_attempt_factor << "\n";
   os << "options.max_blocks_per_round = " << o.max_blocks_per_round << "\n";

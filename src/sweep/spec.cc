@@ -67,6 +67,22 @@ util::Result<std::vector<core::SelectionSpec>> ResolveSelections(
   return specs;
 }
 
+util::Result<std::vector<core::EstimatorSpec>> ResolveEstimators(
+    const std::vector<std::string>& tokens) {
+  std::vector<core::EstimatorSpec> specs;
+  specs.reserve(tokens.size());
+  for (const std::string& token : tokens) {
+    util::Result<core::EstimatorSpec> parsed =
+        core::EstimatorSpec::Parse(token);
+    if (!parsed.ok()) {
+      return util::Status::InvalidArgument("estimator axis: " +
+                                           parsed.status().message());
+    }
+    specs.push_back(std::move(*parsed));
+  }
+  return specs;
+}
+
 // Everything Validate() checks, given the already-resolved scenario axis
 // (shared with Expand() so the axis is resolved - and any files parsed -
 // exactly once per expansion).
@@ -117,6 +133,7 @@ util::Status SweepSpec::Validate() const {
   if (!worlds.ok()) return worlds.status();
   if (auto p = ResolvePolicies(policies); !p.ok()) return p.status();
   if (auto s = ResolveSelections(selections); !s.ok()) return s.status();
+  if (auto e = ResolveEstimators(estimators); !e.ok()) return e.status();
   return ValidateResolved(*this, *worlds);
 }
 
@@ -124,7 +141,8 @@ size_t SweepSpec::GroupCount() const {
   auto dim = [](size_t n) { return n == 0 ? size_t{1} : n; };
   return dim(repair_thresholds.size()) * dim(quotas.size()) *
          dim(policies.size()) * dim(selections.size()) *
-         dim(scenarios.size()) * dim(visibilities.size());
+         dim(estimators.size()) * dim(scenarios.size()) *
+         dim(visibilities.size());
 }
 
 size_t SweepSpec::CellCount() const {
@@ -137,6 +155,7 @@ std::vector<std::string> SweepSpec::ActiveAxes() const {
   if (!quotas.empty()) axes.push_back("quota");
   if (!policies.empty()) axes.push_back("policy");
   if (!selections.empty()) axes.push_back("selection");
+  if (!estimators.empty()) axes.push_back("estimator");
   if (!scenarios.empty()) axes.push_back("scenario");
   if (!visibilities.empty()) axes.push_back("visibility");
   if (replicates > 1) axes.push_back("rep");
@@ -150,6 +169,8 @@ util::Result<std::vector<Cell>> SweepSpec::Expand() const {
                        ResolvePolicies(policies));
   P2P_ASSIGN_OR_RETURN(const std::vector<core::SelectionSpec> selection_specs,
                        ResolveSelections(selections));
+  P2P_ASSIGN_OR_RETURN(const std::vector<core::EstimatorSpec> estimator_specs,
+                       ResolveEstimators(estimators));
   P2P_RETURN_IF_ERROR(ValidateResolved(*this, worlds));
 
   std::vector<Cell> cells;
@@ -172,61 +193,70 @@ util::Result<std::vector<Cell>> SweepSpec::Expand() const {
     for (int qi : indices(quotas.size())) {
       for (int pi : indices(policies.size())) {
         for (int si : indices(selections.size())) {
-          for (int wi : indices(worlds.size())) {
-            for (int vi : indices(visibilities.size())) {
-              Scenario resolved = base;
-              std::vector<std::pair<std::string, std::string>> coords;
-              if (ti >= 0) {
-                resolved.options.repair_threshold =
-                    repair_thresholds[static_cast<size_t>(ti)];
-                coords.emplace_back(
-                    "threshold",
-                    std::to_string(resolved.options.repair_threshold));
-              }
-              if (qi >= 0) {
-                resolved.options.quota_blocks = quotas[static_cast<size_t>(qi)];
-                coords.emplace_back(
-                    "quota", std::to_string(resolved.options.quota_blocks));
-              }
-              if (pi >= 0) {
-                resolved.options.policy =
-                    policy_specs[static_cast<size_t>(pi)];
-                coords.emplace_back("policy",
-                                    resolved.options.policy.ToString());
-              }
-              if (si >= 0) {
-                resolved.options.selection =
-                    selection_specs[static_cast<size_t>(si)];
-                coords.emplace_back("selection",
-                                    resolved.options.selection.ToString());
-              }
-              if (wi >= 0) {
-                scenario::ApplyWorld(worlds[static_cast<size_t>(wi)],
-                                     &resolved);
-                coords.emplace_back("scenario", resolved.name);
-              }
-              if (vi >= 0) {
-                resolved.options.visibility =
-                    visibilities[static_cast<size_t>(vi)];
-                coords.emplace_back(
-                    "visibility",
-                    backup::VisibilityModelName(resolved.options.visibility));
-              }
-              for (int rep = 0; rep < replicates; ++rep) {
-                Cell cell;
-                cell.index = cells.size();
-                cell.group = group;
-                cell.replicate = static_cast<size_t>(rep);
-                cell.scenario = resolved;
-                cell.scenario.seed = ReplicateSeed(
-                    base.seed, static_cast<uint64_t>(rep));
-                cell.coords = coords;
-                if (replicates > 1) {
-                  cell.coords.emplace_back("rep", std::to_string(rep));
+          for (int ei : indices(estimators.size())) {
+            for (int wi : indices(worlds.size())) {
+              for (int vi : indices(visibilities.size())) {
+                Scenario resolved = base;
+                std::vector<std::pair<std::string, std::string>> coords;
+                if (ti >= 0) {
+                  resolved.options.repair_threshold =
+                      repair_thresholds[static_cast<size_t>(ti)];
+                  coords.emplace_back(
+                      "threshold",
+                      std::to_string(resolved.options.repair_threshold));
                 }
-                cells.push_back(std::move(cell));
+                if (qi >= 0) {
+                  resolved.options.quota_blocks =
+                      quotas[static_cast<size_t>(qi)];
+                  coords.emplace_back(
+                      "quota", std::to_string(resolved.options.quota_blocks));
+                }
+                if (pi >= 0) {
+                  resolved.options.policy =
+                      policy_specs[static_cast<size_t>(pi)];
+                  coords.emplace_back("policy",
+                                      resolved.options.policy.ToString());
+                }
+                if (si >= 0) {
+                  resolved.options.selection =
+                      selection_specs[static_cast<size_t>(si)];
+                  coords.emplace_back("selection",
+                                      resolved.options.selection.ToString());
+                }
+                if (ei >= 0) {
+                  resolved.options.estimator =
+                      estimator_specs[static_cast<size_t>(ei)];
+                  coords.emplace_back("estimator",
+                                      resolved.options.estimator.ToString());
+                }
+                if (wi >= 0) {
+                  scenario::ApplyWorld(worlds[static_cast<size_t>(wi)],
+                                       &resolved);
+                  coords.emplace_back("scenario", resolved.name);
+                }
+                if (vi >= 0) {
+                  resolved.options.visibility =
+                      visibilities[static_cast<size_t>(vi)];
+                  coords.emplace_back(
+                      "visibility",
+                      backup::VisibilityModelName(resolved.options.visibility));
+                }
+                for (int rep = 0; rep < replicates; ++rep) {
+                  Cell cell;
+                  cell.index = cells.size();
+                  cell.group = group;
+                  cell.replicate = static_cast<size_t>(rep);
+                  cell.scenario = resolved;
+                  cell.scenario.seed = ReplicateSeed(
+                      base.seed, static_cast<uint64_t>(rep));
+                  cell.coords = coords;
+                  if (replicates > 1) {
+                    cell.coords.emplace_back("rep", std::to_string(rep));
+                  }
+                  cells.push_back(std::move(cell));
+                }
+                ++group;
               }
-              ++group;
             }
           }
         }

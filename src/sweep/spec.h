@@ -76,6 +76,11 @@ struct SweepSpec {
   std::vector<std::string> policies;
   /// Selection axis; spec strings like "weighted-random{age_exponent=2}".
   std::vector<std::string> selections;
+  /// Lifetime-estimator axis; spec strings like "age-rank",
+  /// "availability-weighted{exponent=2}". Coordinates carry the canonical
+  /// spec form; cells share the seed (common random numbers), so the axis
+  /// isolates the estimator's effect on placement.
+  std::vector<std::string> estimators;
   /// Named-scenario axis: each value is a registry name or scenario file;
   /// a cell takes that scenario's *world* (population + workload) while
   /// keeping the base scale and options (common random numbers across the

@@ -1,7 +1,8 @@
 // Tests of the paper's core contribution: the acceptance function's printed
-// properties, age-based selection, lifetime estimators and repair policies -
-// plus the declarative strategy-spec layer (parse/render round trips, the
-// registry, and registry-backed instantiation).
+// properties, score-based selection, lifetime estimators and repair policies
+// - plus the declarative strategy-spec layer (parse/render round trips, the
+// registry, and registry-backed instantiation of policies, selections, and
+// estimators).
 
 #include <map>
 #include <set>
@@ -94,30 +95,95 @@ TEST(AcceptanceTest, MutualAcceptRequiresBothSides) {
 
 // --- Lifetime estimators ---
 
+PeerObservation Obs(sim::Round age, double availability = 1.0,
+                    sim::Round rounds_since_seen = 0) {
+  PeerObservation obs;
+  obs.age = age;
+  obs.availability = availability;
+  obs.rounds_since_seen = rounds_since_seen;
+  return obs;
+}
+
 TEST(EstimatorTest, AgeRankSaturatesAtHorizon) {
   AgeRankEstimator est(kL);
-  EXPECT_LT(est.StabilityScore(10), est.StabilityScore(100));
-  EXPECT_DOUBLE_EQ(est.StabilityScore(kL), est.StabilityScore(5 * kL));
+  EXPECT_LT(est.StabilityScore(Obs(10)), est.StabilityScore(Obs(100)));
+  EXPECT_DOUBLE_EQ(est.StabilityScore(Obs(kL)),
+                   est.StabilityScore(Obs(5 * kL)));
+  // The paper's criterion ignores the availability signal entirely.
+  EXPECT_DOUBLE_EQ(est.StabilityScore(Obs(100, 0.1)),
+                   est.StabilityScore(Obs(100, 0.9)));
 }
 
 TEST(EstimatorTest, ParetoResidualLinearInAge) {
   ParetoResidualEstimator est(24.0, 2.0);
   // E[T - a | T > a] = a / (shape - 1) = a for shape 2.
-  EXPECT_NEAR(est.ExpectedResidualRounds(1000), 1000.0, 1e-9);
-  EXPECT_NEAR(est.ExpectedResidualRounds(4000), 4000.0, 1e-9);
+  EXPECT_NEAR(est.ExpectedResidualRounds(Obs(1000)), 1000.0, 1e-9);
+  EXPECT_NEAR(est.ExpectedResidualRounds(Obs(4000)), 4000.0, 1e-9);
   // Below the scale, conditioning clamps at the scale.
-  EXPECT_NEAR(est.ExpectedResidualRounds(1), 24.0, 1e-9);
+  EXPECT_NEAR(est.ExpectedResidualRounds(Obs(1)), 24.0, 1e-9);
 }
 
 TEST(EstimatorTest, HeavyTailStillMonotone) {
   ParetoResidualEstimator est(24.0, 0.9);  // infinite mean regime
-  EXPECT_LT(est.StabilityScore(100), est.StabilityScore(1000));
+  EXPECT_LT(est.StabilityScore(Obs(100)), est.StabilityScore(Obs(1000)));
+}
+
+TEST(EstimatorTest, EmpiricalDegeneratesToAgeRankWithoutData) {
+  EmpiricalResidualEstimator est(90, sim::kRoundsPerDay, kL);
+  // No departures observed: the score is the pure (normalized) age rank.
+  EXPECT_LT(est.StabilityScore(Obs(10)), est.StabilityScore(Obs(100)));
+  EXPECT_DOUBLE_EQ(est.StabilityScore(Obs(kL)),
+                   est.StabilityScore(Obs(5 * kL)));
+  EXPECT_EQ(est.observed_departures(), 0);
+  // And the residual falls back to the optimistic age proxy.
+  EXPECT_DOUBLE_EQ(est.ExpectedResidualRounds(Obs(500)), 500.0);
+}
+
+TEST(EstimatorTest, EmpiricalLearnsDepartureDistribution) {
+  EmpiricalResidualEstimator est(90, sim::kRoundsPerDay, kL);
+  // A burst of early departures around day 2 and a few late ones at day 40.
+  for (int i = 0; i < 100; ++i) est.ObserveDeparture(2 * sim::kRoundsPerDay);
+  for (int i = 0; i < 10; ++i) est.ObserveDeparture(40 * sim::kRoundsPerDay);
+  EXPECT_EQ(est.observed_departures(), 110);
+
+  // A peer past the early-departure hump has outlived ~100 observed
+  // departures; a newborn has outlived none.
+  const double young = est.StabilityScore(Obs(1 * sim::kRoundsPerDay));
+  const double seasoned = est.StabilityScore(Obs(10 * sim::kRoundsPerDay));
+  const double elder = est.StabilityScore(Obs(60 * sim::kRoundsPerDay));
+  EXPECT_LT(young, 100.0);
+  EXPECT_GT(seasoned, 99.0);
+  EXPECT_GT(elder, seasoned);
+
+  // Residual at day 10: only the day-40 departures lie beyond, 30 days out.
+  EXPECT_NEAR(est.ExpectedResidualRounds(Obs(10 * sim::kRoundsPerDay)),
+              30.0 * sim::kRoundsPerDay, 1e-6);
+}
+
+TEST(EstimatorTest, AvailabilityWeightedDiscountsFlakyPeers) {
+  AvailabilityWeightedEstimator est(kL, /*exponent=*/1.0, /*floor=*/0.05);
+  // Same age: the reachable peer wins.
+  EXPECT_GT(est.StabilityScore(Obs(1000, 0.9)),
+            est.StabilityScore(Obs(1000, 0.2)));
+  // Exponent 0 is pure age rank, availability-oblivious.
+  AvailabilityWeightedEstimator flat(kL, 0.0, 0.05);
+  EXPECT_DOUBLE_EQ(flat.StabilityScore(Obs(1000, 0.9)),
+                   flat.StabilityScore(Obs(1000, 0.2)));
+  EXPECT_DOUBLE_EQ(flat.StabilityScore(Obs(1000, 0.5)), 1000.0);
+  // The floor keeps a zero-availability peer selectable (score > 0).
+  EXPECT_GT(est.StabilityScore(Obs(1000, 0.0)), 0.0);
 }
 
 // --- Selection strategies ---
 
+// Pool with score == age: what the network builds under the default
+// age-rank estimator (ages below the horizon).
 std::vector<Candidate> MakePool() {
-  return {{1, 10}, {2, 500}, {3, 250}, {4, 90}, {5, 1000}};
+  return {{1, 10, 10.0},
+          {2, 500, 500.0},
+          {3, 250, 250.0},
+          {4, 90, 90.0},
+          {5, 1000, 1000.0}};
 }
 
 TEST(SelectionTest, OldestFirstPicksByAge) {
@@ -162,6 +228,25 @@ TEST(SelectionTest, TiesBrokenRandomly) {
     first_pick.insert(out[0]);
   }
   EXPECT_EQ(first_pick.size(), 3u);
+}
+
+TEST(SelectionTest, ScoreOutranksAgeAndAgeRefinesScoreTies) {
+  // The estimator's verdict is primary: a younger peer with a higher score
+  // wins; among equal scores the older peer wins (so the default age-rank
+  // estimator reproduces the paper's pure age ordering exactly).
+  OldestFirstSelection sel;
+  util::Rng rng(10);
+  std::vector<Candidate> pool = {
+      {1, 900, 50.0}, {2, 100, 80.0}, {3, 400, 50.0}};
+  std::vector<uint32_t> out;
+  sel.Choose(&pool, 3, &rng, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{2, 1, 3}));
+
+  YoungestFirstSelection inverse;
+  pool = {{1, 900, 50.0}, {2, 100, 80.0}, {3, 400, 50.0}};
+  out.clear();
+  inverse.Choose(&pool, 3, &rng, &out);
+  EXPECT_EQ(out, (std::vector<uint32_t>{3, 1, 2}));
 }
 
 TEST(SelectionTest, RequestMoreThanPool) {
@@ -473,6 +558,121 @@ TEST(StrategySpecTest, RegistryIsOpenForExtension) {
   bool listed = false;
   for (const PolicyDescriptor* d : ListPolicies()) {
     listed = listed || d->name == "test-always-repair";
+  }
+  EXPECT_TRUE(listed);
+}
+
+// --- Estimator specs: grammar, registry, contextual defaults ---
+
+TEST(EstimatorSpecTest, ParseRenderRoundTrips) {
+  for (const char* text : {
+           "age-rank",
+           "age-rank{horizon=2160}",
+           "pareto-residual{scale=24,shape=2}",
+           "empirical-residual{bucket_rounds=24,buckets=90}",
+           "availability-weighted{exponent=2,floor=0.1}",
+       }) {
+    SCOPED_TRACE(text);
+    auto spec = EstimatorSpec::Parse(text);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    EXPECT_EQ(spec->ToString(), text);  // canonical inputs are fixed points
+    auto again = EstimatorSpec::Parse(spec->ToString());
+    ASSERT_TRUE(again.ok());
+    EXPECT_TRUE(*again == *spec);
+  }
+}
+
+TEST(EstimatorSpecTest, ErrorsNameTheOffendingToken) {
+  auto unknown = EstimatorSpec::Parse("crystal-ball");
+  EXPECT_TRUE(unknown.status().IsInvalidArgument());
+  EXPECT_NE(unknown.status().message().find("crystal-ball"),
+            std::string::npos);
+
+  auto bad_param = EstimatorSpec::Parse("age-rank{half_life=3}");
+  EXPECT_TRUE(bad_param.status().IsInvalidArgument());
+  EXPECT_NE(bad_param.status().message().find("half_life"), std::string::npos);
+
+  auto bad_value = EstimatorSpec::Parse("pareto-residual{shape=steep}");
+  EXPECT_NE(bad_value.status().message().find("steep"), std::string::npos);
+
+  auto out_of_range = EstimatorSpec::Parse("availability-weighted{floor=2}");
+  EXPECT_TRUE(out_of_range.status().IsInvalidArgument());
+  EXPECT_NE(out_of_range.status().message().find("floor"), std::string::npos);
+
+  EstimatorSpec hand_built;
+  hand_built.name = "no-such-estimator";
+  EXPECT_TRUE(hand_built.Validate().IsInvalidArgument());
+}
+
+TEST(EstimatorSpecTest, RegistryInstantiatesEveryBuiltin) {
+  for (const char* name : {"age-rank", "pareto-residual", "empirical-residual",
+                           "availability-weighted"}) {
+    auto spec = EstimatorSpec::Parse(name);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    auto estimator = MakeEstimator(*spec, StrategyEnv{});
+    ASSERT_TRUE(estimator.ok()) << estimator.status().ToString();
+    EXPECT_EQ((*estimator)->name(), name);
+    // Fresh instance per call: stateful estimators must not share history
+    // across concurrently running networks.
+    auto second = MakeEstimator(*spec, StrategyEnv{});
+    ASSERT_TRUE(second.ok());
+    EXPECT_NE(estimator->get(), second->get());
+  }
+}
+
+TEST(EstimatorSpecTest, FactoryWiresContextualHorizon) {
+  StrategyEnv env;
+  env.acceptance_horizon = 100;
+
+  // No explicit horizon: age-rank saturates at env.acceptance_horizon.
+  auto contextual = MakeEstimator(EstimatorSpec(), env);
+  ASSERT_TRUE(contextual.ok());
+  EXPECT_DOUBLE_EQ((*contextual)->StabilityScore(Obs(100)),
+                   (*contextual)->StabilityScore(Obs(5000)));
+  EXPECT_LT((*contextual)->StabilityScore(Obs(99)),
+            (*contextual)->StabilityScore(Obs(100)));
+
+  // An explicit horizon parameter overrides the context.
+  auto spec = EstimatorSpec::Parse("age-rank{horizon=500}");
+  ASSERT_TRUE(spec.ok());
+  auto overridden = MakeEstimator(*spec, env);
+  ASSERT_TRUE(overridden.ok());
+  EXPECT_LT((*overridden)->StabilityScore(Obs(100)),
+            (*overridden)->StabilityScore(Obs(499)));
+  EXPECT_DOUBLE_EQ((*overridden)->StabilityScore(Obs(500)),
+                   (*overridden)->StabilityScore(Obs(5000)));
+}
+
+TEST(EstimatorSpecTest, RegistryIsOpenForExtension) {
+  if (FindEstimator("test-coin-flip") == nullptr) {
+    EstimatorDescriptor d;
+    d.name = "test-coin-flip";
+    d.summary = "test fixture";
+    d.make = [](const ResolvedParams&, const StrategyEnv&) {
+      class CoinFlip : public LifetimeEstimator {
+       public:
+        double StabilityScore(const PeerObservation& obs) const override {
+          return static_cast<double>(obs.age % 2);
+        }
+        double ExpectedResidualRounds(const PeerObservation&) const override {
+          return 1.0;
+        }
+        std::string name() const override { return "test-coin-flip"; }
+      };
+      return std::unique_ptr<LifetimeEstimator>(new CoinFlip());
+    };
+    RegisterEstimator(std::move(d));
+  }
+
+  auto spec = EstimatorSpec::Parse("test-coin-flip");
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  auto estimator = MakeEstimator(*spec, StrategyEnv{});
+  ASSERT_TRUE(estimator.ok());
+  EXPECT_EQ((*estimator)->name(), "test-coin-flip");
+
+  bool listed = false;
+  for (const EstimatorDescriptor* d : ListEstimators()) {
+    listed = listed || d->name == "test-coin-flip";
   }
   EXPECT_TRUE(listed);
 }

@@ -1,8 +1,14 @@
-// Availability monitor tests: the queries the backup protocol relies on.
+// Availability monitor tests: the queries the backup protocol relies on,
+// the estimator snapshot API, and the prefix-summed window accounting
+// (checked against a brute-force per-round oracle).
+
+#include <algorithm>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "monitor/availability_monitor.h"
+#include "util/rng.h"
 
 namespace p2p {
 namespace monitor {
@@ -91,6 +97,130 @@ TEST(MonitorTest, WindowClampedToHistoryBound) {
   // Query for more than the retention window clamps to 100 rounds: the peer
   // was online for the 50 rounds that exist, out of a 100-round window.
   EXPECT_NEAR(mon.AvailabilityOver(0, 10'000, 50), 0.5, 1e-9);
+}
+
+TEST(MonitorTest, IdRecyclingFullyResetsHistory) {
+  // A departed id handed to a fresh peer must carry nothing over: not the
+  // age, not the last-seen stamp, not a single session of availability.
+  AvailabilityMonitor mon(2);
+  mon.RecordJoin(0, 0);
+  mon.RecordConnect(0, 0);
+  mon.RecordDisconnect(0, 30);
+  mon.RecordConnect(0, 40);
+  mon.RecordDeparture(0, 80);
+
+  mon.RecordJoin(0, 100);  // id recycled for a brand-new machine
+  EXPECT_EQ(mon.Age(0, 100), 0);
+  EXPECT_EQ(mon.Age(0, 150), 50);
+  EXPECT_FALSE(mon.IsOnline(0));
+  EXPECT_EQ(mon.LastSeen(0, 150), -1);  // never seen online
+  EXPECT_FALSE(mon.PresumedDeparted(0, 1000, 150));
+  EXPECT_DOUBLE_EQ(mon.AvailabilityOver(0, 100, 150), 0.0);
+  const auto fresh = mon.Observe(0, 100, 150);
+  EXPECT_EQ(fresh.age, 50);
+  EXPECT_DOUBLE_EQ(fresh.availability, 0.0);
+  EXPECT_EQ(fresh.rounds_since_seen, 50);  // its whole (new) age
+
+  // The new incarnation accumulates availability from scratch: 20 online
+  // rounds out of the 100-round window, none inherited from the old peer.
+  mon.RecordConnect(0, 160);
+  mon.RecordDisconnect(0, 180);
+  EXPECT_NEAR(mon.AvailabilityOver(0, 100, 200), 0.2, 1e-12);
+}
+
+TEST(MonitorTest, ObserveReportsTheFullTriple) {
+  AvailabilityMonitor mon(2, /*history_window=*/100);
+  mon.RecordJoin(0, 0);
+  mon.RecordConnect(0, 0);
+  mon.RecordDisconnect(0, 60);
+
+  const auto offline = mon.Observe(0, 100, 100);
+  EXPECT_EQ(offline.age, 100);
+  EXPECT_NEAR(offline.availability, 0.6, 1e-12);
+  EXPECT_EQ(offline.rounds_since_seen, 40);
+
+  mon.RecordConnect(0, 110);
+  const auto online = mon.Observe(0, 100, 120);
+  EXPECT_EQ(online.age, 120);
+  EXPECT_EQ(online.rounds_since_seen, 0);  // online right now
+  // Window (20, 120]: online [20, 60) and [110, 120).
+  EXPECT_NEAR(online.availability, 0.5, 1e-12);
+}
+
+TEST(MonitorTest, ObserveMemoInvalidatedByEvents) {
+  AvailabilityMonitor mon(2, /*history_window=*/100);
+  mon.RecordJoin(0, 0);
+  mon.RecordConnect(0, 0);
+  // Two queries in one round hit the memo; an event between them must not
+  // leak the stale entry.
+  EXPECT_NEAR(mon.Observe(0, 50, 50).availability, 1.0, 1e-12);
+  EXPECT_NEAR(mon.Observe(0, 50, 50).availability, 1.0, 1e-12);
+  mon.RecordDisconnect(0, 50);
+  EXPECT_EQ(mon.Observe(0, 50, 50).rounds_since_seen, 0);
+  // A different window in the same round is computed, not served stale.
+  mon.RecordConnect(0, 75);
+  EXPECT_NEAR(mon.Observe(0, 100, 100).availability, 0.75, 1e-12);
+  EXPECT_NEAR(mon.Observe(0, 25, 100).availability, 1.0, 1e-12);
+}
+
+TEST(MonitorTest, ObserveBatchMatchesSingleQueries) {
+  AvailabilityMonitor mon(4, /*history_window=*/100);
+  for (PeerId p = 0; p < 3; ++p) {
+    mon.RecordJoin(p, static_cast<sim::Round>(10 * p));
+    mon.RecordConnect(p, static_cast<sim::Round>(10 * p));
+  }
+  mon.RecordDisconnect(1, 50);
+
+  std::vector<PeerId> ids = {2, 0, 1};
+  std::vector<p2p::core::PeerObservation> batch;
+  mon.ObserveBatch(ids, 100, 100, &batch);
+  ASSERT_EQ(batch.size(), 3u);
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const auto single = mon.Observe(ids[i], 100, 100);
+    EXPECT_EQ(batch[i].age, single.age) << i;
+    EXPECT_DOUBLE_EQ(batch[i].availability, single.availability) << i;
+    EXPECT_EQ(batch[i].rounds_since_seen, single.rounds_since_seen) << i;
+  }
+}
+
+TEST(MonitorTest, PrefixSummedWindowsMatchBruteForceOracle) {
+  // Random session histories, queried at random times over random windows:
+  // the binary-search-plus-prefix-sum fast path must agree exactly with a
+  // per-round recount of the same schedule.
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    const sim::Round history_window = 50 + rng.UniformInt(0, 400);
+    AvailabilityMonitor mon(1, history_window);
+    std::vector<bool> online_at;  // oracle: round -> was peer online
+    mon.RecordJoin(0, 0);
+    sim::Round now = 0;
+    bool online = false;
+    for (int event = 0; event < 60; ++event) {
+      now += 1 + rng.UniformInt(0, 60);
+      if (online) {
+        mon.RecordDisconnect(0, now);
+      } else {
+        mon.RecordConnect(0, now);
+      }
+      while (static_cast<sim::Round>(online_at.size()) < now) {
+        online_at.push_back(online);
+      }
+      online = !online;
+
+      const sim::Round window = 1 + rng.UniformInt(0, now + 10);
+      const sim::Round effective = std::min(window, history_window);
+      int64_t expect = 0;
+      for (sim::Round r = std::max<sim::Round>(0, now - effective); r < now;
+           ++r) {
+        if (online_at[static_cast<size_t>(r)]) ++expect;
+      }
+      const double got = mon.AvailabilityOver(0, window, now);
+      ASSERT_NEAR(got,
+                  static_cast<double>(expect) / static_cast<double>(effective),
+                  1e-12)
+          << "trial=" << trial << " now=" << now << " window=" << window;
+    }
+  }
 }
 
 }  // namespace

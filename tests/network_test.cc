@@ -318,6 +318,73 @@ TEST(NetworkTest, WeightedRandomSelectionRuns) {
   EXPECT_GT(r.totals.repairs, 0);
 }
 
+TEST(NetworkTest, EstimatorsRun) {
+  // Every registered estimator (including parameterized instances) drives a
+  // short run with the full invariant set intact.
+  const auto profiles = churn::ProfileSet::Paper();
+  for (const char* estimator :
+       {"age-rank", "pareto-residual", "empirical-residual",
+        "availability-weighted", "availability-weighted{exponent=4,floor=0}",
+        "empirical-residual{bucket_rounds=72,buckets=30}"}) {
+    SCOPED_TRACE(estimator);
+    SystemOptions opts = SmallOptions();
+    auto spec = core::EstimatorSpec::Parse(estimator);
+    ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+    opts.estimator = *spec;
+    const auto r = RunSmall(opts, 3000, 53, profiles, 2);
+    EXPECT_GT(r.totals.repairs, 0);
+  }
+}
+
+TEST(NetworkTest, EmpiricalEstimatorLearnsFromDepartures) {
+  // The online histogram sees every definitive departure of the run.
+  const auto profiles = churn::ProfileSet::Paper();
+  SystemOptions opts = SmallOptions();
+  opts.estimator = *core::EstimatorSpec::Parse("empirical-residual");
+  sim::EngineOptions eopts;
+  eopts.end_round = sim::MonthsToRounds(4);  // beyond erratic lifetimes
+  eopts.seed = 9;
+  sim::Engine engine(eopts);
+  BackupNetwork network(&engine, &profiles, opts);
+  engine.Run();
+  ASSERT_GT(network.totals().departures, 0);
+  const auto& est = static_cast<const core::EmpiricalResidualEstimator&>(
+      network.estimator());
+  EXPECT_EQ(est.observed_departures(), network.totals().departures);
+  network.CheckInvariants();
+}
+
+TEST(NetworkTest, AvailabilityWeightedEstimatorPrefersStableHosts) {
+  // With diurnal low-availability machines in the mix, weighting age by
+  // measured uptime should lift the partner sets' nominal availability
+  // relative to the pure age rank (same seed, common random numbers).
+  const auto profiles = churn::ProfileSet::Paper();
+  auto mean_avail = [&](const char* estimator) {
+    SystemOptions opts = SmallOptions();
+    opts.estimator = *core::EstimatorSpec::Parse(estimator);
+    sim::EngineOptions eopts;
+    eopts.end_round = 3000;
+    eopts.seed = 31;
+    sim::Engine engine(eopts);
+    BackupNetwork network(&engine, &profiles, opts);
+    engine.Run();
+    network.CheckInvariants();
+    double sum = 0.0;
+    int64_t owners = 0;
+    for (PeerId id = 0; id < opts.num_peers; ++id) {
+      const auto stats = network.ComputePartnerStats(id);
+      if (stats.count == 0) continue;
+      sum += stats.mean_nominal_availability;
+      ++owners;
+    }
+    EXPECT_GT(owners, 0);
+    return sum / static_cast<double>(owners);
+  };
+  const double age_rank = mean_avail("age-rank");
+  const double weighted = mean_avail("availability-weighted{exponent=4}");
+  EXPECT_GT(weighted, age_rank);
+}
+
 TEST(NetworkTest, MaxBlocksPerRoundSpreadsPlacement) {
   SystemOptions opts = SmallOptions();
   opts.max_blocks_per_round = 4;  // initial upload takes >= 8 rounds

@@ -6,6 +6,7 @@
 #include "archive/builder.h"
 #include "backup/pipeline.h"
 #include "core/acceptance.h"
+#include "core/lifetime_estimator.h"
 #include "core/maintenance_policy.h"
 #include "core/strategy_registry.h"
 #include "core/strategy_spec.h"
@@ -262,6 +263,73 @@ TEST(StrategyProperty, FlagLevelBoundsEveryRegisteredPolicy) {
             << spec.ToString() << " triggered at alive=" << ctx.alive
             << " >= FlagLevel=" << flag
             << " (loss_rate=" << ctx.partner_loss_rate << ")";
+      }
+    }
+    EXPECT_GT(valid_trials, 0);
+  }
+}
+
+// --- Estimator registry: scores are monotone nondecreasing in age. ---
+//
+// Selection ranks candidates by estimator score with age refining ties; the
+// paper's fidelity property ("the longer a node has been in the system, the
+// more stable it will be considered") only survives the generalization if
+// every estimator is monotone nondecreasing in age at fixed availability.
+// Sweep every registered estimator under randomly drawn in-range parameters
+// and random fixed availability: increasing age must never lower the score.
+
+TEST(StrategyProperty, StabilityScoreMonotoneInAgeForEveryEstimator) {
+  util::Rng rng(20260729);
+  core::StrategyEnv env;  // acceptance_horizon = 90 days
+
+  for (const core::EstimatorDescriptor* descriptor : core::ListEstimators()) {
+    SCOPED_TRACE(descriptor->name);
+    int valid_trials = 0;
+    for (int trial = 0; trial < 200 && valid_trials < 50; ++trial) {
+      core::EstimatorSpec spec;
+      spec.name = descriptor->name;
+      // Half the trials run pure defaults; the rest set every parameter to
+      // a uniformly drawn in-range value (integer draws clamped to a
+      // simulation-sized window, as in the policy property test).
+      if (trial % 2 == 1) {
+        for (const core::ParamInfo& info : descriptor->params) {
+          const double hi = std::min(info.max_value, 4096.0);
+          if (info.type == core::ParamType::kInt) {
+            spec.params[info.name] = core::ParamValue::Int(rng.UniformInt(
+                static_cast<int64_t>(info.min_value),
+                static_cast<int64_t>(hi)));
+          } else {
+            spec.params[info.name] = core::ParamValue::Double(
+                rng.UniformDouble(info.min_value, std::min(hi, 64.0)));
+          }
+        }
+      }
+      if (!spec.Validate().ok()) continue;
+      ++valid_trials;
+      auto estimator = core::MakeEstimator(spec, env);
+      ASSERT_TRUE(estimator.ok()) << estimator.status().ToString();
+      // Exercise the online-learning path too: a random departure history
+      // must not break monotonicity of the empirical CDF.
+      const int departures = static_cast<int>(rng.UniformInt(0, 40));
+      for (int d = 0; d < departures; ++d) {
+        (*estimator)->ObserveDeparture(rng.UniformInt(0, 200 * 24));
+      }
+      for (int probe = 0; probe < 20; ++probe) {
+        core::PeerObservation obs;
+        obs.availability = rng.UniformDouble(0.0, 1.0);
+        obs.rounds_since_seen = rng.UniformInt(0, 48);
+        double prev_score = -1.0;
+        sim::Round age = 0;
+        while (age < 400 * 24) {
+          obs.age = age;
+          const double score = (*estimator)->StabilityScore(obs);
+          ASSERT_GE(score, 0.0) << spec.ToString() << " age=" << age;
+          ASSERT_GE(score, prev_score)
+              << spec.ToString() << " score dropped at age=" << age
+              << " (availability=" << obs.availability << ")";
+          prev_score = score;
+          age += 1 + rng.UniformInt(0, 300);
+        }
       }
     }
     EXPECT_GT(valid_trials, 0);

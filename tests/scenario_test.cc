@@ -386,6 +386,14 @@ TEST(TextTest, ErrorsNameLineAndToken) {
   bad = ParseScenarioText(
       "name = x\noptions.policy = proactive{batch_blocks=none}\n");
   EXPECT_NE(bad.status().message().find("none"), std::string::npos);
+
+  bad = ParseScenarioText("name = x\noptions.estimator = crystal-ball\n");
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("crystal-ball"), std::string::npos);
+
+  bad = ParseScenarioText(
+      "name = x\noptions.estimator = age-rank{horizon=forever}\n");
+  EXPECT_NE(bad.status().message().find("forever"), std::string::npos);
 }
 
 TEST(TextTest, ParameterizedStrategySpecsRoundTrip) {
@@ -433,6 +441,11 @@ TEST(TextTest, GoldenParameterizedStrategiesFile) {
   selection.name = "weighted-random";
   selection.params["age_exponent"] = core::ParamValue::Double(2.5);
   EXPECT_TRUE(parsed->options.selection == selection);
+
+  core::EstimatorSpec estimator;
+  estimator.name = "availability-weighted";
+  estimator.params["exponent"] = core::ParamValue::Double(1.5);
+  EXPECT_TRUE(parsed->options.estimator == estimator);
 
   // And the scenario actually runs with them.
   Scenario s = *parsed;

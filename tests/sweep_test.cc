@@ -9,6 +9,8 @@
 #include <gtest/gtest.h>
 
 #include "backup/options.h"
+#include "core/lifetime_estimator.h"
+#include "core/strategy_registry.h"
 #include "sweep/report.h"
 #include "sweep/runner.h"
 #include "sweep/spec.h"
@@ -340,6 +342,133 @@ TEST(RunnerTest, ScenarioAxisIsThreadCountInvariant) {
   EXPECT_EQ(csv[0], csv[1]);
   EXPECT_NE(csv[0].find("scenario"), std::string::npos);
   EXPECT_NE(csv[0].find("mass-exit"), std::string::npos);
+}
+
+TEST(SweepSpecTest, EstimatorAxisResolvesSpecsAndRejectsUnknownTokens) {
+  SweepSpec spec;
+  spec.base.peers = 120;
+  spec.base.rounds = 400;
+  spec.estimators = {"age-rank", "availability-weighted{ exponent = 2 }"};
+
+  EXPECT_EQ(spec.ActiveAxes(), (std::vector<std::string>{"estimator"}));
+  auto cells = spec.Expand();
+  ASSERT_TRUE(cells.ok()) << cells.status().ToString();
+  ASSERT_EQ(cells->size(), 2u);
+  // Coordinates carry the canonical spec form, whatever spacing came in.
+  EXPECT_EQ((*cells)[1].coords[0],
+            (std::pair<std::string, std::string>{
+                "estimator", "availability-weighted{exponent=2}"}));
+  EXPECT_EQ((*cells)[1].scenario.options.estimator.name,
+            "availability-weighted");
+  // All cells share the seed: common random numbers across the axis.
+  EXPECT_EQ((*cells)[0].scenario.seed, (*cells)[1].scenario.seed);
+
+  spec.estimators = {"no-such-estimator"};
+  util::Status bad = spec.Validate();
+  EXPECT_TRUE(bad.IsInvalidArgument());
+  EXPECT_NE(bad.message().find("no-such-estimator"), std::string::npos);
+  EXPECT_FALSE(spec.Expand().ok());
+
+  spec.estimators = {"pareto-residual{shape=999}"};
+  bad = spec.Validate();
+  EXPECT_TRUE(bad.IsInvalidArgument());
+  EXPECT_NE(bad.message().find("shape"), std::string::npos);
+}
+
+TEST(RunnerTest, DefaultEstimatorSpecsMatchLegacyAgePath) {
+  // The pre-estimator protocol sorted candidates by raw, unsaturated age.
+  // Lock the default against that ordering with a test-registered raw-age
+  // estimator (score = age, no horizon): in a run whose ages exceed the
+  // saturation horizon it reproduces the legacy sort key exactly, so the
+  // bare `age-rank` default, an explicit horizon, an exponent-0
+  // availability weighting, and the raw legacy key must all produce the
+  // same simulation block for block.
+  if (core::FindEstimator("test-raw-age") == nullptr) {
+    core::EstimatorDescriptor d;
+    d.name = "test-raw-age";
+    d.summary = "legacy sort key: score = raw age, unsaturated";
+    d.make = [](const core::ResolvedParams&, const core::StrategyEnv&) {
+      class RawAge : public core::LifetimeEstimator {
+       public:
+        double StabilityScore(const core::PeerObservation& obs) const override {
+          return static_cast<double>(obs.age);
+        }
+        double ExpectedResidualRounds(
+            const core::PeerObservation& obs) const override {
+          return static_cast<double>(obs.age);
+        }
+        std::string name() const override { return "test-raw-age"; }
+      };
+      return std::unique_ptr<core::LifetimeEstimator>(new RawAge());
+    };
+    core::RegisterEstimator(std::move(d));
+  }
+
+  SweepSpec base;
+  base.base.peers = 120;
+  base.base.rounds = 400;
+  base.base.seed = 7;
+  // Saturate well inside the run: rounds 120..400 exercise the region
+  // where min(age, horizon) ties and the raw key does not.
+  base.base.options.acceptance_horizon = 120;
+  auto baseline = RunSweep(base, RunnerOptions{});
+  ASSERT_TRUE(baseline.ok());
+  const SweepReport baseline_report = SweepReport::Build(base, *baseline);
+  ASSERT_EQ(baseline_report.cells().size(), 1u);
+
+  SweepSpec specced = base;
+  specced.estimators = {"age-rank", "age-rank{horizon=120}",
+                        "availability-weighted{exponent=0}", "test-raw-age"};
+  auto results = RunSweep(specced, RunnerOptions{});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  const SweepReport report = SweepReport::Build(specced, *results);
+  ASSERT_EQ(report.cells().size(), 4u);
+
+  const CellRow& reference = baseline_report.cells()[0];
+  for (const CellRow& cell : report.cells()) {
+    SCOPED_TRACE(cell.coords[0].second);
+    EXPECT_EQ(cell.repairs, reference.repairs);
+    EXPECT_EQ(cell.losses, reference.losses);
+    EXPECT_EQ(cell.blocks_uploaded, reference.blocks_uploaded);
+    EXPECT_EQ(cell.departures, reference.departures);
+    EXPECT_EQ(cell.timeouts, reference.timeouts);
+    for (size_t i = 0; i < cell.repairs_per_1000_day.size(); ++i) {
+      EXPECT_EQ(cell.repairs_per_1000_day[i],
+                reference.repairs_per_1000_day[i]);
+      EXPECT_EQ(cell.losses_per_1000_day[i], reference.losses_per_1000_day[i]);
+    }
+  }
+}
+
+TEST(RunnerTest, EstimatorAxisIsThreadCountInvariant) {
+  // The estimator axis must emit byte-identical CSV at 1 and 8 threads,
+  // like every other axis - including the stateful empirical estimator
+  // (its histogram is per-network, so scheduling cannot leak across cells).
+  SweepSpec spec;
+  spec.base.peers = 120;
+  spec.base.rounds = 400;
+  spec.base.seed = 17;
+  spec.estimators = {"age-rank", "pareto-residual", "empirical-residual",
+                     "availability-weighted{exponent=2}"};
+
+  std::string csv[2];
+  const int thread_counts[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    RunnerOptions ropts;
+    ropts.threads = thread_counts[i];
+    auto results = RunSweep(spec, ropts);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results->size(), 4u);
+    const SweepReport report = SweepReport::Build(spec, *results);
+    std::ostringstream os;
+    report.WriteCellsCsv(os);
+    csv[i] = os.str();
+  }
+  EXPECT_EQ(csv[0], csv[1]);
+  EXPECT_NE(csv[0].find("estimator"), std::string::npos);
+  EXPECT_NE(csv[0].find("empirical-residual"), std::string::npos);
+  EXPECT_NE(csv[0].find("availability-weighted{exponent=2}"),
+            std::string::npos);
 }
 
 TEST(RunnerTest, DefaultSpecsMatchHistoricalEnumPaths) {
