@@ -86,14 +86,15 @@ int main(int argc, char** argv) {
     t.BeginRow();
     t.Add(cell.cell.scenario.name);
     t.Add(cell.cell.scenario.options.estimator.ToString());
+    const auto& repairs_1k = out.report.PerCategory("repairs_1k_day");
     for (int c = 0; c < metrics::kCategoryCount; ++c) {
-      t.Add(out.repairs_per_1000_day[static_cast<size_t>(c)], 3);
+      t.Add(repairs_1k[static_cast<size_t>(c)], 3);
     }
-    const double newc = out.repairs_per_1000_day[0];
-    const double elder = out.repairs_per_1000_day[3];
+    const double newc = repairs_1k[0];
+    const double elder = repairs_1k[3];
     t.Add(newc > 0 ? elder / newc : 0.0, 4);
-    t.Add(out.totals.repairs);
-    t.Add(out.totals.losses);
+    t.Add(out.report.Count("repairs"));
+    t.Add(out.report.Count("losses"));
   }
   t.RenderPretty(std::cout);
   return 0;

@@ -66,16 +66,17 @@ int main(int argc, char** argv) {
     const bench::Outcome out = bench::Run(s);
     t.BeginRow();
     t.Add(config.name);
-    t.Add(out.totals.repairs);
-    t.Add(out.totals.blocks_uploaded);
-    t.Add(out.totals.repairs > 0
-              ? static_cast<double>(out.totals.blocks_uploaded) /
-                    static_cast<double>(out.totals.repairs)
-              : 0.0,
+    const int64_t repairs = out.report.Count("repairs");
+    const int64_t uploaded = out.report.Count("blocks_uploaded");
+    t.Add(repairs);
+    t.Add(uploaded);
+    t.Add(repairs > 0 ? static_cast<double>(uploaded) /
+                            static_cast<double>(repairs)
+                      : 0.0,
           1);
-    t.Add(out.totals.losses);
-    t.Add(out.repairs_per_1000_day[0], 3);
-    t.Add(out.repairs_per_1000_day[3], 3);
+    t.Add(out.report.Count("losses"));
+    t.Add(out.report.PerCategory("repairs_1k_day")[0], 3);
+    t.Add(out.report.PerCategory("repairs_1k_day")[3], 3);
     std::fprintf(stderr, "%s done in %.1fs\n", config.name, out.wall_seconds);
   }
   t.RenderPretty(std::cout);

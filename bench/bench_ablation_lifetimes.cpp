@@ -64,11 +64,12 @@ int main(int argc, char** argv) {
     t.BeginRow();
     t.Add(s.name);
     for (int c = 0; c < metrics::kCategoryCount; ++c) {
-      t.Add(out.repairs_per_1000_day[static_cast<size_t>(c)], 3);
+      t.Add(out.report.PerCategory("repairs_1k_day")[static_cast<size_t>(c)],
+            3);
     }
-    t.Add(out.totals.repairs);
-    t.Add(out.totals.losses);
-    t.Add(out.totals.departures);
+    t.Add(out.report.Count("repairs"));
+    t.Add(out.report.Count("losses"));
+    t.Add(out.report.Count("departures"));
     std::fprintf(stderr, "%s done in %.1fs\n", s.name.c_str(),
                  out.wall_seconds);
   }

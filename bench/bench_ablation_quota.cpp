@@ -44,9 +44,9 @@ int main(int argc, char** argv) {
     t.Add(out.population.backed_up);
     t.Add(out.population.mean_partners, 1);
     t.Add(out.population.mean_hosted, 1);
-    t.Add(out.totals.repairs);
-    t.Add(out.totals.losses);
-    t.Add(out.losses_per_1000_day[0], 4);
+    t.Add(out.report.Count("repairs"));
+    t.Add(out.report.Count("losses"));
+    t.Add(out.report.PerCategory("losses_1k_day")[0], 4);
     std::fprintf(stderr, "quota %d done in %.1fs\n", quota, out.wall_seconds);
   }
   t.RenderPretty(std::cout);

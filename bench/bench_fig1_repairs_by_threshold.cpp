@@ -74,7 +74,8 @@ int main(int argc, char** argv) {
     tsv.BeginRow();
     tsv.Add(r.cell.scenario.options.repair_threshold);
     for (int c = 0; c < metrics::kCategoryCount; ++c) {
-      tsv.Add(r.outcome.repairs_per_1000_day[static_cast<size_t>(c)], 4);
+      tsv.Add(r.outcome.report.PerCategory("repairs_1k_day")[
+                  static_cast<size_t>(c)], 4);
     }
   }
   tsv.RenderTsv(std::cout);

@@ -75,9 +75,10 @@ int main(int argc, char** argv) {
     tsv.BeginRow();
     tsv.Add(r.cell.scenario.options.repair_threshold);
     for (int c = 0; c < metrics::kCategoryCount; ++c) {
-      tsv.Add(r.outcome.losses_per_1000_day[static_cast<size_t>(c)], 5);
+      tsv.Add(r.outcome.report.PerCategory("losses_1k_day")[
+                  static_cast<size_t>(c)], 5);
     }
-    tsv.Add(r.outcome.totals.losses);
+    tsv.Add(r.outcome.report.Count("losses"));
   }
   tsv.RenderTsv(std::cout);
   std::printf("\n");

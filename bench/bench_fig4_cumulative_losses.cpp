@@ -67,15 +67,17 @@ int main(int argc, char** argv) {
 
   util::Table final_table({"category", "cumulative losses", "mean population",
                            "losses per peer-slot"});
+  const auto& cum_losses = out.report.PerCategory("cum_losses");
+  const auto& mean_population = out.report.PerCategory("mean_population");
   for (int c = 0; c < metrics::kCategoryCount; ++c) {
     const auto cat = static_cast<metrics::AgeCategory>(c);
     final_table.BeginRow();
     final_table.Add(metrics::CategoryName(cat));
-    final_table.Add(out.categories[static_cast<size_t>(c)].losses);
-    final_table.Add(out.mean_population[static_cast<size_t>(c)], 1);
-    const double pop = out.mean_population[static_cast<size_t>(c)];
+    final_table.Add(static_cast<int64_t>(cum_losses[static_cast<size_t>(c)]));
+    final_table.Add(mean_population[static_cast<size_t>(c)], 1);
+    const double pop = mean_population[static_cast<size_t>(c)];
     final_table.Add(
-        pop > 0 ? out.categories[static_cast<size_t>(c)].losses / pop : 0.0, 5);
+        pop > 0 ? cum_losses[static_cast<size_t>(c)] / pop : 0.0, 5);
   }
   final_table.RenderPretty(std::cout);
   std::fprintf(stderr, "run took %.1fs\n", out.wall_seconds);

@@ -51,7 +51,7 @@ void BM_NetworkRoundsPerSecond(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations());
   state.counters["repairs"] =
-      static_cast<double>(network.totals().repairs);
+      static_cast<double>(network.metrics().repairs());
 }
 BENCHMARK(BM_NetworkRoundsPerSecond)->Arg(1000)->Arg(5000)->Unit(
     benchmark::kMicrosecond);

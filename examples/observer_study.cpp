@@ -82,9 +82,9 @@ int main(int argc, char** argv) {
   // for workload join waves).
   const auto first_observer =
       static_cast<backup::PeerId>(network.total_ids() -
-                                  network.observers().size());
-  for (size_t i = 0; i < network.observers().size(); ++i) {
-    const auto& obs = network.observers()[i];
+                                  network.metrics().observers().size());
+  for (size_t i = 0; i < network.metrics().observers().size(); ++i) {
+    const auto& obs = network.metrics().observers()[i];
     const auto id = static_cast<backup::PeerId>(first_observer + i);
     const auto ps = network.ComputePartnerStats(id);
     table.BeginRow();
@@ -108,14 +108,14 @@ int main(int argc, char** argv) {
 
   std::printf("\ncumulative repairs over time (TSV):\n");
   std::printf("# day");
-  for (const auto& obs : network.observers()) std::printf("\t%s", obs.name.c_str());
+  for (const auto& obs : network.metrics().observers()) std::printf("\t%s", obs.name.c_str());
   std::printf("\n");
-  const size_t samples = network.observers().front().cumulative_repairs.samples().size();
+  const size_t samples = network.metrics().observers().front().cumulative_repairs.samples().size();
   const size_t step = samples > 20 ? samples / 20 : 1;
   for (size_t i = 0; i < samples; i += step) {
     std::printf("%.0f", sim::RoundsToDays(
-                            network.observers()[0].cumulative_repairs.samples()[i].first));
-    for (const auto& obs : network.observers()) {
+                            network.metrics().observers()[0].cumulative_repairs.samples()[i].first));
+    for (const auto& obs : network.metrics().observers()) {
       std::printf("\t%.0f", obs.cumulative_repairs.samples()[i].second);
     }
     std::printf("\n");

@@ -70,6 +70,8 @@ int main(int argc, char** argv) {
       static_cast<long long>(s.rounds), sim::RoundsToDays(s.rounds),
       s.name.c_str(), s.peers, s.options.repair_threshold);
 
+  // Every number below is a registered probe of the run's RunReport; see
+  // `scenario_tool metrics` for the full vocabulary.
   util::Table table({"category", "mean population", "repairs", "losses",
                      "repairs/1000/day", "losses/1000/day"});
   for (int c = 0; c < metrics::kCategoryCount; ++c) {
@@ -77,11 +79,11 @@ int main(int argc, char** argv) {
     const size_t i = static_cast<size_t>(c);
     table.BeginRow();
     table.Add(metrics::CategoryName(cat));
-    table.Add(out.mean_population[i], 1);
-    table.Add(out.categories[i].repairs);
-    table.Add(out.categories[i].losses);
-    table.Add(out.repairs_per_1000_day[i], 3);
-    table.Add(out.losses_per_1000_day[i], 3);
+    table.Add(out.report.PerCategory("mean_population")[i], 1);
+    table.Add(static_cast<int64_t>(out.report.PerCategory("cum_repairs")[i]));
+    table.Add(static_cast<int64_t>(out.report.PerCategory("cum_losses")[i]));
+    table.Add(out.report.PerCategory("repairs_1k_day")[i], 3);
+    table.Add(out.report.PerCategory("losses_1k_day")[i], 3);
   }
   table.RenderPretty(std::cout);
 
@@ -94,14 +96,19 @@ int main(int argc, char** argv) {
       static_cast<long long>(pop.backed_up),
       static_cast<long long>(out.final_population));
 
-  const auto& totals = out.totals;
   std::printf(
       "\ntotals: %lld repairs, %lld losses, %lld blocks uploaded, "
       "%lld departures, %lld timeout-severed partnerships\n",
-      static_cast<long long>(totals.repairs),
-      static_cast<long long>(totals.losses),
-      static_cast<long long>(totals.blocks_uploaded),
-      static_cast<long long>(totals.departures),
-      static_cast<long long>(totals.timeouts));
+      static_cast<long long>(out.report.Count("repairs")),
+      static_cast<long long>(out.report.Count("losses")),
+      static_cast<long long>(out.report.Count("blocks_uploaded")),
+      static_cast<long long>(out.report.Count("departures")),
+      static_cast<long long>(out.report.Count("timeouts")));
+  std::printf(
+      "maintenance: %.1f blocks/day uploaded, mean time-to-repair %.1f "
+      "rounds (p99 %.0f)\n",
+      out.report.Scalar("repair_bandwidth"),
+      out.report.Scalar("time_to_repair_mean"),
+      out.report.Scalar("time_to_repair_p99"));
   return 0;
 }

@@ -5,6 +5,7 @@
 //   ./scenario_tool policies                   # registered maintenance policies
 //   ./scenario_tool selections                 # registered selection strategies
 //   ./scenario_tool estimators                 # registered lifetime estimators
+//   ./scenario_tool metrics                    # registered result probes
 //   ./scenario_tool show flash-crowd           # canonical key=value text
 //   ./scenario_tool show flash-crowd > my.scenario   # ... then edit and:
 //   ./scenario_tool run my.scenario --peers=500 --rounds=200 --check
@@ -13,7 +14,10 @@
 //
 // `policies` / `selections` / `estimators` list every registered strategy
 // with its parameters, defaults, and valid ranges (--names for just the
-// names, one per line - what scripts/check.sh iterates). `run` validates first,
+// names, one per line - what scripts/check.sh iterates); `metrics` lists
+// every registered probe of the results pipeline (name, unit, shape,
+// aggregation - the vocabulary of `metrics.select` in scenario files and
+// `sweep_demo --metrics`). `run` validates first,
 // simulates, and prints a one-screen summary; with --check it also verifies
 // the full partnership/quota invariant set during and after the run (the CI
 // smoke loop in scripts/check.sh runs every registered scenario AND every
@@ -24,6 +28,8 @@
 #include <iostream>
 
 #include "core/strategy_registry.h"
+#include "metrics/categories.h"
+#include "metrics/registry.h"
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 #include "scenario/text.h"
@@ -38,11 +44,12 @@ int Usage(const char* prog) {
                "       %s policies [--names]\n"
                "       %s selections [--names]\n"
                "       %s estimators [--names]\n"
+               "       %s metrics [--names]\n"
                "       %s show <name|file>\n"
                "       %s run <name|file> [--peers=N] [--rounds=R] [--seed=S] "
                "[--policy=SPEC] [--selection=SPEC] [--estimator=SPEC] "
                "[--check]\n",
-               prog, prog, prog, prog, prog, prog);
+               prog, prog, prog, prog, prog, prog, prog);
   return 1;
 }
 
@@ -97,7 +104,8 @@ int main(int argc, char** argv) {
   flags.Int64("seed", &seed, "random seed (-1 = scenario value)");
   flags.Bool("check", &check, "verify simulation invariants during the run");
   flags.Bool("names", &names_only,
-             "policies/selections: print registered names only");
+             "policies/selections/estimators/metrics: print registered "
+             "names only");
   flags.String("policy", &policy_spec,
                "run: override the maintenance policy (spec string)");
   flags.String("selection", &selection_spec,
@@ -162,6 +170,31 @@ int main(int argc, char** argv) {
     return 0;
   }
 
+  if (command == "metrics") {
+    if (args.size() != 1) return Usage(argv[0]);
+    util::Table table(
+        {"metric", "unit", "shape", "kind", "aggregation", "default",
+         "description"});
+    for (const metrics::MetricDescriptor* d : metrics::ListMetrics()) {
+      if (names_only) {
+        std::printf("%s\n", d->name.c_str());
+        continue;
+      }
+      table.BeginRow();
+      table.Add(d->name);
+      table.Add(d->unit);
+      table.Add(d->per_category ? "per-category" : "scalar");
+      table.Add(d->kind == metrics::MetricKind::kCount ? "count" : "real");
+      table.Add(d->aggregation == metrics::MetricAggregation::kMoments
+                    ? "moments"
+                    : "none");
+      table.Add(d->default_selected ? "yes" : "no");
+      table.Add(d->help);
+    }
+    if (!names_only) table.RenderPretty(std::cout);
+    return 0;
+  }
+
   if (args.size() != 2) return Usage(argv[0]);
   auto loaded = scenario::LoadScenario(args[1]);
   if (!loaded.ok()) {
@@ -216,19 +249,44 @@ int main(int argc, char** argv) {
               s.name.c_str(), s.peers, static_cast<long long>(s.rounds),
               static_cast<unsigned long long>(s.seed),
               check ? " (invariants verified)" : "");
+  // The scenario's metric selection drives the summary: one row per selected
+  // scalar, four per per-category probe (the default set prints the five
+  // totals plus both per-category rate blocks); a metrics.select line in the
+  // file reshapes it without touching this tool.
+  auto selection = metrics::ResolveCollectedSelection(s.metrics);
   util::Table t({"metric", "value"});
-  auto row = [&t](const char* name, int64_t value) {
+  auto row = [&t](const std::string& name, const std::string& value) {
     t.BeginRow();
     t.Add(name);
     t.Add(value);
   };
-  row("repairs", out.totals.repairs);
-  row("losses", out.totals.losses);
-  row("blocks uploaded", out.totals.blocks_uploaded);
-  row("departures", out.totals.departures);
-  row("timeout-severed partnerships", out.totals.timeouts);
-  row("final population", out.final_population);
-  row("backed up", out.population.backed_up);
+  bool selection_has_final_population = false;
+  for (const metrics::MetricDescriptor* d : *selection) {
+    if (d->name == "final_population") selection_has_final_population = true;
+    const metrics::MetricValue* v = out.report.Find(d->name);
+    if (v == nullptr) continue;
+    auto render = [&](double x) {
+      if (d->kind == metrics::MetricKind::kCount) {
+        return std::to_string(static_cast<int64_t>(x));
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.3f", x);
+      return std::string(buf);
+    };
+    if (d->per_category) {
+      for (int c = 0; c < metrics::kCategoryCount; ++c) {
+        row(d->name + "." +
+                metrics::CategoryToken(static_cast<metrics::AgeCategory>(c)),
+            render(v->per_category[static_cast<size_t>(c)]));
+      }
+    } else {
+      row(d->name, render(v->scalar));
+    }
+  }
+  if (!selection_has_final_population) {
+    row("final population", std::to_string(out.final_population));
+  }
+  row("backed up", std::to_string(out.population.backed_up));
   t.RenderPretty(std::cout);
   std::printf("run took %.1fs\n", out.wall_seconds);
   return 0;

@@ -7,11 +7,14 @@
 //                --policies='fixed-threshold,proactive{batch_blocks=8}'
 //                --selections='oldest-first,weighted-random{age_exponent=2}'
 //                --estimators='age-rank,availability-weighted{exponent=2}'
+//                --metrics=repairs,losses,repair_bandwidth,time_to_repair_mean
 //                --replicates=3 --threads=4 --format=pretty
 //
 // Formats: pretty (per-cell + aggregate tables), csv (per-cell rows),
 // aggregate (per-group mean/stddev CSV), json (both in one document).
-// Output on stdout is byte-identical for any --threads value.
+// --metrics selects which registered probes become report columns
+// (`scenario_tool metrics` lists them; empty = the default set). Output on
+// stdout is byte-identical for any --threads value.
 
 #include <cstdio>
 #include <iostream>
@@ -33,6 +36,7 @@ int main(int argc, char** argv) {
   std::string policies = "";
   std::string selections = "";
   std::string estimators = "";
+  std::string metrics = "";
   int64_t replicates = 1;
   int threads = 0;
   std::string format = "pretty";
@@ -59,6 +63,9 @@ int main(int argc, char** argv) {
                "comma-separated estimator specs, e.g. "
                "'age-rank,availability-weighted{exponent=2}' (empty = base "
                "estimator)");
+  flags.String("metrics", &metrics,
+               "comma-separated metric names to report (see 'scenario_tool "
+               "metrics'; empty = default set)");
   flags.Int64("replicates", &replicates, "seed replicates per grid point");
   flags.Int32("threads", &threads, "worker threads (0 = hardware)");
   flags.String("format", &format, "pretty | csv | aggregate | json");
@@ -108,6 +115,13 @@ int main(int argc, char** argv) {
     if (auto st = scenario::ParseSpecList(estimators, &spec.estimators);
         !st.ok()) {
       std::cerr << "--estimators: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!metrics.empty()) {
+    if (auto st = scenario::ParseStringList(metrics, &spec.metrics);
+        !st.ok()) {
+      std::cerr << "--metrics: " << st.ToString() << "\n";
       return 1;
     }
   }

@@ -56,19 +56,21 @@ int main(int argc, char** argv) {
   util::Table t({"threshold", "repairs/1000/day (all)", "newcomer repairs",
                  "losses/1000/day (newcomers)", "total losses"});
   for (const sweep::CellResult& r : *results) {
-    const sweep::Outcome& out = r.outcome;
+    const metrics::RunReport& report = r.outcome.report;
+    const auto& repairs_1k = report.PerCategory("repairs_1k_day");
+    const auto& mean_population = report.PerCategory("mean_population");
     double all_rate = 0;
     for (int c = 0; c < metrics::kCategoryCount; ++c) {
-      all_rate += out.repairs_per_1000_day[static_cast<size_t>(c)] *
-                  out.mean_population[static_cast<size_t>(c)];
+      all_rate += repairs_1k[static_cast<size_t>(c)] *
+                  mean_population[static_cast<size_t>(c)];
     }
     all_rate /= static_cast<double>(spec.base.peers);
     t.BeginRow();
     t.Add(r.cell.scenario.options.repair_threshold);
     t.Add(all_rate, 3);
-    t.Add(out.repairs_per_1000_day[0], 3);
-    t.Add(out.losses_per_1000_day[0], 4);
-    t.Add(out.totals.losses);
+    t.Add(repairs_1k[0], 3);
+    t.Add(report.PerCategory("losses_1k_day")[0], 4);
+    t.Add(report.Count("losses"));
   }
   t.RenderPretty(std::cout);
   std::printf(

@@ -24,6 +24,18 @@ echo "== smoke sweep: 2x2 grid, 2 replicates, 2 threads =="
   --replicates=2 --threads=2 --format=aggregate
 
 echo
+echo "== metrics smoke: registry listing + a non-default metrics= sweep =="
+# The metrics subcommand must list the registry (repair_bandwidth is the
+# canary probe), and a --metrics selection must drive a sweep end to end.
+./build/scenario_tool metrics --names | grep -q '^repair_bandwidth$'
+./build/scenario_tool metrics > /dev/null
+./build/sweep_demo \
+  --scenario=tests/golden/sweep_small_world.scenario \
+  --thresholds=20,26 --replicates=2 --threads=2 --format=csv \
+  --metrics=repairs,losses,repair_bandwidth,time_to_repair_mean,time_to_repair_p99 \
+  | head -1 | grep -q 'repair_bandwidth,time_to_repair_mean'
+
+echo
 echo "== scenario smoke: every registered scenario, invariant-checked =="
 # 200 rounds at 500 peers per scenario; --check makes the run fail on any
 # Validate() error or violated simulation invariant.

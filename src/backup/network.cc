@@ -44,7 +44,10 @@ BackupNetwork::BackupNetwork(sim::Engine* engine,
       acceptance_(options.acceptance_horizon),
       churn_rng_(engine->Stream(kChurnStream)),
       place_rng_(engine->Stream(kPlacementStream)),
-      monitor_(normal_slots_ + kMaxObservers) {
+      monitor_(normal_slots_ + kMaxObservers),
+      collector_(normal_slots_ + kMaxObservers,
+                 options.sample_interval > 0 ? options.sample_interval
+                                             : sim::kRoundsPerDay) {
   const util::Status valid = options.Validate();
   if (!valid.ok()) {
     P2P_LOG_ERROR("invalid SystemOptions: %s", valid.ToString().c_str());
@@ -101,7 +104,7 @@ void BackupNetwork::BootstrapPopulation() {
 
 size_t BackupNetwork::AddObserver(const std::string& name, sim::Round frozen_age) {
   P2P_CHECK(engine_->now() == 0);
-  P2P_CHECK(observer_results_.size() < kMaxObservers);
+  P2P_CHECK(collector_.observers().size() < kMaxObservers);
   const PeerId id = static_cast<PeerId>(peers_.size());
   peers_.emplace_back();
   partners_.emplace_back();
@@ -115,12 +118,7 @@ size_t BackupNetwork::AddObserver(const std::string& name, sim::Round frozen_age
   monitor_.RecordJoin(id, 0);
   monitor_.RecordConnect(id, 0);
   EnqueueRepair(id);
-  ObserverResult r;
-  r.name = name;
-  r.frozen_age = frozen_age;
-  r.cumulative_repairs = metrics::TimeSeries(options_.sample_interval);
-  observer_results_.push_back(std::move(r));
-  return observer_results_.size() - 1;
+  return collector_.AddObserver(name, frozen_age);
 }
 
 void BackupNetwork::InitPeer(PeerId id, sim::Round now) {
@@ -148,7 +146,7 @@ void BackupNetwork::InitPeer(PeerId id, sim::Round now) {
   p.next_toggle = now + on_len;
   toggles_.Schedule(p.next_toggle, Event{id, incarnation, p.next_toggle});
 
-  accounting_.PeerEntered(metrics::AgeCategory::kNewcomer);
+  collector_.PeerEntered(metrics::AgeCategory::kNewcomer);
   const sim::Round boundary = metrics::NextBoundary(0);
   if (boundary != sim::kNever) {
     category_events_.Schedule(now + boundary, Event{id, incarnation, 0});
@@ -156,14 +154,14 @@ void BackupNetwork::InitPeer(PeerId id, sim::Round now) {
 
   // The initial placement is "a repair where d = n" (paper 3.2).
   p.needs_repair = true;
+  collector_.OnRepairFlagged(id, now);
   EnqueueRepair(id);
 }
 
 void BackupNetwork::DepartPeer(PeerId id, sim::Round now, bool replace) {
   PeerState& p = peers_[id];
-  ++totals_.departures;
   --live_count_;
-  accounting_.PeerLeft(CategoryAt(id, now));
+  collector_.OnDeparture(id, CategoryAt(id, now));
   monitor_.RecordDeparture(id, now);
   // Online estimators learn the departure-age distribution as it unfolds.
   estimator_->ObserveDeparture(now - p.join_round);
@@ -242,8 +240,7 @@ void BackupNetwork::OnRound(sim::Round now) {
   });
   category_events_.DrainInto(now, [&](const Event& e) { ProcessCategory(e, now); });
   ProcessRepairs(now);
-  accounting_.AccumulateRound();
-  SampleSeries(now);
+  collector_.OnRoundTick(now);
 }
 
 void BackupNetwork::ProcessToggle(const Event& e, sim::Round now) {
@@ -297,7 +294,7 @@ void BackupNetwork::ProcessTimeout(const Event& e, sim::Round now) {
   if (p.online || p.offline_since != e.stamp) return;  // reconnected since
   // Unreachable for more than partner_timeout rounds: every owner storing on
   // this peer writes the blocks off and will repair.
-  totals_.timeouts += static_cast<int64_t>(clients_[e.id].size());
+  collector_.OnTimeout(static_cast<int64_t>(clients_[e.id].size()));
   SeverAsHost(e.id, now);
 }
 
@@ -307,7 +304,7 @@ void BackupNetwork::ProcessCategory(const Event& e, sim::Round now) {
   const sim::Round age = now - p.join_round;
   const metrics::AgeCategory from = metrics::CategoryOf(age - 1);
   const metrics::AgeCategory to = metrics::CategoryOf(age);
-  if (from != to) accounting_.PeerAdvanced(from, to);
+  if (from != to) collector_.PeerAdvanced(from, to);
   const sim::Round next = metrics::NextBoundary(age);
   if (next != sim::kNever) {
     category_events_.Schedule(p.join_round + next, Event{e.id, e.incarnation, 0});
@@ -315,10 +312,11 @@ void BackupNetwork::ProcessCategory(const Event& e, sim::Round now) {
 }
 
 void BackupNetwork::AddPartnership(PeerId owner, PeerId host) {
+  const sim::Round now = engine_->now();
   partners_[owner].push_back(
-      Link{host, static_cast<uint32_t>(clients_[host].size())});
+      Link{host, static_cast<uint32_t>(clients_[host].size()), now});
   clients_[host].push_back(
-      Link{owner, static_cast<uint32_t>(partners_[owner].size()) - 1});
+      Link{owner, static_cast<uint32_t>(partners_[owner].size()) - 1, now});
   PeerState& h = peers_[host];
   if (!peers_[owner].is_observer) {
     ++h.hosted;
@@ -335,6 +333,11 @@ void BackupNetwork::RemovePartnerAt(PeerId owner, uint32_t index,
   const Link link = partners_[owner][index];
   const PeerId host = link.peer;
   const uint32_t j = link.back;
+  // Observer-owned partnerships are excluded from the lifetime probe, like
+  // every other observer-side measurement.
+  if (!peers_[owner].is_observer) {
+    collector_.OnPartnershipEnded(engine_->now() - link.formed);
+  }
   // Swap-remove the twin on the host side.
   if (j + 1 != clients_[host].size()) {
     const Link moved = clients_[host].back();
@@ -488,11 +491,10 @@ int BackupNetwork::EvictOfflinePartners(PeerId owner, int count) {
 
 void BackupNetwork::HandleArchiveLoss(PeerId owner, sim::Round now) {
   PeerState& p = peers_[owner];
-  ++totals_.losses;
   if (p.is_observer) {
-    ++observer_results_[owner - normal_slots_].losses;
+    collector_.OnObserverLoss(owner - normal_slots_);
   } else {
-    accounting_.RecordLoss(CategoryAt(owner, now));
+    collector_.OnLoss(CategoryAt(owner, now));
   }
   // The network copy is unrecoverable; the owner rebuilds the backup from
   // its local data: drop what is left and start a fresh initial placement.
@@ -504,6 +506,12 @@ void BackupNetwork::HandleArchiveLoss(PeerId owner, sim::Round now) {
 
 void BackupNetwork::FlagForRepair(PeerId id) {
   PeerState& p = peers_[id];
+  // Observers are measurement instruments: like the category accounting,
+  // the episode probes (time-to-repair, vulnerability) exclude them, so
+  // adding an observer never moves a reported system metric.
+  if (!p.needs_repair && !p.is_observer) {
+    collector_.OnRepairFlagged(id, engine_->now());
+  }
   p.needs_repair = true;
   if (p.online) EnqueueRepair(id);
 }
@@ -557,6 +565,7 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
         // Recovered above the trigger level (e.g. partners came back
         // online) before the repair started: nothing to do.
         p.needs_repair = false;
+        if (!p.is_observer) collector_.OnRepairCleared(id, now);
         return;
       }
       // Honor the policy's redundancy verdict (adaptive-redundancy moves
@@ -572,11 +581,10 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
     // A peer that is not yet backed up always proceeds: the initial
     // placement is mandatory regardless of policy.
     p.episode_active = true;
-    ++totals_.repairs;
     if (p.is_observer) {
-      ++observer_results_[id - normal_slots_].repairs;
+      collector_.OnObserverRepair(id - normal_slots_);
     } else {
-      accounting_.RecordRepair(CategoryAt(id, now), p.episode_target - basis);
+      collector_.OnRepairStart(CategoryAt(id, now), p.episode_target - basis);
     }
   }
 
@@ -593,12 +601,13 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
     for (uint32_t host : chosen) {
       if (TryPlaceBlock(id, host, now)) ++placed;
     }
-    totals_.blocks_uploaded += placed;
+    collector_.OnUpload(placed);
   }
 
   if (static_cast<int>(partners_[id].size()) >= p.episode_target) {
     p.episode_active = false;
     p.needs_repair = false;
+    if (!p.is_observer) collector_.OnRepairCleared(id, now);
     p.last_repair = now;
     p.backed_up = true;
     // The refreshed set may still sit under the trigger level (newly placed
@@ -687,24 +696,6 @@ sim::Round BackupNetwork::AgeOf(PeerId id) const {
 
 metrics::AgeCategory BackupNetwork::CategoryAt(PeerId id, sim::Round now) const {
   return metrics::CategoryOf(now - peers_[id].join_round);
-}
-
-void BackupNetwork::SampleSeries(sim::Round now) {
-  if (now < next_sample_) return;
-  next_sample_ = now + options_.sample_interval;
-  CategorySample sample;
-  sample.round = now;
-  for (int c = 0; c < metrics::kCategoryCount; ++c) {
-    const auto snap = accounting_.Snapshot(static_cast<metrics::AgeCategory>(c));
-    sample.cumulative_losses[static_cast<size_t>(c)] = snap.losses;
-    sample.cumulative_repairs[static_cast<size_t>(c)] = snap.repairs;
-    sample.mean_population[static_cast<size_t>(c)] =
-        accounting_.MeanPopulation(static_cast<metrics::AgeCategory>(c));
-  }
-  series_.push_back(sample);
-  for (ObserverResult& obs : observer_results_) {
-    obs.cumulative_repairs.Offer(now, static_cast<double>(obs.repairs));
-  }
 }
 
 BackupNetwork::PopulationStats BackupNetwork::ComputePopulationStats() const {

@@ -26,7 +26,7 @@
 #include "core/maintenance_policy.h"
 #include "core/selection.h"
 #include "core/strategy_registry.h"
-#include "metrics/accounting.h"
+#include "metrics/collector.h"
 #include "monitor/availability_monitor.h"
 #include "sim/engine.h"
 #include "sim/event_queue.h"
@@ -51,36 +51,12 @@ struct PopulationAdjustment {
   uint32_t exits = 0;
 };
 
-/// \brief A measurement peer with frozen age (paper, section 4.2.2):
-/// "An observer is a special peer, whose age does not increase ... Other
-/// peers cannot choose an observer as a partner, but the observer can choose
-/// other peers as partners, without however consuming their quota."
-struct ObserverResult {
-  std::string name;
-  sim::Round frozen_age = 0;
-  int64_t repairs = 0;
-  int64_t losses = 0;
-  metrics::TimeSeries cumulative_repairs;
-};
-
-/// One daily sample of the per-category accumulators (drives Figures 2/4).
-struct CategorySample {
-  sim::Round round = 0;
-  std::array<int64_t, metrics::kCategoryCount> cumulative_losses{};
-  std::array<int64_t, metrics::kCategoryCount> cumulative_repairs{};
-  std::array<double, metrics::kCategoryCount> mean_population{};
-};
-
-/// Aggregate outcome counters of one run.
-struct RunTotals {
-  int64_t repairs = 0;
-  int64_t losses = 0;
-  int64_t blocks_uploaded = 0;
-  int64_t departures = 0;
-  int64_t timeouts = 0;  ///< partnerships severed by the timeout rule
-};
-
 /// \brief The simulation network; attach to an Engine, add observers, run.
+///
+/// Results: the network does not own result structs of its own - it emits
+/// typed events into a metrics::Collector (see metrics/collector.h), and
+/// `metrics()` exposes that collector for totals, per-category accounting,
+/// observer results, the daily series, and RunReport construction.
 class BackupNetwork {
  public:
   /// Wires the network into `engine` (registers the round hook). The engine
@@ -99,10 +75,9 @@ class BackupNetwork {
 
   /// \name Results.
   /// @{
-  const metrics::CategoryAccounting& accounting() const { return accounting_; }
-  const std::vector<ObserverResult>& observers() const { return observer_results_; }
-  const std::vector<CategorySample>& category_series() const { return series_; }
-  const RunTotals& totals() const { return totals_; }
+  /// Every measurement of the run: totals, accounting, observers, series,
+  /// and BuildReport() for the registry-backed RunReport.
+  const metrics::Collector& metrics() const { return collector_; }
   /// @}
 
   /// \name Introspection (tests, invariant checks).
@@ -149,8 +124,9 @@ class BackupNetwork {
 
  private:
   struct Link {
-    PeerId peer;    // the peer on the other side
-    uint32_t back;  // index of the twin link in the other side's vector
+    PeerId peer;       // the peer on the other side
+    uint32_t back;     // index of the twin link in the other side's vector
+    sim::Round formed; // round the partnership was created (lifetime probe)
   };
 
   struct PeerState {
@@ -207,7 +183,6 @@ class BackupNetwork {
   void ProcessCategory(const Event& e, sim::Round now);
   void ProcessRepairs(sim::Round now);
   void RunRepair(PeerId id, sim::Round now);
-  void SampleSeries(sim::Round now);
 
   // --- partnership maintenance ---
   void AddPartnership(PeerId owner, PeerId host);
@@ -290,11 +265,7 @@ class BackupNetwork {
   uint32_t mark_epoch_ = 0;
 
   monitor::AvailabilityMonitor monitor_;
-  metrics::CategoryAccounting accounting_;
-  std::vector<ObserverResult> observer_results_;
-  std::vector<CategorySample> series_;
-  RunTotals totals_;
-  sim::Round next_sample_ = 0;
+  metrics::Collector collector_;
 };
 
 }  // namespace backup

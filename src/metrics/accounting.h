@@ -14,6 +14,7 @@
 
 #include "metrics/categories.h"
 #include "sim/clock.h"
+#include "util/logging.h"
 
 namespace p2p {
 namespace metrics {
@@ -92,20 +93,32 @@ class CategoryAccounting {
 /// \brief Uniformly-sampled time series, one value per sampling interval.
 class TimeSeries {
  public:
-  /// Samples every `interval` rounds (default: daily).
+  /// Samples every `interval` rounds (default: daily); `interval` must be
+  /// positive (the sampling grid is anchored at its multiples).
   explicit TimeSeries(sim::Round interval = sim::kRoundsPerDay)
-      : interval_(interval) {}
-
-  /// Offers the current value; recorded when `now` crosses a sample point.
-  void Offer(sim::Round now, double value) {
-    if (now >= next_sample_) {
-      samples_.emplace_back(now, value);
-      next_sample_ = now + interval_;
-    }
+      : interval_(interval) {
+    P2P_CHECK(interval_ > 0);
   }
 
-  /// Forces a final sample (end of run).
-  void Flush(sim::Round now, double value) { samples_.emplace_back(now, value); }
+  /// Offers the current value; recorded when `now` crosses a sample point.
+  /// Sample points are the fixed grid 0, interval, 2*interval, ...: when a
+  /// point is crossed late, the late sample is recorded once and the next
+  /// point stays on the grid instead of drifting to `now + interval`.
+  void Offer(sim::Round now, double value) {
+    if (now < next_sample_) return;
+    samples_.emplace_back(now, value);
+    next_sample_ = (now / interval_ + 1) * interval_;
+  }
+
+  /// Forces a final sample (end of run); when a sample was already taken at
+  /// `now`, it is overwritten rather than duplicated.
+  void Flush(sim::Round now, double value) {
+    if (!samples_.empty() && samples_.back().first == now) {
+      samples_.back().second = value;
+      return;
+    }
+    samples_.emplace_back(now, value);
+  }
 
   /// Recorded (round, value) pairs.
   const std::vector<std::pair<sim::Round, double>>& samples() const {

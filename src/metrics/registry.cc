@@ -1,0 +1,173 @@
+#include "metrics/registry.h"
+
+#include <deque>
+#include <mutex>
+#include <set>
+
+#include "util/logging.h"
+
+namespace p2p {
+namespace metrics {
+namespace {
+
+// Stable-address storage (deque) so ListMetrics/FindMetric pointers stay
+// valid across later registrations.
+struct Registry {
+  std::mutex mutex;
+  std::deque<MetricDescriptor> metrics;
+};
+
+MetricDescriptor Make(const std::string& name, const std::string& unit,
+                      const std::string& help, bool per_category,
+                      MetricKind kind, MetricAggregation aggregation,
+                      bool default_selected) {
+  MetricDescriptor d;
+  d.name = name;
+  d.unit = unit;
+  d.help = help;
+  d.per_category = per_category;
+  d.kind = kind;
+  d.aggregation = aggregation;
+  d.default_selected = default_selected;
+  return d;
+}
+
+void RegisterBuiltinsLocked(Registry* r) {
+  // The default set, in this exact order, IS the historical emitter layout:
+  // the sweep goldens lock its CSV/JSON bytes. blocks_uploaded / departures
+  // / timeouts carry kNone because the historical aggregate tables never
+  // included them; that is a recorded fact about the layout, not a law - a
+  // new registration is free to choose kMoments.
+  r->metrics.push_back(Make(
+      "repairs", "ops", "repair operations triggered (initial placements "
+      "included)", false, MetricKind::kCount, MetricAggregation::kMoments,
+      true));
+  r->metrics.push_back(Make(
+      "losses", "archives", "archives lost (alive blocks fell below k)",
+      false, MetricKind::kCount, MetricAggregation::kMoments, true));
+  r->metrics.push_back(Make(
+      "blocks_uploaded", "blocks", "blocks re-placed by repairs", false,
+      MetricKind::kCount, MetricAggregation::kNone, true));
+  r->metrics.push_back(Make(
+      "departures", "peers", "definitive departures", false,
+      MetricKind::kCount, MetricAggregation::kNone, true));
+  r->metrics.push_back(Make(
+      "timeouts", "partnerships", "partnerships severed by the timeout rule",
+      false, MetricKind::kCount, MetricAggregation::kNone, true));
+  r->metrics.push_back(Make(
+      "repairs_1k_day", "ops/1000 peers/day", "repair rate by age category "
+      "(figure 1)", true, MetricKind::kReal, MetricAggregation::kMoments,
+      true));
+  r->metrics.push_back(Make(
+      "losses_1k_day", "archives/1000 peers/day", "loss rate by age category "
+      "(figure 2)", true, MetricKind::kReal, MetricAggregation::kMoments,
+      true));
+
+  // --- probes the closed pre-registry structs could not express ---
+  r->metrics.push_back(Make(
+      "repair_bandwidth", "blocks/day", "mean maintenance bandwidth: blocks "
+      "uploaded per day over the run", false, MetricKind::kReal,
+      MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "time_to_repair_mean", "rounds", "mean rounds from repair flag to "
+      "episode completion", false, MetricKind::kReal,
+      MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "time_to_repair_p99", "rounds", "99th percentile of rounds from repair "
+      "flag to episode completion", false, MetricKind::kReal,
+      MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "partnership_lifetime_mean", "rounds", "mean lifetime of severed "
+      "partnerships", false, MetricKind::kReal, MetricAggregation::kMoments,
+      false));
+  r->metrics.push_back(Make(
+      "vulnerability_rounds", "peer-rounds", "total rounds peers spent "
+      "flagged below the repair trigger (open episodes truncated at the end "
+      "of the run)", false, MetricKind::kCount, MetricAggregation::kMoments,
+      false));
+  r->metrics.push_back(Make(
+      "cum_repairs", "ops", "cumulative repairs by age category", true,
+      MetricKind::kCount, MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "cum_losses", "archives", "cumulative losses by age category", true,
+      MetricKind::kCount, MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "mean_population", "peers", "mean category population over the run",
+      true, MetricKind::kReal, MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "final_population", "peers", "live peers when the run ended", false,
+      MetricKind::kCount, MetricAggregation::kMoments, false));
+}
+
+Registry& GlobalRegistry() {
+  static Registry* registry = [] {
+    auto* r = new Registry();
+    RegisterBuiltinsLocked(r);
+    return r;
+  }();
+  return *registry;
+}
+
+}  // namespace
+
+std::vector<const MetricDescriptor*> ListMetrics() {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  std::vector<const MetricDescriptor*> out;
+  out.reserve(r.metrics.size());
+  for (const MetricDescriptor& d : r.metrics) out.push_back(&d);
+  return out;
+}
+
+const MetricDescriptor* FindMetric(const std::string& name) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const MetricDescriptor& d : r.metrics) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+void RegisterMetric(MetricDescriptor descriptor) {
+  Registry& r = GlobalRegistry();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const MetricDescriptor& d : r.metrics) {
+    P2P_CHECK(d.name != descriptor.name);  // duplicate registration
+  }
+  r.metrics.push_back(std::move(descriptor));
+}
+
+std::vector<std::string> DefaultMetricNames() {
+  std::vector<std::string> names;
+  for (const MetricDescriptor* d : ListMetrics()) {
+    if (d->default_selected) names.push_back(d->name);
+  }
+  return names;
+}
+
+util::Result<std::vector<const MetricDescriptor*>> ResolveMetricSelection(
+    const std::vector<std::string>& names) {
+  std::vector<const MetricDescriptor*> out;
+  if (names.empty()) {
+    for (const MetricDescriptor* d : ListMetrics()) {
+      if (d->default_selected) out.push_back(d);
+    }
+    return out;
+  }
+  std::set<std::string> seen;
+  out.reserve(names.size());
+  for (const std::string& name : names) {
+    const MetricDescriptor* d = FindMetric(name);
+    if (d == nullptr) {
+      return util::Status::InvalidArgument("unknown metric '" + name + "'");
+    }
+    if (!seen.insert(name).second) {
+      return util::Status::InvalidArgument("duplicate metric '" + name + "'");
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace metrics
+}  // namespace p2p

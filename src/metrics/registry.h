@@ -1,0 +1,83 @@
+// The metric registry: the set of named probes a run can report, each
+// described declaratively (unit, shape, rendering kind, aggregation) in the
+// style of the strategy registries (core/strategy_registry.h).
+//
+// Every report column of the results pipeline - scenario::Outcome's
+// RunReport, sweep CSV/JSON columns, replicate moments, util::Table
+// rendering - is derived from these descriptors rather than enumerated by
+// hand, so a new measurement is one registration plus the collector hook
+// that feeds it, not a four-layer struct edit.
+//
+// Built-ins register themselves on first access; RegisterMetric adds further
+// probes (call before any concurrent sweep starts - registration is
+// mutex-guarded, but a metric must be registered before a selection naming
+// it is resolved). `scenario_tool metrics` lists everything here.
+
+#ifndef P2P_METRICS_REGISTRY_H_
+#define P2P_METRICS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+#include "util/status.h"
+
+namespace p2p {
+namespace metrics {
+
+/// How a metric's values are rendered: counts print as integers, reals with
+/// six fixed decimals (the historical CSV/JSON discipline - report bytes
+/// stay a pure function of the results).
+enum class MetricKind {
+  kCount,
+  kReal,
+};
+
+/// How a metric participates in replicate aggregation.
+enum class MetricAggregation {
+  /// Never aggregated (per-cell reporting only).
+  kNone,
+  /// Mean / sample-stddev over a group's replicates.
+  kMoments,
+};
+
+/// One registered probe.
+struct MetricDescriptor {
+  /// Stable token; the CSV/JSON column name (per-category metrics expand to
+  /// one column per category, suffixed `_<category token>`).
+  std::string name;
+  /// Unit label for listings ("ops", "blocks/day", "rounds", ...).
+  std::string unit;
+  /// One-line description (`scenario_tool metrics`).
+  std::string help;
+  /// True: the value is one scalar per age category (4 columns).
+  bool per_category = false;
+  MetricKind kind = MetricKind::kCount;
+  MetricAggregation aggregation = MetricAggregation::kNone;
+  /// Member of the default selection - the exact column set (and order) of
+  /// the pre-registry emitters, locked byte-for-byte by the sweep goldens.
+  bool default_selected = false;
+};
+
+/// Registered descriptors in registration order (built-ins first). The
+/// returned pointers stay valid for the process lifetime.
+std::vector<const MetricDescriptor*> ListMetrics();
+
+/// Looks a metric up by exact name; null when unknown.
+const MetricDescriptor* FindMetric(const std::string& name);
+
+/// Registers a probe; aborts on a duplicate name.
+void RegisterMetric(MetricDescriptor descriptor);
+
+/// Names of the default selection, in registration order.
+std::vector<std::string> DefaultMetricNames();
+
+/// Resolves a selection to descriptors: empty means the default set; errors
+/// name unknown or duplicate tokens.
+util::Result<std::vector<const MetricDescriptor*>> ResolveMetricSelection(
+    const std::vector<std::string>& names);
+
+}  // namespace metrics
+}  // namespace p2p
+
+#endif  // P2P_METRICS_REGISTRY_H_

@@ -1,0 +1,72 @@
+#include "metrics/run_report.h"
+
+#include "util/logging.h"
+
+namespace p2p {
+namespace metrics {
+
+void RunReport::Add(const MetricDescriptor* descriptor, double scalar) {
+  P2P_CHECK(descriptor != nullptr && !descriptor->per_category);
+  MetricValue v;
+  v.descriptor = descriptor;
+  v.scalar = scalar;
+  values_.push_back(std::move(v));
+}
+
+void RunReport::Add(const MetricDescriptor* descriptor,
+                    const std::array<double, kCategoryCount>& per_category) {
+  P2P_CHECK(descriptor != nullptr && descriptor->per_category);
+  MetricValue v;
+  v.descriptor = descriptor;
+  v.per_category = per_category;
+  values_.push_back(std::move(v));
+}
+
+void RunReport::AddSeries(const MetricDescriptor* descriptor,
+                          TimeSeries series) {
+  P2P_CHECK(descriptor != nullptr);
+  MetricSeries s;
+  s.descriptor = descriptor;
+  s.series = std::move(series);
+  series_.push_back(std::move(s));
+}
+
+const MetricValue* RunReport::Find(const std::string& name) const {
+  for (const MetricValue& v : values_) {
+    if (v.descriptor->name == name) return &v;
+  }
+  return nullptr;
+}
+
+const TimeSeries* RunReport::FindSeries(const std::string& name) const {
+  for (const MetricSeries& s : series_) {
+    if (s.descriptor->name == name) return &s.series;
+  }
+  return nullptr;
+}
+
+double RunReport::Scalar(const std::string& name) const {
+  const MetricValue* v = Find(name);
+  if (v == nullptr || v->descriptor->per_category) {
+    P2P_LOG_ERROR("RunReport has no scalar metric '%s'", name.c_str());
+  }
+  P2P_CHECK(v != nullptr && !v->descriptor->per_category);
+  return v->scalar;
+}
+
+int64_t RunReport::Count(const std::string& name) const {
+  return static_cast<int64_t>(Scalar(name));
+}
+
+const std::array<double, kCategoryCount>& RunReport::PerCategory(
+    const std::string& name) const {
+  const MetricValue* v = Find(name);
+  if (v == nullptr || !v->descriptor->per_category) {
+    P2P_LOG_ERROR("RunReport has no per-category metric '%s'", name.c_str());
+  }
+  P2P_CHECK(v != nullptr && v->descriptor->per_category);
+  return v->per_category;
+}
+
+}  // namespace metrics
+}  // namespace p2p

@@ -13,6 +13,10 @@ util::Status Scenario::Validate() const {
     return util::Status::InvalidArgument("rounds must be >= 1, got " +
                                          std::to_string(rounds));
   }
+  if (auto selection = metrics::ResolveCollectedSelection(metrics);
+      !selection.ok()) {
+    return selection.status();
+  }
   P2P_RETURN_IF_ERROR(population.Validate());
   backup::SystemOptions resolved = options;
   resolved.num_peers = peers;
@@ -28,7 +32,7 @@ bool operator==(const Scenario& a, const Scenario& b) {
   return a.name == b.name && a.peers == b.peers && a.rounds == b.rounds &&
          a.seed == b.seed && a.population == b.population &&
          a.workload == b.workload && a.options == b.options &&
-         a.observers == b.observers;
+         a.observers == b.observers && a.metrics == b.metrics;
 }
 
 Outcome RunScenario(const Scenario& scenario, const RunOptions& run) {
@@ -75,19 +79,9 @@ Outcome RunScenario(const Scenario& scenario, const RunOptions& run) {
   if (run.check_invariants) network.CheckInvariants();
 
   Outcome out;
-  for (int c = 0; c < metrics::kCategoryCount; ++c) {
-    const auto cat = static_cast<metrics::AgeCategory>(c);
-    out.categories[static_cast<size_t>(c)] = network.accounting().Snapshot(cat);
-    out.repairs_per_1000_day[static_cast<size_t>(c)] =
-        network.accounting().RepairsPer1000PerDay(cat);
-    out.losses_per_1000_day[static_cast<size_t>(c)] =
-        network.accounting().LossesPer1000PerDay(cat);
-    out.mean_population[static_cast<size_t>(c)] =
-        network.accounting().MeanPopulation(cat);
-  }
-  out.totals = network.totals();
-  out.series = network.category_series();
-  out.observers = network.observers();
+  out.report = network.metrics().BuildReport(scenario.rounds);
+  out.series = network.metrics().category_series();
+  out.observers = network.metrics().observers();
   out.population = network.ComputePopulationStats();
   out.final_population = network.LivePopulation();
   out.wall_seconds = std::chrono::duration<double>(

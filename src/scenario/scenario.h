@@ -17,7 +17,9 @@
 
 #include "backup/network.h"
 #include "backup/options.h"
-#include "metrics/categories.h"
+#include "metrics/collector.h"
+#include "metrics/registry.h"
+#include "metrics/run_report.h"
 #include "scenario/population.h"
 #include "scenario/workload.h"
 #include "sim/clock.h"
@@ -38,9 +40,15 @@ struct Scenario {
   backup::SystemOptions options;
   /// Observer frozen ages (rounds); empty = no observers.
   std::vector<std::pair<std::string, sim::Round>> observers;
+  /// Metric selection: names of registered probes (metrics/registry.h) the
+  /// scenario's reports should carry, in this order; empty = the default
+  /// set (the historical emitter layout). Selection is a reporting concern:
+  /// it can never perturb the simulation itself.
+  std::vector<std::string> metrics;
 
-  /// Checks scale, population, workload feasibility, and system options
-  /// (with `peers` substituted for options.num_peers, as RunScenario does).
+  /// Checks scale, population, workload feasibility, metric selection, and
+  /// system options (with `peers` substituted for options.num_peers, as
+  /// RunScenario does).
   util::Status Validate() const;
 };
 
@@ -49,15 +57,14 @@ inline bool operator!=(const Scenario& a, const Scenario& b) {
   return !(a == b);
 }
 
-/// Everything the figures need from one run.
+/// Everything the figures need from one run. The scalar surface is the
+/// registry-backed RunReport (one entry per registered metric - totals,
+/// per-category rates, bandwidth, time-to-repair, ...); the structured
+/// trajectories (category series, observer series) stay typed.
 struct Outcome {
-  std::array<metrics::CategorySnapshot, metrics::kCategoryCount> categories;
-  std::array<double, metrics::kCategoryCount> repairs_per_1000_day{};
-  std::array<double, metrics::kCategoryCount> losses_per_1000_day{};
-  std::array<double, metrics::kCategoryCount> mean_population{};
-  backup::RunTotals totals;
-  std::vector<backup::CategorySample> series;
-  std::vector<backup::ObserverResult> observers;
+  metrics::RunReport report;
+  std::vector<metrics::CategorySample> series;
+  std::vector<metrics::ObserverResult> observers;
   backup::BackupNetwork::PopulationStats population;
   int64_t final_population = 0;  ///< live peers when the run ended
   double wall_seconds = 0.0;     ///< excluded from deterministic reports

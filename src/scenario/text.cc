@@ -213,6 +213,8 @@ util::Result<Scenario> ParseScenarioText(const std::string& text) {
     util::Status st = util::Status::OK();
     if (key == "name") {
       scenario.name = value;
+    } else if (key == "metrics.select") {
+      st = ParseStringList(value, &scenario.metrics);
     } else if (key == "peers") {
       auto v = ParseInt(value, "peer count");
       if (v.ok() && (*v < 1 || *v > UINT32_MAX)) {
@@ -463,6 +465,18 @@ std::string RenderScenarioText(const Scenario& scenario) {
   os << "options.loss_rate_tau = " << RenderDuration(o.loss_rate_tau) << "\n";
   os << "options.sample_interval = " << RenderDuration(o.sample_interval)
      << "\n";
+
+  // Metric selection (reports only): emitted when non-default, like a
+  // ramp's duration - the canonical form of a default-selection scenario
+  // carries no metrics.select line.
+  if (!scenario.metrics.empty()) {
+    os << "\n";
+    os << "metrics.select = ";
+    for (size_t i = 0; i < scenario.metrics.size(); ++i) {
+      os << (i ? "," : "") << scenario.metrics[i];
+    }
+    os << "\n";
+  }
 
   for (size_t i = 0; i < scenario.population.profiles.size(); ++i) {
     const ProfileSpec& p = scenario.population.profiles[i];

@@ -18,6 +18,9 @@
 //   event.0.fraction = 0.5
 //   observer.0.name = elder-3m         # observers indexed from 0
 //   observer.0.age = 3mo
+//   metrics.select = repairs,losses,repair_bandwidth   # report columns
+//                                      # (registered probe names; omitted =
+//                                      # the default set)
 //
 // Omitted keys keep the Scenario defaults (omitting every profile.* key
 // keeps the paper population). Unknown and duplicate keys are errors that

@@ -1,9 +1,12 @@
 #include "sweep/report.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <map>
 
+#include "metrics/collector.h"
+#include "util/logging.h"
 #include "util/stats.h"
 
 namespace p2p {
@@ -49,12 +52,59 @@ std::string CoordValue(
   return "";
 }
 
+// Column name of one category slot of a per-category metric.
+std::string CategoryColumn(const metrics::MetricDescriptor& d, int c) {
+  return d.name + "_" +
+         metrics::CategoryToken(static_cast<metrics::AgeCategory>(c));
+}
+
+// The cell's value for a selected metric; aborts (via checked lookup) when
+// the cell's report does not carry it - a metric was registered without a
+// collector hook feeding it.
+const metrics::MetricValue& ValueOf(const CellRow& row,
+                                    const metrics::MetricDescriptor& d) {
+  const metrics::MetricValue* v = row.report.Find(d.name);
+  if (v == nullptr) {
+    P2P_LOG_ERROR("cell %zu's report carries no metric '%s' (registered but "
+                  "not collected?)", row.index, d.name.c_str());
+  }
+  P2P_CHECK(v != nullptr);
+  return *v;
+}
+
+// Renders one metric value into a table cell, honouring the descriptor's
+// kind (counts as integers, reals with 6 decimals).
+void AddMetricCell(util::Table* table, const metrics::MetricDescriptor& d,
+                   double v) {
+  if (d.kind == metrics::MetricKind::kCount) {
+    table->Add(static_cast<int64_t>(v));
+  } else {
+    table->Add(v, 6);
+  }
+}
+
+// JSON scalar rendering of one metric value.
+std::string JsonValue(const metrics::MetricDescriptor& d, double v) {
+  if (d.kind == metrics::MetricKind::kCount) {
+    return std::to_string(static_cast<int64_t>(v));
+  }
+  return FormatDouble(v);
+}
+
 }  // namespace
 
 SweepReport SweepReport::Build(const SweepSpec& spec,
                                const std::vector<CellResult>& results) {
   SweepReport report;
   report.axes_ = spec.ActiveAxes();
+  auto selection = metrics::ResolveCollectedSelection(
+      spec.metrics.empty() ? spec.base.metrics : spec.metrics);
+  if (!selection.ok()) {
+    P2P_LOG_ERROR("sweep metric selection: %s",
+                  selection.status().ToString().c_str());
+  }
+  P2P_CHECK(selection.ok());
+  report.selection_ = std::move(*selection);
 
   report.cells_.reserve(results.size());
   for (const CellResult& r : results) {
@@ -64,47 +114,58 @@ SweepReport SweepReport::Build(const SweepSpec& spec,
     row.replicate = r.cell.replicate;
     row.seed = r.cell.scenario.seed;
     row.coords = r.cell.coords;
-    row.repairs = r.outcome.totals.repairs;
-    row.losses = r.outcome.totals.losses;
-    row.blocks_uploaded = r.outcome.totals.blocks_uploaded;
-    row.departures = r.outcome.totals.departures;
-    row.timeouts = r.outcome.totals.timeouts;
-    row.repairs_per_1000_day = r.outcome.repairs_per_1000_day;
-    row.losses_per_1000_day = r.outcome.losses_per_1000_day;
+    // Values only; the (potentially long) series stay on the CellResult.
+    for (const metrics::MetricValue& v : r.outcome.report.values()) {
+      if (v.descriptor->per_category) {
+        row.report.Add(v.descriptor, v.per_category);
+      } else {
+        row.report.Add(v.descriptor, v.scalar);
+      }
+    }
     report.cells_.push_back(std::move(row));
   }
 
-  // Group cells by grid point; results arrive cell-ordered, so groups are
-  // contiguous and ascending - a map keeps that order explicit regardless.
+  // Group cells by grid point. Results normally arrive cell-ordered, but
+  // the rows of each group are re-sorted by cell index so the aggregates -
+  // floating-point accumulation included - are a pure function of the
+  // results, not of completion or delivery order.
   std::map<size_t, std::vector<const CellRow*>> groups;
   for (const CellRow& row : report.cells_) {
     groups[row.group].push_back(&row);
   }
-  for (const auto& [group, rows] : groups) {
+  for (auto& [group, rows] : groups) {
+    std::sort(rows.begin(), rows.end(),
+              [](const CellRow* a, const CellRow* b) {
+                return a->index < b->index;
+              });
     AggregateRow agg;
     agg.group = group;
     agg.replicates = static_cast<int64_t>(rows.size());
     for (const auto& [token, value] : rows.front()->coords) {
       if (token != "rep") agg.coords.emplace_back(token, value);
     }
-    util::RunningStat repairs, losses;
-    std::array<util::RunningStat, metrics::kCategoryCount> rep1k, loss1k;
-    for (const CellRow* row : rows) {
-      repairs.Add(static_cast<double>(row->repairs));
-      losses.Add(static_cast<double>(row->losses));
-      for (int c = 0; c < metrics::kCategoryCount; ++c) {
-        rep1k[static_cast<size_t>(c)].Add(
-            row->repairs_per_1000_day[static_cast<size_t>(c)]);
-        loss1k[static_cast<size_t>(c)].Add(
-            row->losses_per_1000_day[static_cast<size_t>(c)]);
+    for (const metrics::MetricDescriptor* d : report.selection_) {
+      if (d->aggregation != metrics::MetricAggregation::kMoments) continue;
+      MetricMoments mm;
+      mm.descriptor = d;
+      if (d->per_category) {
+        std::array<util::RunningStat, metrics::kCategoryCount> stats;
+        for (const CellRow* row : rows) {
+          const auto& v = ValueOf(*row, *d).per_category;
+          for (int c = 0; c < metrics::kCategoryCount; ++c) {
+            stats[static_cast<size_t>(c)].Add(v[static_cast<size_t>(c)]);
+          }
+        }
+        for (int c = 0; c < metrics::kCategoryCount; ++c) {
+          const auto i = static_cast<size_t>(c);
+          mm.per_category[i] = {stats[i].mean(), stats[i].stddev()};
+        }
+      } else {
+        util::RunningStat stat;
+        for (const CellRow* row : rows) stat.Add(ValueOf(*row, *d).scalar);
+        mm.scalar = {stat.mean(), stat.stddev()};
       }
-    }
-    agg.repairs = {repairs.mean(), repairs.stddev()};
-    agg.losses = {losses.mean(), losses.stddev()};
-    for (int c = 0; c < metrics::kCategoryCount; ++c) {
-      const auto i = static_cast<size_t>(c);
-      agg.repairs_per_1000_day[i] = {rep1k[i].mean(), rep1k[i].stddev()};
-      agg.losses_per_1000_day[i] = {loss1k[i].mean(), loss1k[i].stddev()};
+      agg.metrics.push_back(std::move(mm));
     }
     report.aggregates_.push_back(std::move(agg));
   }
@@ -114,17 +175,14 @@ SweepReport SweepReport::Build(const SweepSpec& spec,
 util::Table SweepReport::CellTable() const {
   std::vector<std::string> headers = {"cell", "seed"};
   headers.insert(headers.end(), axes_.begin(), axes_.end());
-  for (const char* name :
-       {"repairs", "losses", "blocks_uploaded", "departures", "timeouts"}) {
-    headers.emplace_back(name);
-  }
-  for (int c = 0; c < metrics::kCategoryCount; ++c) {
-    headers.push_back(std::string("repairs_1k_day_") +
-                      metrics::CategoryToken(static_cast<metrics::AgeCategory>(c)));
-  }
-  for (int c = 0; c < metrics::kCategoryCount; ++c) {
-    headers.push_back(std::string("losses_1k_day_") +
-                      metrics::CategoryToken(static_cast<metrics::AgeCategory>(c)));
+  for (const metrics::MetricDescriptor* d : selection_) {
+    if (d->per_category) {
+      for (int c = 0; c < metrics::kCategoryCount; ++c) {
+        headers.push_back(CategoryColumn(*d, c));
+      }
+    } else {
+      headers.push_back(d->name);
+    }
   }
 
   util::Table table(std::move(headers));
@@ -135,13 +193,14 @@ util::Table SweepReport::CellTable() const {
     for (const std::string& axis : axes_) {
       table.Add(CoordValue(row.coords, axis));
     }
-    table.Add(row.repairs);
-    table.Add(row.losses);
-    table.Add(row.blocks_uploaded);
-    table.Add(row.departures);
-    table.Add(row.timeouts);
-    for (double v : row.repairs_per_1000_day) table.Add(v, 6);
-    for (double v : row.losses_per_1000_day) table.Add(v, 6);
+    for (const metrics::MetricDescriptor* d : selection_) {
+      const metrics::MetricValue& v = ValueOf(row, *d);
+      if (d->per_category) {
+        for (double x : v.per_category) AddMetricCell(&table, *d, x);
+      } else {
+        AddMetricCell(&table, *d, v.scalar);
+      }
+    }
   }
   return table;
 }
@@ -152,19 +211,17 @@ util::Table SweepReport::AggregateTable() const {
     if (axis != "rep") headers.push_back(axis);
   }
   headers.emplace_back("reps");
-  auto metric_pair = [&headers](const std::string& name) {
-    headers.push_back(name + "_mean");
-    headers.push_back(name + "_sd");
-  };
-  metric_pair("repairs");
-  metric_pair("losses");
-  for (int c = 0; c < metrics::kCategoryCount; ++c) {
-    metric_pair(std::string("repairs_1k_day_") +
-                metrics::CategoryToken(static_cast<metrics::AgeCategory>(c)));
-  }
-  for (int c = 0; c < metrics::kCategoryCount; ++c) {
-    metric_pair(std::string("losses_1k_day_") +
-                metrics::CategoryToken(static_cast<metrics::AgeCategory>(c)));
+  for (const metrics::MetricDescriptor* d : selection_) {
+    if (d->aggregation != metrics::MetricAggregation::kMoments) continue;
+    if (d->per_category) {
+      for (int c = 0; c < metrics::kCategoryCount; ++c) {
+        headers.push_back(CategoryColumn(*d, c) + "_mean");
+        headers.push_back(CategoryColumn(*d, c) + "_sd");
+      }
+    } else {
+      headers.push_back(d->name + "_mean");
+      headers.push_back(d->name + "_sd");
+    }
   }
 
   util::Table table(std::move(headers));
@@ -179,10 +236,13 @@ util::Table SweepReport::AggregateTable() const {
       table.Add(m.mean, 6);
       table.Add(m.stddev, 6);
     };
-    add(agg.repairs);
-    add(agg.losses);
-    for (const Moments& m : agg.repairs_per_1000_day) add(m);
-    for (const Moments& m : agg.losses_per_1000_day) add(m);
+    for (const MetricMoments& mm : agg.metrics) {
+      if (mm.descriptor->per_category) {
+        for (const Moments& m : mm.per_category) add(m);
+      } else {
+        add(mm.scalar);
+      }
+    }
   }
   return table;
 }
@@ -210,20 +270,22 @@ void SweepReport::WriteJson(std::ostream& os) const {
       os << (c ? ", " : "") << '"' << JsonEscape(row.coords[c].first)
          << "\": \"" << JsonEscape(row.coords[c].second) << '"';
     }
-    os << "}, \"repairs\": " << row.repairs << ", \"losses\": " << row.losses
-       << ", \"blocks_uploaded\": " << row.blocks_uploaded
-       << ", \"departures\": " << row.departures
-       << ", \"timeouts\": " << row.timeouts << ", \"repairs_1k_day\": [";
-    for (int c = 0; c < metrics::kCategoryCount; ++c) {
-      os << (c ? ", " : "")
-         << FormatDouble(row.repairs_per_1000_day[static_cast<size_t>(c)]);
+    os << "}";
+    for (const metrics::MetricDescriptor* d : selection_) {
+      const metrics::MetricValue& v = ValueOf(row, *d);
+      os << ", \"" << JsonEscape(d->name) << "\": ";
+      if (d->per_category) {
+        os << '[';
+        for (int c = 0; c < metrics::kCategoryCount; ++c) {
+          os << (c ? ", " : "")
+             << JsonValue(*d, v.per_category[static_cast<size_t>(c)]);
+        }
+        os << ']';
+      } else {
+        os << JsonValue(*d, v.scalar);
+      }
     }
-    os << "], \"losses_1k_day\": [";
-    for (int c = 0; c < metrics::kCategoryCount; ++c) {
-      os << (c ? ", " : "")
-         << FormatDouble(row.losses_per_1000_day[static_cast<size_t>(c)]);
-    }
-    os << "]}" << (i + 1 < cells_.size() ? "," : "") << "\n";
+    os << "}" << (i + 1 < cells_.size() ? "," : "") << "\n";
   }
   os << "  ],\n  \"aggregates\": [\n";
   for (size_t i = 0; i < aggregates_.size(); ++i) {
@@ -233,12 +295,14 @@ void SweepReport::WriteJson(std::ostream& os) const {
       os << (c ? ", " : "") << '"' << JsonEscape(agg.coords[c].first)
          << "\": \"" << JsonEscape(agg.coords[c].second) << '"';
     }
-    os << "}, \"replicates\": " << agg.replicates
-       << ", \"repairs\": {\"mean\": " << FormatDouble(agg.repairs.mean)
-       << ", \"sd\": " << FormatDouble(agg.repairs.stddev)
-       << "}, \"losses\": {\"mean\": " << FormatDouble(agg.losses.mean)
-       << ", \"sd\": " << FormatDouble(agg.losses.stddev) << "}}"
-       << (i + 1 < aggregates_.size() ? "," : "") << "\n";
+    os << "}, \"replicates\": " << agg.replicates;
+    for (const MetricMoments& mm : agg.metrics) {
+      if (mm.descriptor->per_category) continue;  // CSV-only (see header)
+      os << ", \"" << JsonEscape(mm.descriptor->name)
+         << "\": {\"mean\": " << FormatDouble(mm.scalar.mean)
+         << ", \"sd\": " << FormatDouble(mm.scalar.stddev) << "}";
+    }
+    os << "}" << (i + 1 < aggregates_.size() ? "," : "") << "\n";
   }
   os << "  ]\n}\n";
 }

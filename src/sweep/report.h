@@ -6,6 +6,13 @@
 // axis), and a JSON document carrying both. Wall-clock time is deliberately
 // excluded from every emitter so that report bytes are a pure function of
 // (spec, seed) - the thread-count-invariance tests diff them directly.
+//
+// Columns are not enumerated here: every emitted metric column (and the
+// replicate moments behind the aggregate tables) is derived from the sweep's
+// metric selection against the registry (metrics/registry.h) - the spec's
+// `metrics` list, else the base scenario's `metrics.select`, else the
+// default set. The default selection reproduces the historical hand-written
+// emitters byte for byte (locked by the tests/golden/sweep_default.* files).
 
 #ifndef P2P_SWEEP_REPORT_H_
 #define P2P_SWEEP_REPORT_H_
@@ -17,6 +24,8 @@
 #include <vector>
 
 #include "metrics/categories.h"
+#include "metrics/registry.h"
+#include "metrics/run_report.h"
 #include "sweep/runner.h"
 #include "sweep/spec.h"
 #include "util/table.h"
@@ -24,7 +33,10 @@
 namespace p2p {
 namespace sweep {
 
-/// The scalar metrics a report carries for one executed cell.
+/// One executed cell's metrics: coordinates plus the registry-backed run
+/// report (emitters render the selected subset). Carries the scalar and
+/// per-category entries only - series stay on the CellResult outcome, so a
+/// long sweep does not hold every trajectory twice.
 struct CellRow {
   size_t index = 0;
   size_t group = 0;
@@ -32,13 +44,7 @@ struct CellRow {
   uint64_t seed = 0;
   /// (axis token, value) pairs copied from the cell.
   std::vector<std::pair<std::string, std::string>> coords;
-  int64_t repairs = 0;
-  int64_t losses = 0;
-  int64_t blocks_uploaded = 0;
-  int64_t departures = 0;
-  int64_t timeouts = 0;
-  std::array<double, metrics::kCategoryCount> repairs_per_1000_day{};
-  std::array<double, metrics::kCategoryCount> losses_per_1000_day{};
+  metrics::RunReport report;
 };
 
 /// Mean / sample-stddev of one scalar over a group's replicates.
@@ -47,35 +53,52 @@ struct Moments {
   double stddev = 0.0;
 };
 
+/// Replicate moments of one selected metric (scalar or per-category).
+struct MetricMoments {
+  const metrics::MetricDescriptor* descriptor = nullptr;
+  Moments scalar;
+  std::array<Moments, metrics::kCategoryCount> per_category{};
+};
+
 /// Replicate aggregate of one grid point (all cells sharing `group`).
 struct AggregateRow {
   size_t group = 0;
   /// Coordinates without the replicate axis.
   std::vector<std::pair<std::string, std::string>> coords;
   int64_t replicates = 0;
-  Moments repairs;
-  Moments losses;
-  std::array<Moments, metrics::kCategoryCount> repairs_per_1000_day{};
-  std::array<Moments, metrics::kCategoryCount> losses_per_1000_day{};
+  /// Moments of every selected metric whose descriptor aggregation is
+  /// kMoments, in selection order.
+  std::vector<MetricMoments> metrics;
 };
 
 /// \brief Immutable view over one sweep's results; build once, render many.
 class SweepReport {
  public:
-  /// Distills `results` (cell-ordered, as returned by RunSweep).
+  /// Distills `results` (as returned by RunSweep; any order - groups are
+  /// re-sorted by cell index, so aggregates do not depend on completion
+  /// order). Aborts on a selection that does not resolve; specs validate
+  /// selections up front.
   static SweepReport Build(const SweepSpec& spec,
                            const std::vector<CellResult>& results);
 
+  /// The resolved metric selection driving every emitter, in column order.
+  const std::vector<const metrics::MetricDescriptor*>& selection() const {
+    return selection_;
+  }
   const std::vector<CellRow>& cells() const { return cells_; }
   const std::vector<AggregateRow>& aggregates() const { return aggregates_; }
 
   /// Per-cell metric table (one row per executed cell).
   util::Table CellTable() const;
 
-  /// Per-group table with <metric>_mean / <metric>_sd columns.
+  /// Per-group table with <metric>_mean / <metric>_sd columns for every
+  /// selected metric with moments aggregation.
   util::Table AggregateTable() const;
 
   /// \name Emitters. Deterministic: byte-identical for identical results.
+  /// The aggregate section of the JSON document carries scalar moments only
+  /// (per-category moments live in the aggregate CSV) - the historical
+  /// layout, kept for byte compatibility.
   /// @{
   void WriteCellsCsv(std::ostream& os) const;
   void WriteAggregateCsv(std::ostream& os) const;
@@ -84,6 +107,7 @@ class SweepReport {
 
  private:
   std::vector<std::string> axes_;  // active axis tokens, in column order
+  std::vector<const metrics::MetricDescriptor*> selection_;
   std::vector<CellRow> cells_;
   std::vector<AggregateRow> aggregates_;
 };

@@ -1,5 +1,6 @@
 #include "sweep/spec.h"
 
+#include "metrics/collector.h"
 #include "util/rng.h"
 
 namespace p2p {
@@ -91,6 +92,11 @@ util::Status ValidateResolved(const SweepSpec& spec,
   if (spec.replicates < 1) {
     return util::Status::InvalidArgument("replicates must be >= 1, got " +
                                          std::to_string(spec.replicates));
+  }
+  if (auto selection = metrics::ResolveCollectedSelection(spec.metrics);
+      !selection.ok()) {
+    return util::Status::InvalidArgument("metrics list: " +
+                                         selection.status().message());
   }
   P2P_RETURN_IF_ERROR(spec.base.Validate());
   // Every resolved cell must carry valid system options. RunScenario copies
@@ -241,6 +247,10 @@ util::Result<std::vector<Cell>> SweepSpec::Expand() const {
                       "visibility",
                       backup::VisibilityModelName(resolved.options.visibility));
                 }
+                // The sweep-level metric selection (when set) rides on every
+                // cell's scenario, so a cell re-run in isolation reports the
+                // same columns the sweep did.
+                if (!metrics.empty()) resolved.metrics = metrics;
                 for (int rep = 0; rep < replicates; ++rep) {
                   Cell cell;
                   cell.index = cells.size();

@@ -89,9 +89,16 @@ struct SweepSpec {
   std::vector<backup::VisibilityModel> visibilities;
   /// Seed replicates per grid point (>= 1); replicate 0 keeps the base seed.
   int replicates = 1;
+  /// Metric selection for every report built from this sweep: registered
+  /// probe names (metrics/registry.h), in column order. Not an axis - it
+  /// selects report columns, never perturbs a cell. Empty falls back to the
+  /// base scenario's `metrics.select`, then to the default set (the
+  /// historical emitter layout, locked byte-for-byte by the sweep goldens).
+  std::vector<std::string> metrics;
 
-  /// Rejects empty grids (replicates < 1), unresolvable scenario names, and
-  /// any cell whose resolved SystemOptions fail SystemOptions::Validate().
+  /// Rejects empty grids (replicates < 1), unresolvable scenario names,
+  /// unknown or duplicate metric names, and any cell whose resolved
+  /// SystemOptions fail SystemOptions::Validate().
   util::Status Validate() const;
 
   /// Number of grid points ignoring the replicate axis.

@@ -1,9 +1,13 @@
-// Metrics layer tests: age categories, accounting and time series.
+// Metrics layer tests: age categories, accounting, time series, the metric
+// registry, and the collector behind the registry-backed probes.
 
 #include <gtest/gtest.h>
 
 #include "metrics/accounting.h"
 #include "metrics/categories.h"
+#include "metrics/collector.h"
+#include "metrics/registry.h"
+#include "metrics/run_report.h"
 
 namespace p2p {
 namespace metrics {
@@ -87,6 +91,175 @@ TEST(TimeSeriesTest, SamplesAtInterval) {
   EXPECT_DOUBLE_EQ(ts.samples()[3].second, 30.0);
   ts.Flush(34, 99.0);
   EXPECT_EQ(ts.samples().back().second, 99.0);
+}
+
+TEST(TimeSeriesTest, LateOfferDoesNotDriftOffTheGrid) {
+  TimeSeries ts(10);
+  ts.Offer(0, 1.0);
+  ts.Offer(13, 2.0);  // the round-10 point, crossed late: recorded once...
+  ts.Offer(17, 3.0);  // ...and 17 still precedes the next grid point (20)
+  ts.Offer(20, 4.0);  // exactly on the grid
+  ts.Offer(23, 5.0);  // dropped: the drifting pre-fix series sampled here
+  ASSERT_EQ(ts.samples().size(), 3u);
+  EXPECT_EQ(ts.samples()[0], (std::pair<sim::Round, double>{0, 1.0}));
+  EXPECT_EQ(ts.samples()[1], (std::pair<sim::Round, double>{13, 2.0}));
+  EXPECT_EQ(ts.samples()[2], (std::pair<sim::Round, double>{20, 4.0}));
+}
+
+TEST(TimeSeriesTest, FlushDedupesTheSameRound) {
+  TimeSeries ts(10);
+  ts.Offer(10, 1.0);
+  ts.Flush(10, 2.0);  // a sample already exists at round 10: overwritten
+  ASSERT_EQ(ts.samples().size(), 1u);
+  EXPECT_DOUBLE_EQ(ts.samples()[0].second, 2.0);
+  ts.Flush(14, 3.0);  // a later round: appended as before
+  ASSERT_EQ(ts.samples().size(), 2u);
+  EXPECT_EQ(ts.samples()[1], (std::pair<sim::Round, double>{14, 3.0}));
+}
+
+// ---------------------------------------------------------- registry
+
+TEST(MetricRegistryTest, DefaultSelectionIsTheHistoricalLayout) {
+  // The default set, in this order, is the pre-registry emitter layout; the
+  // sweep goldens depend on it.
+  EXPECT_EQ(DefaultMetricNames(),
+            (std::vector<std::string>{"repairs", "losses", "blocks_uploaded",
+                                      "departures", "timeouts",
+                                      "repairs_1k_day", "losses_1k_day"}));
+  const MetricDescriptor* d = FindMetric("repairs_1k_day");
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->per_category);
+  EXPECT_EQ(d->kind, MetricKind::kReal);
+  EXPECT_EQ(d->aggregation, MetricAggregation::kMoments);
+  d = FindMetric("repair_bandwidth");
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->default_selected);
+  EXPECT_EQ(d->unit, "blocks/day");
+  EXPECT_EQ(FindMetric("no-such-metric"), nullptr);
+}
+
+TEST(MetricRegistryTest, SelectionResolvesDefaultsAndRejectsBadNames) {
+  auto def = ResolveMetricSelection({});
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->size(), 7u);
+  auto some = ResolveMetricSelection({"repair_bandwidth", "repairs"});
+  ASSERT_TRUE(some.ok());
+  ASSERT_EQ(some->size(), 2u);
+  EXPECT_EQ((*some)[0]->name, "repair_bandwidth");  // selection order kept
+
+  auto bad = ResolveMetricSelection({"repairs", "no-such-metric"});
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("no-such-metric"), std::string::npos);
+  bad = ResolveMetricSelection({"repairs", "repairs"});
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("duplicate"), std::string::npos);
+}
+
+TEST(MetricRegistryTest, RegistrationExtendsTheVocabulary) {
+  if (FindMetric("test-custom-probe") == nullptr) {
+    MetricDescriptor d;
+    d.name = "test-custom-probe";
+    d.unit = "widgets";
+    d.kind = MetricKind::kReal;
+    d.aggregation = MetricAggregation::kMoments;
+    RegisterMetric(std::move(d));
+  }
+  ASSERT_NE(FindMetric("test-custom-probe"), nullptr);
+  auto resolved = ResolveMetricSelection({"test-custom-probe"});
+  ASSERT_TRUE(resolved.ok());
+  // The default set is unchanged by further registrations.
+  EXPECT_EQ(DefaultMetricNames().size(), 7u);
+  // Registry resolution accepts the name, but selecting it for a run fails
+  // fast: no collector probe feeds it (a dangling registration must surface
+  // as a Status at validation, not an abort after the sweep has run).
+  auto collected = ResolveCollectedSelection({"test-custom-probe"});
+  EXPECT_TRUE(collected.status().IsInvalidArgument());
+  EXPECT_NE(collected.status().message().find("no collector probe"),
+            std::string::npos);
+}
+
+TEST(CollectorTest, FeedsMetricMatchesBuildReport) {
+  // The collectability list and BuildReport's dispatch must agree: a metric
+  // is in the report exactly when FeedsMetric claims it.
+  Collector c(2, 24);
+  const RunReport report = c.BuildReport(24);
+  for (const MetricDescriptor* d : ListMetrics()) {
+    EXPECT_EQ(report.Find(d->name) != nullptr, Collector::FeedsMetric(d->name))
+        << d->name;
+  }
+}
+
+// ---------------------------------------------------------- collector
+
+TEST(CollectorTest, CountsTypedEventsAndBuildsReport) {
+  Collector c(/*id_capacity=*/8, /*sample_interval=*/24);
+  c.PeerEntered(AgeCategory::kNewcomer);
+  c.OnRepairFlagged(0, 0);
+  c.OnRepairStart(AgeCategory::kNewcomer, 5);
+  c.OnUpload(5);
+  c.OnRepairCleared(0, 7);  // one closed 7-round episode
+  c.OnRepairFlagged(0, 7);  // no-op double flag guard lives in the network;
+  c.OnRepairCleared(0, 7);  // a 0-round episode is legal
+  c.OnRepairFlagged(1, 10);  // stays open to the end of the run
+  c.OnTimeout(3);
+  c.OnPartnershipEnded(100);
+  c.OnPartnershipEnded(200);
+  c.OnLoss(AgeCategory::kNewcomer);
+  for (sim::Round r = 0; r < 48; ++r) c.OnRoundTick(r);
+
+  EXPECT_EQ(c.repairs(), 1);
+  EXPECT_EQ(c.losses(), 1);
+  EXPECT_EQ(c.blocks_uploaded(), 5);
+  EXPECT_EQ(c.timeouts(), 3);
+  EXPECT_EQ(c.category_series().size(), 2u);  // rounds 0 and 24
+
+  const RunReport report = c.BuildReport(48);
+  EXPECT_EQ(report.Count("repairs"), 1);
+  EXPECT_EQ(report.Count("timeouts"), 3);
+  EXPECT_DOUBLE_EQ(report.Scalar("time_to_repair_mean"), 3.5);  // (7 + 0) / 2
+  EXPECT_DOUBLE_EQ(report.Scalar("partnership_lifetime_mean"), 150.0);
+  // 7 closed plus (48 - 10) still open at the end of the run.
+  EXPECT_EQ(report.Count("vulnerability_rounds"), 45);
+  // 5 blocks over 48 rounds = 2 days.
+  EXPECT_DOUBLE_EQ(report.Scalar("repair_bandwidth"), 2.5);
+  EXPECT_EQ(report.PerCategory("cum_repairs")[0], 1.0);
+  EXPECT_EQ(report.Count("final_population"), 1);
+
+  // One entry per registered built-in, in registration order.
+  ASSERT_GE(report.values().size(), 16u);
+  EXPECT_EQ(report.values()[0].descriptor->name, "repairs");
+  EXPECT_NE(report.FindSeries("repair_bandwidth"), nullptr);
+  EXPECT_EQ(report.Find("no-such-metric"), nullptr);
+}
+
+TEST(CollectorTest, DepartureDropsTheOpenEpisode) {
+  Collector c(4, 24);
+  c.PeerEntered(AgeCategory::kNewcomer);
+  c.OnRepairFlagged(2, 5);
+  c.OnDeparture(2, AgeCategory::kNewcomer);
+  c.OnRepairCleared(2, 9);  // no-op: the episode died with the peer
+  const RunReport report = c.BuildReport(100);
+  EXPECT_EQ(report.Count("departures"), 1);
+  EXPECT_EQ(report.Count("vulnerability_rounds"), 0);
+  EXPECT_DOUBLE_EQ(report.Scalar("time_to_repair_mean"), 0.0);
+  EXPECT_EQ(report.Count("final_population"), 0);
+}
+
+TEST(CollectorTest, ObserversAccumulateSeparately) {
+  Collector c(4, 24);
+  ASSERT_EQ(c.AddObserver("baby", 1), 0u);
+  ASSERT_EQ(c.AddObserver("elder", 2160), 1u);
+  c.OnObserverRepair(0);
+  c.OnObserverRepair(0);
+  c.OnObserverLoss(1);
+  for (sim::Round r = 0; r < 30; ++r) c.OnRoundTick(r);
+  ASSERT_EQ(c.observers().size(), 2u);
+  EXPECT_EQ(c.observers()[0].repairs, 2);
+  EXPECT_EQ(c.observers()[1].losses, 1);
+  EXPECT_FALSE(c.observers()[0].cumulative_repairs.samples().empty());
+  // Observer events count toward the run totals, split per observer.
+  EXPECT_EQ(c.repairs(), 2);
+  EXPECT_EQ(c.losses(), 1);
 }
 
 }  // namespace

@@ -13,8 +13,14 @@ namespace p2p {
 namespace backup {
 namespace {
 
+// The totals now live in the network's metrics::Collector; this mirror
+// keeps the test bodies terse.
 struct RunResult {
-  RunTotals totals;
+  int64_t repairs = 0;
+  int64_t losses = 0;
+  int64_t blocks_uploaded = 0;
+  int64_t departures = 0;
+  int64_t timeouts = 0;
   int64_t newcomer_repairs = 0;
   int64_t elder_repairs = 0;
   int64_t newcomer_losses = 0;
@@ -48,13 +54,18 @@ RunResult RunSmall(const SystemOptions& opts, sim::Round rounds, uint64_t seed,
   }
   network.CheckInvariants();
   RunResult r;
-  r.totals = network.totals();
+  const metrics::Collector& collected = network.metrics();
+  r.repairs = collected.repairs();
+  r.losses = collected.losses();
+  r.blocks_uploaded = collected.blocks_uploaded();
+  r.departures = collected.departures();
+  r.timeouts = collected.timeouts();
   r.newcomer_repairs =
-      network.accounting().Snapshot(metrics::AgeCategory::kNewcomer).repairs;
+      collected.accounting().Snapshot(metrics::AgeCategory::kNewcomer).repairs;
   r.elder_repairs =
-      network.accounting().Snapshot(metrics::AgeCategory::kElder).repairs;
+      collected.accounting().Snapshot(metrics::AgeCategory::kElder).repairs;
   r.newcomer_losses =
-      network.accounting().Snapshot(metrics::AgeCategory::kNewcomer).losses;
+      collected.accounting().Snapshot(metrics::AgeCategory::kNewcomer).losses;
   return r;
 }
 
@@ -75,17 +86,17 @@ TEST(NetworkTest, DeterministicForSeed) {
   const auto profiles = churn::ProfileSet::Paper();
   const auto a = RunSmall(SmallOptions(), 3000, 7, profiles, 1);
   const auto b = RunSmall(SmallOptions(), 3000, 7, profiles, 1);
-  EXPECT_EQ(a.totals.repairs, b.totals.repairs);
-  EXPECT_EQ(a.totals.losses, b.totals.losses);
-  EXPECT_EQ(a.totals.blocks_uploaded, b.totals.blocks_uploaded);
-  EXPECT_EQ(a.totals.departures, b.totals.departures);
+  EXPECT_EQ(a.repairs, b.repairs);
+  EXPECT_EQ(a.losses, b.losses);
+  EXPECT_EQ(a.blocks_uploaded, b.blocks_uploaded);
+  EXPECT_EQ(a.departures, b.departures);
 }
 
 TEST(NetworkTest, SeedChangesOutcome) {
   const auto profiles = churn::ProfileSet::Paper();
   const auto a = RunSmall(SmallOptions(), 3000, 7, profiles, 1);
   const auto b = RunSmall(SmallOptions(), 3000, 8, profiles, 1);
-  EXPECT_NE(a.totals.blocks_uploaded, b.totals.blocks_uploaded);
+  EXPECT_NE(a.blocks_uploaded, b.blocks_uploaded);
 }
 
 TEST(NetworkTest, InvariantsHoldInTimeoutMode) {
@@ -93,7 +104,7 @@ TEST(NetworkTest, InvariantsHoldInTimeoutMode) {
   opts.visibility = VisibilityModel::kTimeoutPresumed;
   const auto profiles = churn::ProfileSet::Paper();
   const auto r = RunSmall(opts, 5000, 11, profiles, 8);
-  EXPECT_GT(r.totals.repairs, 0);
+  EXPECT_GT(r.repairs, 0);
 }
 
 TEST(NetworkTest, InvariantsHoldInInstantMode) {
@@ -101,7 +112,7 @@ TEST(NetworkTest, InvariantsHoldInInstantMode) {
   opts.visibility = VisibilityModel::kInstantOnline;
   const auto profiles = churn::ProfileSet::PaperBernoulli();
   const auto r = RunSmall(opts, 5000, 12, profiles, 8);
-  EXPECT_GT(r.totals.repairs, 0);
+  EXPECT_GT(r.repairs, 0);
 }
 
 TEST(NetworkTest, DeparturesAreReplacedAndSevered) {
@@ -113,7 +124,7 @@ TEST(NetworkTest, DeparturesAreReplacedAndSevered) {
   sim::Engine engine(eopts);
   BackupNetwork network(&engine, &profiles, opts);
   engine.Run();
-  EXPECT_GT(network.totals().departures, 0);
+  EXPECT_GT(network.metrics().departures(), 0);
   // Population stays constant: every id maps to a live peer.
   EXPECT_EQ(network.total_ids(), opts.num_peers);
   network.CheckInvariants();
@@ -124,10 +135,10 @@ TEST(NetworkTest, TimeoutSeveringOnlyInTimeoutMode) {
   SystemOptions t = SmallOptions();
   t.visibility = VisibilityModel::kTimeoutPresumed;
   t.partner_timeout = 6;
-  EXPECT_GT(RunSmall(t, 2000, 5, profiles, 1).totals.timeouts, 0);
+  EXPECT_GT(RunSmall(t, 2000, 5, profiles, 1).timeouts, 0);
   SystemOptions i = SmallOptions();
   i.visibility = VisibilityModel::kInstantOnline;
-  EXPECT_EQ(RunSmall(i, 2000, 5, profiles, 1).totals.timeouts, 0);
+  EXPECT_EQ(RunSmall(i, 2000, 5, profiles, 1).timeouts, 0);
 }
 
 TEST(NetworkTest, ObserversDoNotConsumeQuotaAndRepair) {
@@ -142,8 +153,8 @@ TEST(NetworkTest, ObserversDoNotConsumeQuotaAndRepair) {
   network.AddObserver("elder", 90 * sim::kRoundsPerDay);
   engine.Run();
   network.CheckInvariants();  // verifies hosted counts exclude observers
-  ASSERT_EQ(network.observers().size(), 2u);
-  for (const auto& obs : network.observers()) {
+  ASSERT_EQ(network.metrics().observers().size(), 2u);
+  for (const auto& obs : network.metrics().observers()) {
     EXPECT_GE(obs.repairs, 1);  // at least the initial upload
     EXPECT_FALSE(obs.cumulative_repairs.samples().empty());
   }
@@ -191,8 +202,8 @@ TEST(NetworkTest, ScarceQuotaForcesLossesOnNewcomers) {
   opts.repair_threshold = 18;
   const auto profiles = churn::ProfileSet::Paper();
   const auto r = RunSmall(opts, sim::MonthsToRounds(5), 19, profiles, 2);
-  EXPECT_GT(r.totals.losses, 0);
-  EXPECT_GE(r.newcomer_losses, r.totals.losses / 2);
+  EXPECT_GT(r.losses, 0);
+  EXPECT_GE(r.newcomer_losses, r.losses / 2);
 }
 
 TEST(NetworkTest, QuotaMarketDisplacesYoungest) {
@@ -205,7 +216,7 @@ TEST(NetworkTest, QuotaMarketDisplacesYoungest) {
   const auto profiles = churn::ProfileSet::Paper();
   const auto a = RunSmall(with, sim::MonthsToRounds(5), 23, profiles, 1);
   const auto b = RunSmall(without, sim::MonthsToRounds(5), 23, profiles, 1);
-  EXPECT_GT(a.totals.blocks_uploaded, b.totals.blocks_uploaded);
+  EXPECT_GT(a.blocks_uploaded, b.blocks_uploaded);
 }
 
 TEST(NetworkTest, DepartureGraceDelaysQuotaRelease) {
@@ -213,7 +224,7 @@ TEST(NetworkTest, DepartureGraceDelaysQuotaRelease) {
   opts.departure_grace = sim::kRoundsPerWeek;
   const auto profiles = churn::ProfileSet::Paper();
   const auto r = RunSmall(opts, sim::MonthsToRounds(4), 29, profiles, 4);
-  EXPECT_GT(r.totals.departures, 0);  // grace path exercised + invariants
+  EXPECT_GT(r.departures, 0);  // grace path exercised + invariants
 }
 
 TEST(NetworkTest, RepairsGrowWithThreshold) {
@@ -224,7 +235,7 @@ TEST(NetworkTest, RepairsGrowWithThreshold) {
   high.repair_threshold = 28;
   const auto a = RunSmall(low, sim::MonthsToRounds(4), 31, profiles, 1);
   const auto b = RunSmall(high, sim::MonthsToRounds(4), 31, profiles, 1);
-  EXPECT_GT(b.totals.repairs, a.totals.repairs);
+  EXPECT_GT(b.repairs, a.repairs);
 }
 
 TEST(NetworkTest, NewcomersRepairMoreThanElders) {
@@ -238,7 +249,7 @@ TEST(NetworkTest, NewcomersRepairMoreThanElders) {
   sim::Engine engine(eopts);
   BackupNetwork network(&engine, &profiles, opts);
   engine.Run();
-  const auto& acc = network.accounting();
+  const auto& acc = network.metrics().accounting();
   const double newcomer =
       acc.RepairsPer1000PerDay(metrics::AgeCategory::kNewcomer);
   const double elder = acc.RepairsPer1000PerDay(metrics::AgeCategory::kElder);
@@ -253,7 +264,7 @@ TEST(NetworkTest, CategorySeriesMonotone) {
   sim::Engine engine(eopts);
   BackupNetwork network(&engine, &profiles, opts);
   engine.Run();
-  const auto& series = network.category_series();
+  const auto& series = network.metrics().category_series();
   ASSERT_GT(series.size(), 10u);
   for (size_t i = 1; i < series.size(); ++i) {
     for (int c = 0; c < metrics::kCategoryCount; ++c) {
@@ -306,7 +317,7 @@ TEST(NetworkTest, PoliciesRun) {
     ASSERT_TRUE(spec.ok()) << spec.status().ToString();
     opts.policy = *spec;
     const auto r = RunSmall(opts, 3000, 43, profiles, 2);
-    EXPECT_GT(r.totals.repairs, 0);
+    EXPECT_GT(r.repairs, 0);
   }
 }
 
@@ -315,7 +326,7 @@ TEST(NetworkTest, WeightedRandomSelectionRuns) {
   SystemOptions opts = SmallOptions();
   opts.selection = *core::SelectionSpec::Parse("weighted-random{age_exponent=2}");
   const auto r = RunSmall(opts, 3000, 47, profiles, 2);
-  EXPECT_GT(r.totals.repairs, 0);
+  EXPECT_GT(r.repairs, 0);
 }
 
 TEST(NetworkTest, EstimatorsRun) {
@@ -332,7 +343,7 @@ TEST(NetworkTest, EstimatorsRun) {
     ASSERT_TRUE(spec.ok()) << spec.status().ToString();
     opts.estimator = *spec;
     const auto r = RunSmall(opts, 3000, 53, profiles, 2);
-    EXPECT_GT(r.totals.repairs, 0);
+    EXPECT_GT(r.repairs, 0);
   }
 }
 
@@ -347,10 +358,10 @@ TEST(NetworkTest, EmpiricalEstimatorLearnsFromDepartures) {
   sim::Engine engine(eopts);
   BackupNetwork network(&engine, &profiles, opts);
   engine.Run();
-  ASSERT_GT(network.totals().departures, 0);
+  ASSERT_GT(network.metrics().departures(), 0);
   const auto& est = static_cast<const core::EmpiricalResidualEstimator&>(
       network.estimator());
-  EXPECT_EQ(est.observed_departures(), network.totals().departures);
+  EXPECT_EQ(est.observed_departures(), network.metrics().departures());
   network.CheckInvariants();
 }
 

@@ -1,6 +1,9 @@
 // Cross-module property tests: parameterized sweeps over the invariants the
 // system's correctness rests on.
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "archive/builder.h"
@@ -11,7 +14,13 @@
 #include "core/strategy_registry.h"
 #include "core/strategy_spec.h"
 #include "erasure/reed_solomon.h"
+#include "metrics/collector.h"
+#include "metrics/registry.h"
+#include "scenario/registry.h"
 #include "sim/event_queue.h"
+#include "sweep/report.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
 #include "util/rng.h"
 #include "util/serialize.h"
 
@@ -333,6 +342,78 @@ TEST(StrategyProperty, StabilityScoreMonotoneInAgeForEveryEstimator) {
       }
     }
     EXPECT_GT(valid_trials, 0);
+  }
+}
+
+// --- Metrics: replicate moments stay inside the per-cell envelope. ---
+
+TEST(MetricsProperty, AggregatedMeanLiesWithinCellRangeForEveryMetric) {
+  // For every registered metric (scalar and per-category slots alike), the
+  // replicate-aggregated mean of each grid point must lie within the
+  // [min, max] of that group's per-cell values, and the stddev must be
+  // finite and non-negative - over a small randomized sweep.
+  auto world = scenario::LoadScenario(
+      std::string(P2P_SOURCE_DIR) + "/tests/golden/sweep_small_world.scenario");
+  ASSERT_TRUE(world.ok()) << world.status().ToString();
+
+  util::Rng rng(4242);
+  sweep::SweepSpec spec;
+  spec.base = *world;
+  spec.base.rounds = 900;
+  // Two random thresholds inside [k, k + m] = [16, 32].
+  spec.repair_thresholds = {
+      static_cast<int>(rng.UniformInt(16, 32)),
+      static_cast<int>(rng.UniformInt(16, 32)),
+  };
+  spec.base.seed = rng.NextU64();
+  spec.replicates = 3;
+  for (const metrics::MetricDescriptor* d : metrics::ListMetrics()) {
+    // Select every collector-fed probe (a test binary may have registered
+    // extra metrics no probe feeds; those fail validation by design).
+    if (metrics::Collector::FeedsMetric(d->name)) {
+      spec.metrics.push_back(d->name);
+    }
+  }
+  ASSERT_TRUE(spec.Validate().ok()) << spec.Validate().ToString();
+
+  auto results = sweep::RunSweep(spec, sweep::RunnerOptions{});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  const sweep::SweepReport report = sweep::SweepReport::Build(spec, *results);
+
+  for (const sweep::AggregateRow& agg : report.aggregates()) {
+    // The group's cells, in cell order.
+    std::vector<const sweep::CellRow*> rows;
+    for (const sweep::CellRow& cell : report.cells()) {
+      if (cell.group == agg.group) rows.push_back(&cell);
+    }
+    ASSERT_EQ(rows.size(), 3u);
+    for (const sweep::MetricMoments& mm : agg.metrics) {
+      SCOPED_TRACE(mm.descriptor->name);
+      auto check_slot = [&](const sweep::Moments& m, auto value_of) {
+        double lo = std::numeric_limits<double>::infinity();
+        double hi = -lo;
+        for (const sweep::CellRow* row : rows) {
+          const double v = value_of(*row);
+          lo = std::min(lo, v);
+          hi = std::max(hi, v);
+        }
+        EXPECT_GE(m.mean, lo - 1e-9);
+        EXPECT_LE(m.mean, hi + 1e-9);
+        EXPECT_GE(m.stddev, 0.0);
+        EXPECT_FALSE(std::isnan(m.stddev));
+      };
+      if (mm.descriptor->per_category) {
+        for (size_t c = 0; c < metrics::kCategoryCount; ++c) {
+          check_slot(mm.per_category[c], [&](const sweep::CellRow& row) {
+            return row.report.PerCategory(mm.descriptor->name)[c];
+          });
+        }
+      } else {
+        check_slot(mm.scalar, [&](const sweep::CellRow& row) {
+          return row.report.Scalar(mm.descriptor->name);
+        });
+      }
+    }
   }
 }
 

@@ -221,7 +221,11 @@ TEST(WorkloadTest, CompileRejectsPopulationUnderflow) {
 // construction, no scenario layer. The refactor's contract is that the
 // registry worlds reproduce these runs bit for bit at the same seed.
 struct ReferenceOutcome {
-  backup::RunTotals totals;
+  int64_t repairs = 0;
+  int64_t losses = 0;
+  int64_t blocks_uploaded = 0;
+  int64_t departures = 0;
+  int64_t timeouts = 0;
   std::array<double, metrics::kCategoryCount> repairs_per_1000_day{};
   std::array<double, metrics::kCategoryCount> losses_per_1000_day{};
   backup::BackupNetwork::PopulationStats population;
@@ -239,13 +243,18 @@ ReferenceOutcome RunReference(const churn::ProfileSet& profiles,
   backup::BackupNetwork network(&engine, &profiles, options);
   engine.Run();
   ReferenceOutcome out;
-  out.totals = network.totals();
+  const metrics::Collector& collected = network.metrics();
+  out.repairs = collected.repairs();
+  out.losses = collected.losses();
+  out.blocks_uploaded = collected.blocks_uploaded();
+  out.departures = collected.departures();
+  out.timeouts = collected.timeouts();
   for (int c = 0; c < metrics::kCategoryCount; ++c) {
     const auto cat = static_cast<metrics::AgeCategory>(c);
     out.repairs_per_1000_day[static_cast<size_t>(c)] =
-        network.accounting().RepairsPer1000PerDay(cat);
+        collected.accounting().RepairsPer1000PerDay(cat);
     out.losses_per_1000_day[static_cast<size_t>(c)] =
-        network.accounting().LossesPer1000PerDay(cat);
+        collected.accounting().LossesPer1000PerDay(cat);
   }
   out.population = network.ComputePopulationStats();
   return out;
@@ -272,18 +281,18 @@ TEST(LegacyMixTest, RegistryWorldsMatchDirectProfileSetRuns) {
     const ReferenceOutcome reference =
         RunReference(c.profiles, 120, 400, 7);
 
-    EXPECT_EQ(via_scenario.totals.repairs, reference.totals.repairs);
-    EXPECT_EQ(via_scenario.totals.losses, reference.totals.losses);
-    EXPECT_EQ(via_scenario.totals.blocks_uploaded,
-              reference.totals.blocks_uploaded);
-    EXPECT_EQ(via_scenario.totals.departures, reference.totals.departures);
-    EXPECT_EQ(via_scenario.totals.timeouts, reference.totals.timeouts);
+    EXPECT_EQ(via_scenario.report.Count("repairs"), reference.repairs);
+    EXPECT_EQ(via_scenario.report.Count("losses"), reference.losses);
+    EXPECT_EQ(via_scenario.report.Count("blocks_uploaded"),
+              reference.blocks_uploaded);
+    EXPECT_EQ(via_scenario.report.Count("departures"), reference.departures);
+    EXPECT_EQ(via_scenario.report.Count("timeouts"), reference.timeouts);
     for (int cat = 0; cat < metrics::kCategoryCount; ++cat) {
       const auto i = static_cast<size_t>(cat);
       // Bitwise equality: the runs must draw identical random sequences.
-      EXPECT_EQ(via_scenario.repairs_per_1000_day[i],
+      EXPECT_EQ(via_scenario.report.PerCategory("repairs_1k_day")[i],
                 reference.repairs_per_1000_day[i]);
-      EXPECT_EQ(via_scenario.losses_per_1000_day[i],
+      EXPECT_EQ(via_scenario.report.PerCategory("losses_1k_day")[i],
                 reference.losses_per_1000_day[i]);
     }
     EXPECT_EQ(via_scenario.population.mean_partners,
@@ -417,6 +426,37 @@ TEST(TextTest, ParameterizedStrategySpecsRoundTrip) {
   EXPECT_EQ(RenderScenarioText(*reparsed), text);
 }
 
+TEST(TextTest, MetricSelectionRoundTripsAndValidates) {
+  auto parsed = ParseScenarioText(
+      "name = probes\n"
+      "metrics.select = repairs,losses,repair_bandwidth,time_to_repair_mean\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->metrics,
+            (std::vector<std::string>{"repairs", "losses", "repair_bandwidth",
+                                      "time_to_repair_mean"}));
+  const std::string text = RenderScenarioText(*parsed);
+  EXPECT_NE(text.find("metrics.select = repairs,losses,repair_bandwidth,"
+                      "time_to_repair_mean"),
+            std::string::npos);
+  auto reparsed = ParseScenarioText(text);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  EXPECT_TRUE(*reparsed == *parsed);
+  EXPECT_EQ(RenderScenarioText(*reparsed), text);
+
+  // A default-selection scenario renders with no metrics.select line at all.
+  Scenario plain;
+  EXPECT_EQ(RenderScenarioText(plain).find("metrics.select"),
+            std::string::npos);
+
+  // Unknown and duplicate probe names fail loudly, naming the token.
+  auto bad = ParseScenarioText("name = x\nmetrics.select = repairs,psychic\n");
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("psychic"), std::string::npos);
+  bad = ParseScenarioText("name = x\nmetrics.select = repairs,repairs\n");
+  EXPECT_TRUE(bad.status().IsInvalidArgument());
+  EXPECT_NE(bad.status().message().find("duplicate"), std::string::npos);
+}
+
 TEST(TextTest, GoldenParameterizedStrategiesFile) {
   const std::string path = std::string(P2P_SOURCE_DIR) +
                            "/tests/golden/parameterized_strategies.scenario";
@@ -454,7 +494,7 @@ TEST(TextTest, GoldenParameterizedStrategiesFile) {
   RunOptions run;
   run.check_invariants = true;
   const Outcome out = RunScenario(s, run);
-  EXPECT_GT(out.totals.repairs, 0);
+  EXPECT_GT(out.report.Count("repairs"), 0);
 }
 
 // ----------------------------------------------------- registry and flags
@@ -582,8 +622,10 @@ TEST(WorkloadRunTest, MassExitShrinksAndGrowingRampGrows) {
   exit_world->workload.events[0] = WorkloadEvent::MassExit(60, 0.3);
   const Outcome exited = RunScenario(*exit_world);
   EXPECT_EQ(exited.final_population, 120 - 36);
-  // 36 correlated departures show up in the departure counter.
-  EXPECT_GE(exited.totals.departures, 36);
+  // 36 correlated departures show up in the departure counter...
+  EXPECT_GE(exited.report.Count("departures"), 36);
+  // ...and the registry-derived population probe agrees with the live count.
+  EXPECT_EQ(exited.report.Count("final_population"), 120 - 36);
 
   auto grow_world = FindScenario("growing");
   ASSERT_TRUE(grow_world.ok());

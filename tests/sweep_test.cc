@@ -2,7 +2,17 @@
 // seed derivation), SystemOptions validation, and the load-bearing guarantee
 // that report bytes do not depend on the runner's thread count - including
 // over the named-scenario axis that replaced the old ProfileMix enum.
+//
+// The registry-backed metrics redesign is locked two ways: the default
+// selection's CSV/JSON emitters are compared byte for byte against goldens
+// captured from the pre-registry hand-written emitters
+// (tests/golden/sweep_default*), and non-default selections must be
+// thread-count invariant like every other report.
 
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <random>
 #include <sstream>
 #include <string>
 
@@ -11,6 +21,8 @@
 #include "backup/options.h"
 #include "core/lifetime_estimator.h"
 #include "core/strategy_registry.h"
+#include "metrics/registry.h"
+#include "scenario/registry.h"
 #include "sweep/report.h"
 #include "sweep/runner.h"
 #include "sweep/spec.h"
@@ -18,6 +30,52 @@
 namespace p2p {
 namespace sweep {
 namespace {
+
+// The two metric sets the comparison tests walk.
+constexpr const char* kDefaultScalars[] = {"repairs", "losses",
+                                           "blocks_uploaded", "departures",
+                                           "timeouts"};
+constexpr const char* kDefaultPerCategory[] = {"repairs_1k_day",
+                                               "losses_1k_day"};
+
+// Expects two cells to carry identical default metrics (bitwise).
+void ExpectSameDefaultMetrics(const CellRow& cell, const CellRow& reference) {
+  for (const char* name : kDefaultScalars) {
+    EXPECT_EQ(cell.report.Count(name), reference.report.Count(name)) << name;
+  }
+  for (const char* name : kDefaultPerCategory) {
+    for (size_t i = 0; i < metrics::kCategoryCount; ++i) {
+      EXPECT_EQ(cell.report.PerCategory(name)[i],
+                reference.report.PerCategory(name)[i])
+          << name << "[" << i << "]";
+    }
+  }
+}
+
+// Loads the small-geometry golden world (see its header comment).
+scenario::Scenario GoldenWorld() {
+  auto world = scenario::LoadScenario(
+      std::string(P2P_SOURCE_DIR) + "/tests/golden/sweep_small_world.scenario");
+  EXPECT_TRUE(world.ok()) << world.status().ToString();
+  return *world;
+}
+
+// The grid the pre-registry goldens were captured from.
+SweepSpec GoldenSpec() {
+  SweepSpec spec;
+  spec.base = GoldenWorld();
+  spec.repair_thresholds = {20, 26};
+  spec.replicates = 2;
+  return spec;
+}
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing golden file " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
 
 // A grid small enough that the full 1/2/8-thread comparison stays fast.
 SweepSpec SmallSpec() {
@@ -271,10 +329,10 @@ TEST(RunnerTest, OneCellSweepMatchesDirectRun) {
 
   const Outcome direct = RunScenario(spec.base);
   const Outcome& via_runner = (*results)[0].outcome;
-  EXPECT_EQ(via_runner.totals.repairs, direct.totals.repairs);
-  EXPECT_EQ(via_runner.totals.losses, direct.totals.losses);
-  EXPECT_EQ(via_runner.totals.blocks_uploaded, direct.totals.blocks_uploaded);
-  EXPECT_EQ(via_runner.totals.departures, direct.totals.departures);
+  for (const char* name : kDefaultScalars) {
+    EXPECT_EQ(via_runner.report.Count(name), direct.report.Count(name))
+        << name;
+  }
 }
 
 TEST(RunnerTest, ReportsAreThreadCountInvariant) {
@@ -427,16 +485,7 @@ TEST(RunnerTest, DefaultEstimatorSpecsMatchLegacyAgePath) {
   const CellRow& reference = baseline_report.cells()[0];
   for (const CellRow& cell : report.cells()) {
     SCOPED_TRACE(cell.coords[0].second);
-    EXPECT_EQ(cell.repairs, reference.repairs);
-    EXPECT_EQ(cell.losses, reference.losses);
-    EXPECT_EQ(cell.blocks_uploaded, reference.blocks_uploaded);
-    EXPECT_EQ(cell.departures, reference.departures);
-    EXPECT_EQ(cell.timeouts, reference.timeouts);
-    for (size_t i = 0; i < cell.repairs_per_1000_day.size(); ++i) {
-      EXPECT_EQ(cell.repairs_per_1000_day[i],
-                reference.repairs_per_1000_day[i]);
-      EXPECT_EQ(cell.losses_per_1000_day[i], reference.losses_per_1000_day[i]);
-    }
+    ExpectSameDefaultMetrics(cell, reference);
   }
 }
 
@@ -497,16 +546,7 @@ TEST(RunnerTest, DefaultSpecsMatchHistoricalEnumPaths) {
   const CellRow& reference = baseline_report.cells()[0];
   for (const CellRow& cell : report.cells()) {
     SCOPED_TRACE(cell.coords[0].second);
-    EXPECT_EQ(cell.repairs, reference.repairs);
-    EXPECT_EQ(cell.losses, reference.losses);
-    EXPECT_EQ(cell.blocks_uploaded, reference.blocks_uploaded);
-    EXPECT_EQ(cell.departures, reference.departures);
-    EXPECT_EQ(cell.timeouts, reference.timeouts);
-    for (size_t i = 0; i < cell.repairs_per_1000_day.size(); ++i) {
-      EXPECT_EQ(cell.repairs_per_1000_day[i],
-                reference.repairs_per_1000_day[i]);
-      EXPECT_EQ(cell.losses_per_1000_day[i], reference.losses_per_1000_day[i]);
-    }
+    ExpectSameDefaultMetrics(cell, reference);
   }
 }
 
@@ -555,13 +595,206 @@ TEST(ReportTest, AggregatesGroupReplicates) {
     // "rep" is folded into the aggregate, the swept axis is kept.
     ASSERT_EQ(agg.coords.size(), 1u);
     EXPECT_EQ(agg.coords[0].first, "threshold");
+    // The aggregated metrics are the moments-aggregated subset of the
+    // default selection, in selection order.
+    ASSERT_EQ(agg.metrics.size(), 4u);
+    EXPECT_EQ(agg.metrics[0].descriptor->name, "repairs");
+    EXPECT_EQ(agg.metrics[1].descriptor->name, "losses");
+    EXPECT_EQ(agg.metrics[2].descriptor->name, "repairs_1k_day");
+    EXPECT_EQ(agg.metrics[3].descriptor->name, "losses_1k_day");
   }
   // The aggregate mean of a 2-replicate group is the mean of its two cells.
   const auto& cells = report.cells();
   const auto& agg0 = report.aggregates()[0];
-  EXPECT_DOUBLE_EQ(
-      agg0.repairs.mean,
-      (static_cast<double>(cells[0].repairs) + cells[1].repairs) / 2.0);
+  EXPECT_DOUBLE_EQ(agg0.metrics[0].scalar.mean,
+                   (static_cast<double>(cells[0].report.Count("repairs")) +
+                    static_cast<double>(cells[1].report.Count("repairs"))) /
+                       2.0);
+}
+
+// --------------------------------------------- registry-backed metrics API
+
+TEST(ReportTest, DefaultMetricEmittersMatchPreRegistryGoldens) {
+  // Acceptance: the default-selection CSV/JSON emitters are byte-identical
+  // to the pre-registry hand-written emitters, whose output on this exact
+  // grid is committed under tests/golden/. On mismatch the actual bytes are
+  // written next to the test binary for diffing (CI uploads them).
+  const SweepSpec spec = GoldenSpec();
+  auto results = RunSweep(spec, RunnerOptions{});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  const SweepReport report = SweepReport::Build(spec, *results);
+
+  const std::string golden_dir = std::string(P2P_SOURCE_DIR) + "/tests/golden/";
+  const struct {
+    const char* golden;
+    const char* actual;
+    std::string bytes;
+  } cases[] = {
+      {"sweep_default_cells.csv", "sweep_default_cells.actual.csv",
+       [&] {
+         std::ostringstream os;
+         report.WriteCellsCsv(os);
+         return os.str();
+       }()},
+      {"sweep_default_aggregate.csv", "sweep_default_aggregate.actual.csv",
+       [&] {
+         std::ostringstream os;
+         report.WriteAggregateCsv(os);
+         return os.str();
+       }()},
+      {"sweep_default.json", "sweep_default.actual.json",
+       [&] {
+         std::ostringstream os;
+         report.WriteJson(os);
+         return os.str();
+       }()},
+  };
+  for (const auto& c : cases) {
+    SCOPED_TRACE(c.golden);
+    const std::string expected = ReadFileOrDie(golden_dir + c.golden);
+    if (c.bytes != expected) {
+      std::ofstream out(c.actual);
+      out << c.bytes;
+    }
+    EXPECT_EQ(c.bytes, expected);
+  }
+}
+
+TEST(SweepSpecTest, RejectsUnknownAndDuplicateMetricNames) {
+  SweepSpec spec;
+  spec.base.peers = 120;
+  spec.base.rounds = 400;
+  spec.metrics = {"repairs", "psychic-rate"};
+  util::Status bad = spec.Validate();
+  EXPECT_TRUE(bad.IsInvalidArgument());
+  EXPECT_NE(bad.message().find("psychic-rate"), std::string::npos);
+  EXPECT_FALSE(spec.Expand().ok());
+
+  spec.metrics = {"repairs", "repairs"};
+  bad = spec.Validate();
+  EXPECT_TRUE(bad.IsInvalidArgument());
+  EXPECT_NE(bad.message().find("duplicate"), std::string::npos);
+}
+
+TEST(ReportTest, MetricSelectionDerivesColumnsFromRegistry) {
+  // Acceptance: a non-default metrics= selection produces registry-derived
+  // columns - including the probes the closed structs blocked (repair
+  // bandwidth, time-to-repair) - without touching the simulation.
+  SweepSpec spec = GoldenSpec();
+  spec.metrics = {"repairs",           "repair_bandwidth",
+                  "time_to_repair_mean", "time_to_repair_p99",
+                  "partnership_lifetime_mean", "vulnerability_rounds"};
+  ASSERT_TRUE(spec.Validate().ok()) << spec.Validate().ToString();
+  auto results = RunSweep(spec, RunnerOptions{});
+  ASSERT_TRUE(results.ok()) << results.status().ToString();
+  const SweepReport report = SweepReport::Build(spec, *results);
+
+  std::ostringstream cells_os;
+  report.WriteCellsCsv(cells_os);
+  const std::string csv = cells_os.str();
+  EXPECT_EQ(csv.substr(0, csv.find('\n')),
+            "cell,seed,threshold,rep,repairs,repair_bandwidth,"
+            "time_to_repair_mean,time_to_repair_p99,"
+            "partnership_lifetime_mean,vulnerability_rounds");
+
+  // The new probes carry real signal on this world.
+  for (const CellRow& cell : report.cells()) {
+    EXPECT_GT(cell.report.Scalar("repair_bandwidth"), 0.0);
+    EXPECT_GT(cell.report.Scalar("time_to_repair_mean"), 0.0);
+    EXPECT_GE(cell.report.Scalar("time_to_repair_p99"),
+              cell.report.Scalar("time_to_repair_mean"));
+    EXPECT_GT(cell.report.Scalar("partnership_lifetime_mean"), 0.0);
+    EXPECT_GT(cell.report.Count("vulnerability_rounds"), 0);
+    // Rows carry scalars only; the trajectories stay on the outcome.
+    EXPECT_EQ(cell.report.FindSeries("repair_bandwidth"), nullptr);
+  }
+  for (const CellResult& r : *results) {
+    const metrics::TimeSeries* series =
+        r.outcome.report.FindSeries("repair_bandwidth");
+    ASSERT_NE(series, nullptr);
+    EXPECT_FALSE(series->samples().empty());
+  }
+
+  // Selected scalar moments reach the aggregate table.
+  std::ostringstream agg_os;
+  report.WriteAggregateCsv(agg_os);
+  EXPECT_NE(agg_os.str().find("repair_bandwidth_mean"), std::string::npos);
+  EXPECT_NE(agg_os.str().find("vulnerability_rounds_sd"), std::string::npos);
+}
+
+TEST(ReportTest, MetricSelectionIsThreadCountInvariant) {
+  // Acceptance: the registry-derived columns are byte-identical at 1 and 8
+  // threads, like every report before them.
+  SweepSpec spec = GoldenSpec();
+  spec.metrics = {"repairs", "losses", "repair_bandwidth",
+                  "time_to_repair_mean", "time_to_repair_p99"};
+
+  std::string csv[2];
+  const int thread_counts[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    RunnerOptions ropts;
+    ropts.threads = thread_counts[i];
+    auto results = RunSweep(spec, ropts);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    const SweepReport report = SweepReport::Build(spec, *results);
+    std::ostringstream os;
+    report.WriteCellsCsv(os);
+    report.WriteJson(os);
+    csv[i] = os.str();
+  }
+  EXPECT_EQ(csv[0], csv[1]);
+  EXPECT_NE(csv[0].find("repair_bandwidth"), std::string::npos);
+}
+
+TEST(ReportTest, SingleReplicateGroupsEmitZeroStddev) {
+  // Moments edge case: one replicate per grid point must report stddev 0
+  // (sample stddev of n=1 is undefined; NaN would poison the CSV).
+  SweepSpec spec = GoldenSpec();
+  spec.replicates = 1;
+  auto results = RunSweep(spec, RunnerOptions{});
+  ASSERT_TRUE(results.ok());
+  const SweepReport report = SweepReport::Build(spec, *results);
+  ASSERT_EQ(report.aggregates().size(), 2u);
+  for (const AggregateRow& agg : report.aggregates()) {
+    EXPECT_EQ(agg.replicates, 1);
+    for (const MetricMoments& mm : agg.metrics) {
+      SCOPED_TRACE(mm.descriptor->name);
+      if (mm.descriptor->per_category) {
+        for (const Moments& m : mm.per_category) {
+          EXPECT_EQ(m.stddev, 0.0);
+          EXPECT_FALSE(std::isnan(m.stddev));
+        }
+      } else {
+        EXPECT_EQ(mm.scalar.stddev, 0.0);
+        EXPECT_FALSE(std::isnan(mm.scalar.stddev));
+      }
+    }
+  }
+  // And the rendered aggregate carries "0.000000", not "nan".
+  std::ostringstream os;
+  report.WriteAggregateCsv(os);
+  EXPECT_EQ(os.str().find("nan"), std::string::npos);
+}
+
+TEST(ReportTest, AggregatesAreInvariantToCellCompletionOrder) {
+  // Moments edge case: however the runner delivers results, the aggregate
+  // rows (floating-point accumulation included) must not change - Build
+  // re-sorts each group by cell index.
+  const SweepSpec spec = GoldenSpec();
+  auto results = RunSweep(spec, RunnerOptions{});
+  ASSERT_TRUE(results.ok());
+  const SweepReport ordered = SweepReport::Build(spec, *results);
+
+  std::vector<CellResult> shuffled = *results;
+  std::mt19937 gen(99);
+  for (int trial = 0; trial < 5; ++trial) {
+    std::shuffle(shuffled.begin(), shuffled.end(), gen);
+    const SweepReport report = SweepReport::Build(spec, shuffled);
+    std::ostringstream a, b;
+    ordered.WriteAggregateCsv(a);
+    report.WriteAggregateCsv(b);
+    EXPECT_EQ(a.str(), b.str());
+  }
 }
 
 }  // namespace

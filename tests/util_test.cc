@@ -368,6 +368,53 @@ TEST(TableTest, PrettyRenderingAligns) {
   EXPECT_NE(out.find("| long-name-here | 3.5 |"), std::string::npos);
 }
 
+TEST(TableTest, CsvQuotesCellsWithCommas) {
+  // RFC 4180: strategy-spec sweep coordinates embed commas (e.g.
+  // proactive{batch_blocks=8,emergency_threshold=136}) and must come back
+  // as one quoted field.
+  Table t({"policy", "n"});
+  t.BeginRow();
+  t.Add("proactive{batch_blocks=8,emergency_threshold=136}");
+  t.Add(int64_t{7});
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(),
+            "policy,n\n"
+            "\"proactive{batch_blocks=8,emergency_threshold=136}\",7\n");
+}
+
+TEST(TableTest, CsvLeavesBraceOnlyCellsUnquoted) {
+  // Braces alone are not special in RFC 4180; only commas, quotes, and line
+  // breaks force quoting.
+  Table t({"spec"});
+  t.BeginRow();
+  t.Add("age-rank{horizon=120}");
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "spec\nage-rank{horizon=120}\n");
+}
+
+TEST(TableTest, CsvEscapesQuotesAndNewlines) {
+  Table t({"a", "b", "c"});
+  t.BeginRow();
+  t.Add("say \"hi\"");
+  t.Add("two\nlines");
+  t.Add("plain");
+  std::ostringstream os;
+  t.RenderCsv(os);
+  // Embedded quotes double; the cell stays one quoted field.
+  EXPECT_EQ(os.str(),
+            "a,b,c\n"
+            "\"say \"\"hi\"\"\",\"two\nlines\",plain\n");
+}
+
+TEST(TableTest, CsvQuotesHeadersTheSameWay) {
+  Table t({"metric,unit", "v"});
+  std::ostringstream os;
+  t.RenderCsv(os);
+  EXPECT_EQ(os.str(), "\"metric,unit\",v\n");
+}
+
 }  // namespace
 }  // namespace util
 }  // namespace p2p
