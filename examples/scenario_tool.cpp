@@ -26,6 +26,7 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "core/strategy_registry.h"
 #include "metrics/categories.h"
@@ -33,6 +34,8 @@
 #include "scenario/registry.h"
 #include "scenario/scenario.h"
 #include "scenario/text.h"
+#include "trace/sinks.h"
+#include "trace/trace.h"
 #include "util/flags.h"
 #include "util/table.h"
 
@@ -48,7 +51,7 @@ int Usage(const char* prog) {
                "       %s show <name|file>\n"
                "       %s run <name|file> [--peers=N] [--rounds=R] [--seed=S] "
                "[--policy=SPEC] [--selection=SPEC] [--estimator=SPEC] "
-               "[--check]\n",
+               "[--check] [--brief] [--trace=FILE]\n",
                prog, prog, prog, prog, prog, prog, prog);
   return 1;
 }
@@ -94,9 +97,11 @@ int main(int argc, char** argv) {
   int64_t seed = -1;
   bool check = false;
   bool names_only = false;
+  bool brief = false;
   std::string policy_spec;
   std::string selection_spec;
   std::string estimator_spec;
+  std::string trace_path;
 
   util::FlagSet flags;
   flags.Int64("peers", &peers, "population size (0 = scenario value)");
@@ -112,6 +117,12 @@ int main(int argc, char** argv) {
                "run: override the selection strategy (spec string)");
   flags.String("estimator", &estimator_spec,
                "run: override the lifetime estimator (spec string)");
+  flags.Bool("brief", &brief,
+             "run: print a one-line summary instead of the metric table");
+  flags.String("trace", &trace_path,
+               "run: record host-runtime phase timings; writes Chrome "
+               "trace_event JSON (.json, for about:tracing / Perfetto) or "
+               "JSONL spans (.jsonl) and prints the phase summary to stderr");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n";
     return Usage(argv[0]);
@@ -243,7 +254,35 @@ int main(int argc, char** argv) {
 
   scenario::RunOptions run;
   run.check_invariants = check;
+  std::unique_ptr<trace::TraceSession> session;
+  if (!trace_path.empty()) {
+    session = std::make_unique<trace::TraceSession>();
+    session->Install();
+  }
   const scenario::Outcome out = scenario::RunScenario(s, run);
+  if (session != nullptr) {
+    trace::TraceSession::Uninstall();
+    trace::WriteSummary(*session, std::cerr);
+    if (auto st = trace::WriteTraceFile(*session, trace_path); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::fprintf(stderr, "# trace written to %s\n", trace_path.c_str());
+  }
+
+  if (brief) {
+    const metrics::MetricValue* repairs = out.report.Find("repairs");
+    const metrics::MetricValue* losses = out.report.Find("losses");
+    std::printf(
+        "ok scenario=%s peers=%u rounds=%lld seed=%llu wall_ms=%.0f "
+        "repairs=%lld losses=%lld final_population=%lld\n",
+        s.name.c_str(), s.peers, static_cast<long long>(s.rounds),
+        static_cast<unsigned long long>(s.seed), out.wall_seconds * 1000.0,
+        repairs != nullptr ? static_cast<long long>(repairs->scalar) : -1,
+        losses != nullptr ? static_cast<long long>(losses->scalar) : -1,
+        static_cast<long long>(out.final_population));
+    return 0;
+  }
 
   std::printf("# scenario %s: %u peers, %lld rounds, seed %llu%s\n",
               s.name.c_str(), s.peers, static_cast<long long>(s.rounds),

@@ -18,12 +18,15 @@
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 
 #include "scenario/parse.h"
 #include "scenario/registry.h"
 #include "sweep/report.h"
 #include "sweep/runner.h"
 #include "sweep/spec.h"
+#include "trace/sinks.h"
+#include "trace/trace.h"
 #include "util/flags.h"
 
 int main(int argc, char** argv) {
@@ -40,6 +43,7 @@ int main(int argc, char** argv) {
   int64_t replicates = 1;
   int threads = 0;
   std::string format = "pretty";
+  std::string trace_path;
 
   util::FlagSet flags;
   scenario::ScenarioFlags scale;
@@ -69,6 +73,10 @@ int main(int argc, char** argv) {
   flags.Int64("replicates", &replicates, "seed replicates per grid point");
   flags.Int32("threads", &threads, "worker threads (0 = hardware)");
   flags.String("format", &format, "pretty | csv | aggregate | json");
+  flags.String("trace", &trace_path,
+               "record host-runtime phase timings across all worker threads; "
+               "writes Chrome trace_event JSON (.json) or JSONL spans "
+               "(.jsonl) and prints the phase summary to stderr");
   if (auto st = flags.Parse(argc, argv); !st.ok()) {
     std::cerr << st.ToString() << "\n" << flags.Usage(argv[0]);
     return 1;
@@ -131,7 +139,21 @@ int main(int argc, char** argv) {
   ropts.progress = true;
   std::fprintf(stderr, "# sweep: %zu cells on %d threads\n", spec.CellCount(),
                sweep::ResolveThreads(threads));
+  std::unique_ptr<trace::TraceSession> session;
+  if (!trace_path.empty()) {
+    session = std::make_unique<trace::TraceSession>();
+    session->Install();
+  }
   const auto results = sweep::RunSweep(spec, ropts);
+  if (session != nullptr) {
+    trace::TraceSession::Uninstall();
+    trace::WriteSummary(*session, std::cerr);
+    if (auto st = trace::WriteTraceFile(*session, trace_path); !st.ok()) {
+      std::cerr << st.ToString() << "\n";
+      return 1;
+    }
+    std::fprintf(stderr, "# trace written to %s\n", trace_path.c_str());
+  }
   if (!results.ok()) {
     std::cerr << results.status().ToString() << "\n";
     return 1;

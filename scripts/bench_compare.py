@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""Diff two bench_trajectory JSON documents and flag perf regressions.
+
+    scripts/bench_compare.py BENCH_6.json build/bench_now.json
+    scripts/bench_compare.py --warn-only baseline.json current.json
+
+Compares end-to-end wall time, throughput, and the per-phase wall-time
+breakdown; a phase whose total grew by more than --threshold (default 10%)
+is flagged. Phases that carry a negligible share of the runtime are skipped
+(timer noise dominates them), as are comparisons the two documents cannot
+support: with different thread counts only phase totals (summed work) are
+compared, and with different grid shapes nothing is flagged at all - the
+numbers are merely shown side by side.
+
+Exit status: 0 when clean or --warn-only, 1 on a flagged regression, 2 on
+unusable input. CI runs this non-blocking (--warn-only) so the trajectory
+is visible in logs without gating merges on a noisy runner.
+"""
+
+import argparse
+import json
+import sys
+
+# Phases below this share of the dominant phase are noise-dominated.
+MIN_SHARE_PERCENT = 1.0
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_compare: cannot read {path}: {e}")
+    if doc.get("bench") != "trajectory":
+        sys.exit(f"bench_compare: {path} is not a bench_trajectory document")
+    return doc
+
+
+def pct(old, new):
+    if old == 0:
+        return 0.0
+    return (new - old) / old * 100.0
+
+
+def same_shape(a, b):
+    """Same simulated workload (threads may differ: phase totals are summed
+    CPU work, so they compare across thread counts; wall time does not)."""
+    ga, gb = a.get("grid", {}), b.get("grid", {})
+    return all(ga.get(k) == gb.get(k)
+               for k in ("scenario", "peers", "rounds", "cells"))
+
+
+def same_threads(a, b):
+    return a.get("grid", {}).get("threads") == b.get("grid", {}).get("threads")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("baseline")
+    ap.add_argument("current")
+    ap.add_argument("--threshold", type=float, default=10.0,
+                    help="regression threshold in percent (default 10)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report regressions but exit 0")
+    args = ap.parse_args()
+
+    base = load(args.baseline)
+    cur = load(args.current)
+    if base.get("schema_version") != cur.get("schema_version"):
+        sys.exit(2)
+
+    regressions = []
+    comparable = same_shape(base, cur)
+    totals_comparable = comparable and same_threads(base, cur)
+
+    def report(label, old, new, delta, flagged):
+        marker = "!!" if flagged else "  "
+        print(f"{marker} {label:<34} {old:>14.3f} -> {new:>14.3f}"
+              f"  ({delta:+.1f}%)")
+
+    print(f"baseline: {args.baseline}  (quick={base.get('quick')})")
+    print(f"current:  {args.current}  (quick={cur.get('quick')})")
+    if not comparable:
+        print("note: grid shapes differ; the workloads are not the same - "
+              "showing numbers side by side, flagging nothing")
+    elif not totals_comparable:
+        print("note: thread counts differ; comparing phase totals (summed "
+              "work) but not wall time / throughput")
+    print()
+
+    # --- totals ------------------------------------------------------------
+    bt, ct = base.get("totals", {}), cur.get("totals", {})
+    if "wall_seconds" in bt and "wall_seconds" in ct:
+        d = pct(bt["wall_seconds"], ct["wall_seconds"])
+        flagged = totals_comparable and d > args.threshold
+        report("totals/wall_seconds", bt["wall_seconds"], ct["wall_seconds"],
+               d, flagged)
+        if flagged:
+            regressions.append(f"wall_seconds +{d:.1f}%")
+    if "peer_rounds_per_second" in bt and "peer_rounds_per_second" in ct:
+        d = pct(bt["peer_rounds_per_second"], ct["peer_rounds_per_second"])
+        flagged = totals_comparable and d < -args.threshold
+        report("totals/peer_rounds_per_second",
+               bt["peer_rounds_per_second"], ct["peer_rounds_per_second"],
+               d, flagged)
+        if flagged:
+            regressions.append(f"throughput {d:.1f}%")
+
+    # --- per-phase breakdown ----------------------------------------------
+    base_phases = {p["name"]: p for p in base.get("phases", [])}
+    print()
+    for p in cur.get("phases", []):
+        name = p["name"]
+        bp = base_phases.get(name)
+        if bp is None:
+            print(f"   phase {name}: new (no baseline)")
+            continue
+        if (p.get("share_percent", 0.0) < MIN_SHARE_PERCENT
+                and bp.get("share_percent", 0.0) < MIN_SHARE_PERCENT):
+            continue  # noise-dominated either way
+        d = pct(bp["total_ms"], p["total_ms"])
+        flagged = comparable and d > args.threshold
+        report(f"phase/{name} (total_ms)", bp["total_ms"], p["total_ms"],
+               d, flagged)
+        if flagged:
+            regressions.append(f"phase {name} +{d:.1f}%")
+    for name in base_phases:
+        if name not in {p["name"] for p in cur.get("phases", [])}:
+            print(f"   phase {name}: dropped (baseline only)")
+
+    # --- tracing overhead --------------------------------------------------
+    bo = base.get("trace_overhead", {})
+    co = cur.get("trace_overhead", {})
+    if "disabled_scope_ns" in bo and "disabled_scope_ns" in co:
+        print()
+        report("trace/disabled_scope_ns", bo["disabled_scope_ns"],
+               co["disabled_scope_ns"],
+               pct(bo["disabled_scope_ns"], co["disabled_scope_ns"]), False)
+
+    print()
+    if regressions:
+        print("regressions (> %.0f%%):" % args.threshold)
+        for r in regressions:
+            print(f"  - {r}")
+        return 0 if args.warn_only else 1
+    print("no regressions above threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

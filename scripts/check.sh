@@ -38,11 +38,13 @@ echo "== metrics smoke: registry listing + a non-default metrics= sweep =="
 echo
 echo "== scenario smoke: every registered scenario, invariant-checked =="
 # 200 rounds at 500 peers per scenario; --check makes the run fail on any
-# Validate() error or violated simulation invariant.
+# Validate() error or violated simulation invariant. --brief prints a
+# one-line summary (peers, rounds, wall ms, headline metrics) so CI logs
+# show what each smoke run actually did instead of discarding the output.
 for scenario in $(./build/scenario_tool list); do
   echo "-- scenario: ${scenario}"
   ./build/scenario_tool run "${scenario}" --peers=500 --rounds=200 --check \
-    > /dev/null
+    --brief
 done
 
 echo
@@ -53,17 +55,17 @@ echo "== strategy smoke: every registered policy, selection, and estimator, inva
 for policy in $(./build/scenario_tool policies --names); do
   echo "-- policy: ${policy}"
   ./build/scenario_tool run paper --peers=500 --rounds=200 --check \
-    --policy="${policy}" > /dev/null
+    --policy="${policy}" --brief
 done
 for selection in $(./build/scenario_tool selections --names); do
   echo "-- selection: ${selection}"
   ./build/scenario_tool run paper --peers=500 --rounds=200 --check \
-    --selection="${selection}" > /dev/null
+    --selection="${selection}" --brief
 done
 for estimator in $(./build/scenario_tool estimators --names); do
   echo "-- estimator: ${estimator}"
   ./build/scenario_tool run paper --peers=500 --rounds=200 --check \
-    --estimator="${estimator}" > /dev/null
+    --estimator="${estimator}" --brief
 done
 
 echo
@@ -74,8 +76,17 @@ echo "== workload smoke: population events actually fire, invariant-checked =="
 for scenario in flash-crowd mass-exit growing; do
   echo "-- scenario: ${scenario} (3000 rounds)"
   ./build/scenario_tool run "${scenario}" --peers=500 --rounds=3000 --check \
-    > /dev/null
+    --brief
 done
+
+echo
+echo "== trace smoke: --trace produces a loadable Chrome trace =="
+# A traced run must still succeed, write a non-empty trace_event document,
+# and leave the simulation output intact (tracing may never perturb results).
+./build/scenario_tool run paper --peers=500 --rounds=200 --check --brief \
+  --trace=build/check_trace.json 2> /dev/null
+head -c 64 build/check_trace.json | grep -q '"traceEvents"'
+rm -f build/check_trace.json
 
 echo
 echo "check.sh: OK"

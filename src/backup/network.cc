@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace p2p {
@@ -225,22 +226,38 @@ void BackupNetwork::ApplyAdjustment(const PopulationAdjustment& adj,
 }
 
 void BackupNetwork::OnRound(sim::Round now) {
-  while (workload_next_ < workload_.size() &&
-         workload_[workload_next_].at <= now) {
-    ApplyAdjustment(workload_[workload_next_], now);
-    ++workload_next_;
-  }
-  departures_.DrainInto(now, [&](const Event& e) { ProcessDeparture(e, now); });
-  toggles_.DrainInto(now, [&](const Event& e) { ProcessToggle(e, now); });
-  timeouts_.DrainInto(now, [&](const Event& e) { ProcessTimeout(e, now); });
-  quota_releases_.DrainInto(now, [&](const Event& e) {
-    if (peers_[e.id].incarnation == e.incarnation && peers_[e.id].hosted > 0) {
-      --peers_[e.id].hosted;
+  TRACE_SCOPE("round");
+  {
+    TRACE_SCOPE("round/adjustments");
+    while (workload_next_ < workload_.size() &&
+           workload_[workload_next_].at <= now) {
+      ApplyAdjustment(workload_[workload_next_], now);
+      ++workload_next_;
     }
-  });
-  category_events_.DrainInto(now, [&](const Event& e) { ProcessCategory(e, now); });
-  ProcessRepairs(now);
-  collector_.OnRoundTick(now);
+  }
+  {
+    TRACE_SCOPE("round/churn");
+    departures_.DrainInto(now,
+                          [&](const Event& e) { ProcessDeparture(e, now); });
+    toggles_.DrainInto(now, [&](const Event& e) { ProcessToggle(e, now); });
+    timeouts_.DrainInto(now, [&](const Event& e) { ProcessTimeout(e, now); });
+    quota_releases_.DrainInto(now, [&](const Event& e) {
+      if (peers_[e.id].incarnation == e.incarnation &&
+          peers_[e.id].hosted > 0) {
+        --peers_[e.id].hosted;
+      }
+    });
+    category_events_.DrainInto(
+        now, [&](const Event& e) { ProcessCategory(e, now); });
+  }
+  {
+    TRACE_SCOPE("round/repairs");
+    ProcessRepairs(now);
+  }
+  {
+    TRACE_SCOPE("round/tick");
+    collector_.OnRoundTick(now);
+  }
 }
 
 void BackupNetwork::ProcessToggle(const Event& e, sim::Round now) {
@@ -537,6 +554,7 @@ void BackupNetwork::ProcessRepairs(sim::Round now) {
 }
 
 void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
+  TRACE_SCOPE("repair/run");
   PeerState& p = peers_[id];
   const int n = options_.k + options_.m;
 
@@ -548,6 +566,7 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
   }
 
   if (!p.episode_active) {
+    TRACE_SCOPE("repair/evaluate");
     const int basis = VisibleBasis(id);
     // Initial placements always target full redundancy; a policy verdict
     // below may lower the target for maintenance repairs.
@@ -582,8 +601,10 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
     // placement is mandatory regardless of policy.
     p.episode_active = true;
     if (p.is_observer) {
+      TRACE_COUNTER("repair/observer_episodes", 1);
       collector_.OnObserverRepair(id - normal_slots_);
     } else {
+      TRACE_COUNTER("repair/episodes", 1);
       collector_.OnRepairStart(CategoryAt(id, now), p.episode_target - basis);
     }
   }
@@ -593,6 +614,7 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
     needed = std::min(needed, options_.max_blocks_per_round);
   }
   if (needed > 0) {
+    TRACE_SCOPE("repair/place");
     std::vector<core::Candidate> pool;
     BuildPool(id, needed, &pool);
     std::vector<uint32_t> chosen;
@@ -622,6 +644,7 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
 
 int BackupNetwork::BuildPool(PeerId owner, int needed,
                              std::vector<core::Candidate>* pool) {
+  TRACE_SCOPE("repair/pool");
   const int target_pool = std::max(
       needed, static_cast<int>(std::ceil(options_.pool_factor * needed)));
   const int64_t max_draws =
@@ -666,9 +689,12 @@ int BackupNetwork::BuildPool(PeerId owner, int needed,
   // estimator ranks by what the monitoring protocol can actually answer
   // (age, recent uptime, last-seen), and the per-round memo means a peer
   // pooled by many repairing owners in one round is observed once.
-  for (core::Candidate& cand : *pool) {
-    cand.score = estimator_->StabilityScore(
-        monitor_.Observe(cand.id, monitor_.history_window(), now));
+  {
+    TRACE_SCOPE("repair/score");
+    for (core::Candidate& cand : *pool) {
+      cand.score = estimator_->StabilityScore(
+          monitor_.Observe(cand.id, monitor_.history_window(), now));
+    }
   }
   return static_cast<int>(pool->size());
 }

@@ -78,6 +78,9 @@ class BackupNetwork {
   /// Every measurement of the run: totals, accounting, observers, series,
   /// and BuildReport() for the registry-backed RunReport.
   const metrics::Collector& metrics() const { return collector_; }
+
+  /// Availability monitor (read side; query statistics live there).
+  const monitor::AvailabilityMonitor& monitor() const { return monitor_; }
   /// @}
 
   /// \name Introspection (tests, invariant checks).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace p2p {
@@ -103,7 +104,11 @@ core::PeerObservation AvailabilityMonitor::Observe(PeerId peer,
                                                    sim::Round window,
                                                    sim::Round now) const {
   PeerHistory& h = peers_[peer];
-  if (h.obs_round == now && h.obs_window == window) return h.obs;
+  ++query_stats_.observe_calls;
+  if (h.obs_round == now && h.obs_window == window) {
+    ++query_stats_.memo_hits;
+    return h.obs;
+  }
   core::PeerObservation obs;
   obs.age = Age(peer, now);
   obs.availability = AvailabilityOver(peer, window, now);
@@ -118,6 +123,7 @@ core::PeerObservation AvailabilityMonitor::Observe(PeerId peer,
 void AvailabilityMonitor::ObserveBatch(
     const std::vector<PeerId>& peers, sim::Round window, sim::Round now,
     std::vector<core::PeerObservation>* out) const {
+  TRACE_SCOPE("monitor/observe_batch");
   out->clear();
   out->reserve(peers.size());
   for (PeerId peer : peers) {

@@ -88,6 +88,16 @@ class AvailabilityMonitor {
   /// History window bound.
   sim::Round history_window() const { return history_window_; }
 
+  /// Always-on query statistics: Observe() is the placement hot path (tens
+  /// of millions of calls per grid), so instead of per-call TRACE_COUNTER
+  /// bumps it keeps plain member counters (one add each) that callers flush
+  /// into a trace session once per run (scenario.cc does).
+  struct QueryStats {
+    int64_t observe_calls = 0;
+    int64_t memo_hits = 0;
+  };
+  const QueryStats& query_stats() const { return query_stats_; }
+
  private:
   /// One closed online session [start, end), plus the running total of
   /// online rounds in every closed session up to and including this one
@@ -117,6 +127,7 @@ class AvailabilityMonitor {
 
   sim::Round history_window_;
   mutable std::vector<PeerHistory> peers_;
+  mutable QueryStats query_stats_;
 };
 
 }  // namespace monitor

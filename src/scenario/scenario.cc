@@ -1,8 +1,10 @@
 #include "scenario/scenario.h"
 
 #include <chrono>
+#include <memory>
 
 #include "sim/engine.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace p2p {
@@ -36,6 +38,7 @@ bool operator==(const Scenario& a, const Scenario& b) {
 }
 
 Outcome RunScenario(const Scenario& scenario, const RunOptions& run) {
+  TRACE_SCOPE("scenario/run");
   const auto start = std::chrono::steady_clock::now();
 
   sim::EngineOptions eopts;
@@ -61,29 +64,46 @@ Outcome RunScenario(const Scenario& scenario, const RunOptions& run) {
   }
   P2P_CHECK(workload.ok());
 
-  backup::BackupNetwork network(&engine, &*profiles, options,
-                                std::move(*workload));
-  for (const auto& [name, age] : scenario.observers) {
-    network.AddObserver(name, age);
+  Outcome out;
+  // The constructor seeds every peer and enqueues the whole initial
+  // placement storm: attribute it separately from the steady-state rounds.
+  std::unique_ptr<backup::BackupNetwork> network;
+  {
+    TRACE_SCOPE("scenario/setup");
+    network = std::make_unique<backup::BackupNetwork>(
+        &engine, &*profiles, options, std::move(*workload));
+    for (const auto& [name, age] : scenario.observers) {
+      network->AddObserver(name, age);
+    }
   }
   if (run.check_invariants) {
     // Registered after the network's own hook, so each check sees a settled
     // round. Every 97 rounds keeps smoke runs fast yet frequent enough to
     // catch drift close to the perturbation that caused it.
     engine.AddRoundHook([&network](sim::Round now) {
-      if (now % 97 == 0) network.CheckInvariants();
+      if (now % 97 == 0) network->CheckInvariants();
     });
   }
 
-  engine.Run();
-  if (run.check_invariants) network.CheckInvariants();
+  {
+    TRACE_SCOPE("scenario/rounds");
+    engine.Run();
+  }
+  if (run.check_invariants) network->CheckInvariants();
 
-  Outcome out;
-  out.report = network.metrics().BuildReport(scenario.rounds);
-  out.series = network.metrics().category_series();
-  out.observers = network.metrics().observers();
-  out.population = network.ComputePopulationStats();
-  out.final_population = network.LivePopulation();
+  {
+    TRACE_SCOPE("scenario/report");
+    // Flush the monitor's always-on query statistics (kept as plain member
+    // counters; Observe is far too hot for per-call TRACE_COUNTER bumps).
+    const auto& qs = network->monitor().query_stats();
+    TRACE_COUNTER("monitor/observe", qs.observe_calls);
+    TRACE_COUNTER("monitor/observe_memo_hits", qs.memo_hits);
+    out.report = network->metrics().BuildReport(scenario.rounds);
+    out.series = network->metrics().category_series();
+    out.observers = network->metrics().observers();
+    out.population = network->ComputePopulationStats();
+    out.final_population = network->LivePopulation();
+  }
   out.wall_seconds = std::chrono::duration<double>(
                          std::chrono::steady_clock::now() - start)
                          .count();

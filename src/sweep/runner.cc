@@ -4,8 +4,10 @@
 #include <atomic>
 #include <cstdio>
 #include <mutex>
+#include <string>
 #include <thread>
 
+#include "trace/trace.h"
 #include "util/logging.h"
 
 namespace p2p {
@@ -19,6 +21,7 @@ int ResolveThreads(int requested) {
 
 std::vector<CellResult> RunCells(const std::vector<Cell>& cells,
                                  const RunnerOptions& options) {
+  TRACE_SCOPE_CAT("sweep/run", "runner");
   std::vector<CellResult> results(cells.size());
   if (cells.empty()) return results;
 
@@ -29,13 +32,32 @@ std::vector<CellResult> RunCells(const std::vector<Cell>& cells,
   std::atomic<size_t> done{0};
   std::mutex io_mu;
 
-  auto worker = [&] {
+  // Starvation diagnostics: every cell enqueues at run start, so a cell's
+  // queue wait is "picked - run start", and per-worker cell counts expose
+  // scheduling imbalance (a grid of one slow cell plus many fast ones runs
+  // as one busy thread and N-1 starved ones).
+  const uint64_t run_start_ns = trace::NowNanos();
+  std::vector<int64_t> cells_per_worker(static_cast<size_t>(threads), 0);
+  std::vector<uint64_t> busy_ns_per_worker(static_cast<size_t>(threads), 0);
+
+  auto worker = [&](int worker_index) {
     for (;;) {
       const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
       if (i >= cells.size()) return;
       const Cell& cell = cells[i];
       P2P_CHECK(cell.index == i);
-      Outcome out = RunScenario(cell.scenario);
+      const uint64_t picked_ns = trace::NowNanos();
+      TRACE_COUNTER("sweep/cells_run", 1);
+      TRACE_COUNTER("sweep/queue_wait_ns",
+                    static_cast<int64_t>(picked_ns - run_start_ns));
+      Outcome out;
+      {
+        TRACE_SCOPE_CAT("sweep/cell", "runner");
+        out = RunScenario(cell.scenario);
+      }
+      ++cells_per_worker[static_cast<size_t>(worker_index)];
+      busy_ns_per_worker[static_cast<size_t>(worker_index)] +=
+          trace::NowNanos() - picked_ns;
       const size_t finished = done.fetch_add(1, std::memory_order_relaxed) + 1;
       if (options.progress) {
         std::lock_guard<std::mutex> lock(io_mu);
@@ -48,12 +70,50 @@ std::vector<CellResult> RunCells(const std::vector<Cell>& cells,
   };
 
   if (threads == 1) {
-    worker();  // keep single-thread runs trivially debuggable
+    worker(0);  // keep single-thread runs trivially debuggable
   } else {
     std::vector<std::thread> pool;
     pool.reserve(static_cast<size_t>(threads));
-    for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
     for (auto& th : pool) th.join();
+  }
+
+  // End-of-run imbalance report: trace counters per worker (cold path, so
+  // dynamic names are fine) plus a one-line stderr note when any thread ran
+  // at least two cells more than the laziest one.
+  const uint64_t run_ns = trace::NowNanos() - run_start_ns;
+  const int64_t min_cells =
+      *std::min_element(cells_per_worker.begin(), cells_per_worker.end());
+  const int64_t max_cells =
+      *std::max_element(cells_per_worker.begin(), cells_per_worker.end());
+  if (trace::TraceSession* session = trace::TraceSession::Current()) {
+    for (int t = 0; t < threads; ++t) {
+      session->AddNamedCounter(
+          "sweep/worker" + std::to_string(t) + "/cells",
+          cells_per_worker[static_cast<size_t>(t)]);
+      session->AddNamedCounter(
+          "sweep/worker" + std::to_string(t) + "/busy_ns",
+          static_cast<int64_t>(busy_ns_per_worker[static_cast<size_t>(t)]));
+    }
+    uint64_t busy_total = 0;
+    for (uint64_t b : busy_ns_per_worker) busy_total += b;
+    // Utilization in tenths of a percent (counters are integers).
+    const int64_t utilization_permille =
+        run_ns > 0 ? static_cast<int64_t>(
+                         busy_total * 1000 /
+                         (run_ns * static_cast<uint64_t>(threads)))
+                   : 0;
+    session->AddNamedCounter("sweep/thread_utilization_permille",
+                             utilization_permille);
+    session->AddNamedCounter("sweep/cells_per_thread_spread",
+                             max_cells - min_cells);
+  }
+  if (options.progress && max_cells - min_cells > 1) {
+    std::fprintf(stderr,
+                 "[sweep] thread imbalance: %lld..%lld cells/thread over %d "
+                 "threads (consider fewer threads or more replicates)\n",
+                 static_cast<long long>(min_cells),
+                 static_cast<long long>(max_cells), threads);
   }
   return results;
 }

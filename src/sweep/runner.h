@@ -6,6 +6,13 @@
 // threads that claim the next unclaimed cell. Results land in a vector
 // indexed by cell.index, so the collected output - and every report built
 // from it - is byte-identical whether 1 or N threads executed the grid.
+//
+// Observability: with a trace::TraceSession installed the runner records
+// per-cell spans ("sweep/cell", category "runner"), per-cell queue wait,
+// per-worker cell counts / busy time, and an overall thread-utilization
+// counter; with --progress it also prints a cells-per-thread imbalance
+// warning when scheduling starved some workers (one long cell pinning one
+// thread while the rest idle). Tracing never touches cell results.
 
 #ifndef P2P_SWEEP_RUNNER_H_
 #define P2P_SWEEP_RUNNER_H_

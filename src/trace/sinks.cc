@@ -1,0 +1,160 @@
+#include "trace/sinks.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+#include "util/table.h"
+
+namespace p2p {
+namespace trace {
+namespace {
+
+std::string FormatMs(uint64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e6);
+  return buf;
+}
+
+std::string FormatUs(double ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f", ns / 1e3);
+  return buf;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// Microseconds with nanosecond resolution kept as decimals.
+std::string TsUs(uint64_t ns) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1e3);
+  return buf;
+}
+
+}  // namespace
+
+void WriteSummary(const TraceSession& session, std::ostream& os) {
+  const std::vector<PhaseStat> phases = session.PhaseStats();
+  // Shares are relative to the largest phase total: sessions in this repo
+  // always have a dominating root span ("scenario/run", "sweep/run"), and
+  // a max needs no knowledge of the nesting.
+  uint64_t root_total = 0;
+  for (const PhaseStat& p : phases) root_total = std::max(root_total, p.total_ns);
+
+  util::Table table({"phase", "category", "count", "total_ms", "mean_us",
+                     "max_us", "share_%"});
+  for (const PhaseStat& p : phases) {
+    table.BeginRow();
+    table.Add(p.name);
+    table.Add(p.category);
+    table.Add(p.count);
+    table.Add(FormatMs(p.total_ns));
+    table.Add(FormatUs(p.count > 0 ? static_cast<double>(p.total_ns) /
+                                         static_cast<double>(p.count)
+                                   : 0.0));
+    table.Add(FormatUs(static_cast<double>(p.max_ns)));
+    table.Add(root_total > 0 ? static_cast<double>(p.total_ns) * 100.0 /
+                                   static_cast<double>(root_total)
+                             : 0.0,
+              1);
+  }
+  table.RenderPretty(os);
+
+  const std::vector<CounterStat> counters = session.CounterStats();
+  if (!counters.empty()) {
+    util::Table ctable({"counter", "value"});
+    for (const CounterStat& c : counters) {
+      ctable.BeginRow();
+      ctable.Add(c.name);
+      ctable.Add(c.value);
+    }
+    ctable.RenderPretty(os);
+  }
+  if (session.dropped_spans() > 0) {
+    os << "# " << session.dropped_spans()
+       << " spans past the retention cap (aggregates above are complete)\n";
+  }
+}
+
+void WriteJsonl(const TraceSession& session, std::ostream& os) {
+  for (const Span& s : session.SortedSpans()) {
+    os << "{\"type\": \"span\", \"name\": \"" << JsonEscape(s.name)
+       << "\", \"cat\": \"" << JsonEscape(s.category)
+       << "\", \"tid\": " << s.tid << ", \"depth\": " << s.depth
+       << ", \"ts_us\": " << TsUs(s.start_ns)
+       << ", \"dur_us\": " << TsUs(s.dur_ns) << "}\n";
+  }
+  for (const CounterStat& c : session.CounterStats()) {
+    os << "{\"type\": \"counter\", \"name\": \"" << JsonEscape(c.name)
+       << "\", \"value\": " << c.value << "}\n";
+  }
+}
+
+void WriteChromeTrace(const TraceSession& session, std::ostream& os) {
+  const std::vector<Span> spans = session.SortedSpans();
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  uint64_t end_ts = 0;
+  for (const Span& s : spans) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << JsonEscape(s.name) << "\", \"cat\": \""
+       << JsonEscape(s.category) << "\", \"ph\": \"X\", \"pid\": 0, \"tid\": "
+       << s.tid << ", \"ts\": " << TsUs(s.start_ns)
+       << ", \"dur\": " << TsUs(s.dur_ns) << "}";
+    end_ts = std::max(end_ts, s.start_ns + s.dur_ns);
+  }
+  // Counters land as one cumulative "C" sample at the end of the trace so
+  // the viewer shows final totals without per-event counter spam.
+  for (const CounterStat& c : session.CounterStats()) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "  {\"name\": \"" << JsonEscape(c.name)
+       << "\", \"ph\": \"C\", \"pid\": 0, \"tid\": 0, \"ts\": "
+       << TsUs(end_ts) << ", \"args\": {\"value\": " << c.value << "}}";
+  }
+  os << "\n]}\n";
+}
+
+util::Status WriteTraceFile(const TraceSession& session,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) {
+    return util::Status::Unavailable("cannot open trace file '" + path + "'");
+  }
+  const bool jsonl =
+      path.size() >= 6 && path.compare(path.size() - 6, 6, ".jsonl") == 0;
+  if (jsonl) {
+    WriteJsonl(session, out);
+  } else {
+    WriteChromeTrace(session, out);
+  }
+  out.flush();
+  if (!out.good()) {
+    return util::Status::Unavailable("short write to trace file '" + path +
+                                     "'");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace trace
+}  // namespace p2p

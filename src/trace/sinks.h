@@ -1,0 +1,45 @@
+// Rendering a TraceSession: a human-readable phase summary (util::Table),
+// JSONL spans (one object per line - greppable, streamable), and Chrome
+// trace_event JSON loadable in about:tracing / Perfetto.
+//
+// All emitters are deterministic *in structure* (ordering is canonical);
+// the timing fields are wall-clock measurements and naturally vary run to
+// run - consumers that diff traces (tests/trace_test.cc) compare the
+// structure signature, never the bytes.
+
+#ifndef P2P_TRACE_SINKS_H_
+#define P2P_TRACE_SINKS_H_
+
+#include <ostream>
+#include <string>
+
+#include "trace/trace.h"
+#include "util/status.h"
+
+namespace p2p {
+namespace trace {
+
+/// Renders the per-phase wall-time summary (count, total ms, mean us, max
+/// us, share of the summed root phases) plus counters as aligned tables.
+void WriteSummary(const TraceSession& session, std::ostream& os);
+
+/// One JSON object per line: spans first ({"type":"span",...}, (tid, start)
+/// order), then counters ({"type":"counter",...}, name order). Times in
+/// microseconds relative to the session epoch.
+void WriteJsonl(const TraceSession& session, std::ostream& os);
+
+/// Chrome trace_event JSON: complete ("ph":"X") events per span plus one
+/// metadata-free counter dump appended as "ph":"C" events at the end of the
+/// trace. Load via chrome://tracing or https://ui.perfetto.dev.
+void WriteChromeTrace(const TraceSession& session, std::ostream& os);
+
+/// Writes `session` to `path`, picking the format from the extension:
+/// ".jsonl" -> WriteJsonl, anything else -> WriteChromeTrace (the viewer
+/// format is the default since that is what --trace exists for).
+util::Status WriteTraceFile(const TraceSession& session,
+                            const std::string& path);
+
+}  // namespace trace
+}  // namespace p2p
+
+#endif  // P2P_TRACE_SINKS_H_

@@ -1,0 +1,220 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace p2p {
+namespace trace {
+namespace {
+
+// Sessions get process-unique ids so the thread-local buffer cache can never
+// mistake a new session allocated at a recycled address for the one it
+// registered with (the cache is validated by id, never by dereferencing a
+// possibly-stale buffer pointer).
+std::atomic<uint64_t> g_next_session_id{1};
+
+struct TlsCache {
+  uint64_t session_id = 0;
+  TraceSession::ThreadBuffer* buffer = nullptr;
+};
+thread_local TlsCache tls_cache;
+
+}  // namespace
+
+std::atomic<TraceSession*> TraceSession::current_{nullptr};
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+TraceSession::TraceSession(Options options)
+    : options_(options),
+      epoch_ns_(NowNanos()),
+      id_(g_next_session_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+TraceSession::~TraceSession() {
+  TraceSession* expected = this;
+  current_.compare_exchange_strong(expected, nullptr,
+                                   std::memory_order_relaxed);
+}
+
+void TraceSession::Install() {
+  current_.store(this, std::memory_order_relaxed);
+}
+
+void TraceSession::Uninstall() {
+  current_.store(nullptr, std::memory_order_relaxed);
+}
+
+TraceSession::ThreadBuffer* TraceSession::Buffer() {
+  TlsCache& cache = tls_cache;
+  if (cache.session_id == id_) return cache.buffer;
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>());
+  ThreadBuffer* buf = buffers_.back().get();
+  buf->session = this;
+  buf->tid = static_cast<uint32_t>(buffers_.size() - 1);
+  cache.session_id = id_;
+  cache.buffer = buf;
+  return buf;
+}
+
+void TraceSession::RecordSpan(ThreadBuffer* buf, const char* name,
+                              const char* category, uint64_t start_ns,
+                              uint64_t end_ns, uint32_t depth) {
+  const uint64_t dur = end_ns >= start_ns ? end_ns - start_ns : 0;
+  // Aggregate first: phase stats stay complete even past the retention cap.
+  ThreadBuffer::Agg* agg = nullptr;
+  for (ThreadBuffer::Agg& a : buf->aggs) {
+    if (a.name == name && a.depth == depth) {
+      agg = &a;
+      break;
+    }
+  }
+  if (agg == nullptr) {
+    buf->aggs.push_back(ThreadBuffer::Agg{name, category, depth, 0, 0, 0});
+    agg = &buf->aggs.back();
+  }
+  ++agg->count;
+  agg->total_ns += dur;
+  agg->max_ns = std::max(agg->max_ns, dur);
+
+  if (buf->spans.size() < options_.max_spans_per_thread) {
+    Span span;
+    span.name = name;
+    span.category = category;
+    span.start_ns = start_ns - epoch_ns_;
+    span.dur_ns = dur;
+    span.tid = buf->tid;
+    span.depth = depth;
+    buf->spans.push_back(span);
+  } else {
+    ++buf->dropped;
+  }
+}
+
+void TraceSession::AddCounter(ThreadBuffer* buf, const char* name,
+                              int64_t delta) {
+  for (ThreadBuffer::Counter& c : buf->counters) {
+    if (c.name == name) {
+      c.value += delta;
+      return;
+    }
+  }
+  buf->counters.push_back(ThreadBuffer::Counter{name, delta});
+}
+
+void TraceSession::AddNamedCounter(const std::string& name, int64_t delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  named_counters_[name] += delta;
+}
+
+std::vector<Span> TraceSession::SortedSpans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Span> out;
+  size_t total = 0;
+  for (const auto& buf : buffers_) total += buf->spans.size();
+  out.reserve(total);
+  for (const auto& buf : buffers_) {
+    out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    if (a.tid != b.tid) return a.tid < b.tid;
+    if (a.start_ns != b.start_ns) return a.start_ns < b.start_ns;
+    return a.depth < b.depth;
+  });
+  return out;
+}
+
+std::vector<PhaseStat> TraceSession::PhaseStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, PhaseStat> merged;
+  for (const auto& buf : buffers_) {
+    for (const ThreadBuffer::Agg& a : buf->aggs) {
+      PhaseStat& p = merged[a.name];
+      if (p.name.empty()) {
+        p.name = a.name;
+        p.category = a.category;
+      }
+      p.count += a.count;
+      p.total_ns += a.total_ns;
+      p.max_ns = std::max(p.max_ns, a.max_ns);
+    }
+  }
+  std::vector<PhaseStat> out;
+  out.reserve(merged.size());
+  for (auto& [name, stat] : merged) out.push_back(std::move(stat));
+  return out;
+}
+
+std::vector<CounterStat> TraceSession::CounterStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, int64_t> merged(named_counters_.begin(),
+                                        named_counters_.end());
+  for (const auto& buf : buffers_) {
+    for (const ThreadBuffer::Counter& c : buf->counters) {
+      merged[c.name] += c.value;
+    }
+  }
+  std::vector<CounterStat> out;
+  out.reserve(merged.size());
+  for (const auto& [name, value] : merged) {
+    out.push_back(CounterStat{name, value});
+  }
+  return out;
+}
+
+int64_t TraceSession::dropped_spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t dropped = 0;
+  for (const auto& buf : buffers_) dropped += buf->dropped;
+  return dropped;
+}
+
+size_t TraceSession::thread_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buffers_.size();
+}
+
+std::vector<std::string> TraceSession::StructureSignature(
+    const std::string& exclude_category) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Depths are reported relative to each category's outermost span: the
+  // absolute nesting of e.g. the simulation's spans depends on how many
+  // runner-category scopes enclose them (the single-thread runner executes
+  // cells inline under "sweep/run"; worker threads start at depth 0), and
+  // the signature must not change with the execution arrangement.
+  std::map<std::string, uint32_t> base_depth;
+  for (const auto& buf : buffers_) {
+    for (const ThreadBuffer::Agg& a : buf->aggs) {
+      auto [it, inserted] = base_depth.emplace(a.category, a.depth);
+      if (!inserted && a.depth < it->second) it->second = a.depth;
+    }
+  }
+  // Key: category/name at a given relative depth; value: total span count.
+  // The per-(name, depth) aggregates make this exact regardless of span
+  // retention.
+  std::map<std::string, int64_t> merged;
+  for (const auto& buf : buffers_) {
+    for (const ThreadBuffer::Agg& a : buf->aggs) {
+      if (!exclude_category.empty() && exclude_category == a.category) {
+        continue;
+      }
+      const uint32_t depth = a.depth - base_depth.at(a.category);
+      merged[std::string(a.category) + "/" + a.name +
+             " depth=" + std::to_string(depth)] += a.count;
+    }
+  }
+  std::vector<std::string> out;
+  out.reserve(merged.size());
+  for (const auto& [key, count] : merged) {
+    out.push_back(key + " count=" + std::to_string(count));
+  }
+  return out;
+}
+
+}  // namespace trace
+}  // namespace p2p

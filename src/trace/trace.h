@@ -1,0 +1,264 @@
+// Host-runtime observability: where does the wall clock go?
+//
+// Everything else in src/metrics/ observes *simulated* quantities (repairs,
+// losses, bandwidth). This subsystem observes the *host* runtime of a run:
+// RAII scoped timers (`TRACE_SCOPE("round/repairs")`) accumulate per-phase
+// wall time and emit spans, and monotonic counters (`TRACE_COUNTER`) count
+// hot-path events too cheap to clock individually. Sinks (sinks.h) render a
+// session as a summary table, JSONL spans, or Chrome trace_event JSON.
+//
+// Overhead contract:
+//  * No session installed (the default): a TRACE_SCOPE is one relaxed atomic
+//    load and a predictable branch - low single-digit nanoseconds, measured
+//    by bench_trajectory and recorded in BENCH_<pr>.json. Simulation results
+//    are never touched either way: tracing reads the wall clock, it does not
+//    consume RNG draws or alter control flow.
+//  * Session installed: two steady_clock reads plus a bounds-checked append
+//    into a per-thread buffer (no locks on the hot path; a mutex is taken
+//    only the first time a thread records into a given session).
+//  * Compile-time kill switch: define P2P_TRACE_DISABLED to compile every
+//    macro to nothing (for ruling tracing out entirely when profiling).
+//
+// Threading model: worker threads (the sweep runner) record concurrently
+// into thread-local buffers owned by the session. Install()/uninstall and
+// the read-side accessors (spans(), PhaseStats(), ...) must not race with
+// traced work - install before the run, read after it joins.
+
+#ifndef P2P_TRACE_TRACE_H_
+#define P2P_TRACE_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace p2p {
+namespace trace {
+
+/// Monotonic wall clock in nanoseconds (std::chrono::steady_clock).
+uint64_t NowNanos();
+
+/// One completed scoped timer. `name` and `category` are string literals
+/// (the macros guarantee static storage duration).
+struct Span {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t start_ns = 0;  ///< relative to the session epoch
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;       ///< dense per-session thread index, registration order
+  uint32_t depth = 0;     ///< nesting depth within the recording thread
+};
+
+/// Wall-time accumulator of one phase (all spans sharing a name).
+struct PhaseStat {
+  std::string name;
+  std::string category;
+  int64_t count = 0;
+  uint64_t total_ns = 0;
+  uint64_t max_ns = 0;
+};
+
+/// Final value of one monotonic counter (summed over threads).
+struct CounterStat {
+  std::string name;
+  int64_t value = 0;
+};
+
+/// \brief One recording session; install, run traced work, read, render.
+class TraceSession {
+ public:
+  struct Options {
+    /// Per-thread cap on *retained* spans; further spans still feed the
+    /// phase accumulators but are not kept individually (dropped_spans()
+    /// reports how many). 0 keeps aggregates only - the low-memory mode
+    /// bench_trajectory uses for multi-thousand-round grids.
+    /// (Constructor-initialized, not NSDMI: the value is needed as a
+    /// default argument before the enclosing class is complete.)
+    size_t max_spans_per_thread;
+    Options() : max_spans_per_thread(1u << 20) {}
+  };
+
+  explicit TraceSession(Options options = Options());
+  ~TraceSession();  // uninstalls itself if still current
+
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// The session TRACE_SCOPE / TRACE_COUNTER record into; nullptr when
+  /// tracing is disabled (the default).
+  static TraceSession* Current() {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  /// Makes this session current. Only one session records at a time;
+  /// installing over another session replaces it (the replaced session
+  /// keeps its data).
+  void Install();
+  /// Disables tracing (Current() == nullptr). Safe to call when no session
+  /// is installed.
+  static void Uninstall();
+
+  /// \name Hot path (called by the macros; safe from any thread).
+  /// @{
+  struct ThreadBuffer;
+  /// This thread's buffer in this session (registers it on first use).
+  ThreadBuffer* Buffer();
+  void RecordSpan(ThreadBuffer* buf, const char* name, const char* category,
+                  uint64_t start_ns, uint64_t end_ns, uint32_t depth);
+  void AddCounter(ThreadBuffer* buf, const char* name, int64_t delta);
+  /// @}
+
+  /// Cold-path counter with a dynamic name (e.g. per-worker utilization
+  /// slots); takes the session mutex - never call from a per-event path.
+  void AddNamedCounter(const std::string& name, int64_t delta);
+
+  /// \name Read side (after traced work has joined).
+  /// @{
+  /// Retained spans of every thread, ordered by (tid, start). Spans past
+  /// the per-thread cap are not here - see dropped_spans().
+  std::vector<Span> SortedSpans() const;
+  /// Per-phase accumulators (complete even when spans were dropped),
+  /// ordered by name.
+  std::vector<PhaseStat> PhaseStats() const;
+  /// Counter totals summed over threads, ordered by name.
+  std::vector<CounterStat> CounterStats() const;
+  /// Spans recorded beyond the per-thread retention cap.
+  int64_t dropped_spans() const;
+  /// Threads that recorded into this session.
+  size_t thread_count() const;
+  /// Session epoch in NowNanos() time (spans are relative to it).
+  uint64_t epoch_ns() const { return epoch_ns_; }
+
+  /// Canonical structure signature for determinism tests: one string per
+  /// phase, "category/name depth=D count=N", sorted - all timing excluded.
+  /// Spans whose category equals `exclude_category` are skipped (the sweep
+  /// runner's own spans scale with the thread count; the simulation's do
+  /// not), and D is relative to the category's outermost span, so the
+  /// signature does not depend on how many foreign-category scopes enclose
+  /// the work (inline single-thread runner vs. fresh worker threads).
+  /// Aggregation uses the per-phase accumulators plus a per-depth count
+  /// kept at record time, so the signature is exact even when span
+  /// retention capped out.
+  std::vector<std::string> StructureSignature(
+      const std::string& exclude_category = "") const;
+  /// @}
+
+  struct ThreadBuffer {
+    TraceSession* session = nullptr;
+    uint32_t tid = 0;
+    uint32_t depth = 0;  // live nesting depth of the recording thread
+    std::vector<Span> spans;
+    int64_t dropped = 0;
+    // Aggregates keyed by name pointer identity (string literals): linear
+    // scans over a handful of distinct call sites beat hashing.
+    struct Agg {
+      const char* name;
+      const char* category;
+      uint32_t depth;
+      int64_t count;
+      uint64_t total_ns;
+      uint64_t max_ns;
+    };
+    std::vector<Agg> aggs;
+    struct Counter {
+      const char* name;
+      int64_t value;
+    };
+    std::vector<Counter> counters;
+  };
+
+ private:
+  static std::atomic<TraceSession*> current_;
+
+  Options options_;
+  uint64_t epoch_ns_ = 0;
+  uint64_t id_ = 0;  // process-unique; validates the thread-local cache
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;  // guarded by mu_
+  std::map<std::string, int64_t> named_counters_;       // guarded by mu_
+};
+
+/// \brief RAII scoped timer; records one span on destruction when a session
+/// is installed. Prefer the TRACE_SCOPE macro.
+class ScopedTimer {
+ public:
+  ScopedTimer(const char* name, const char* category)
+      : session_(TraceSession::Current()) {
+    if (session_ != nullptr) {
+      buf_ = session_->Buffer();
+      name_ = name;
+      category_ = category;
+      depth_ = buf_->depth++;
+      start_ns_ = NowNanos();
+    }
+  }
+  ~ScopedTimer() {
+    if (session_ != nullptr) {
+      const uint64_t end_ns = NowNanos();
+      --buf_->depth;
+      session_->RecordSpan(buf_, name_, category_, start_ns_, end_ns, depth_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  TraceSession* session_;
+  TraceSession::ThreadBuffer* buf_ = nullptr;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  uint64_t start_ns_ = 0;
+  uint32_t depth_ = 0;
+};
+
+}  // namespace trace
+}  // namespace p2p
+
+#if defined(P2P_TRACE_DISABLED)
+
+#define TRACE_SCOPE(name) \
+  do {                    \
+  } while (false)
+#define TRACE_SCOPE_CAT(name, category) \
+  do {                                  \
+  } while (false)
+#define TRACE_COUNTER(name, delta) \
+  do {                             \
+  } while (false)
+
+#else
+
+#define P2P_TRACE_CONCAT_INNER(a, b) a##b
+#define P2P_TRACE_CONCAT(a, b) P2P_TRACE_CONCAT_INNER(a, b)
+
+/// Times the enclosing scope as one span named `name` (category "sim").
+/// `name` must be a string literal (it is stored by pointer).
+#define TRACE_SCOPE(name)                                       \
+  ::p2p::trace::ScopedTimer P2P_TRACE_CONCAT(p2p_trace_scope_, \
+                                             __LINE__)((name), "sim")
+
+/// TRACE_SCOPE with an explicit category (e.g. "runner" for sweep-level
+/// spans that scale with the thread count).
+#define TRACE_SCOPE_CAT(name, category)                         \
+  ::p2p::trace::ScopedTimer P2P_TRACE_CONCAT(p2p_trace_scope_, \
+                                             __LINE__)((name), (category))
+
+/// Bumps the monotonic counter `name` (a string literal) by `delta` when a
+/// session is installed; a relaxed load + branch otherwise.
+#define TRACE_COUNTER(name, delta)                                        \
+  do {                                                                    \
+    ::p2p::trace::TraceSession* p2p_trace_s =                             \
+        ::p2p::trace::TraceSession::Current();                            \
+    if (p2p_trace_s != nullptr) {                                         \
+      p2p_trace_s->AddCounter(p2p_trace_s->Buffer(), (name), (delta));    \
+    }                                                                     \
+  } while (false)
+
+#endif  // P2P_TRACE_DISABLED
+
+#endif  // P2P_TRACE_TRACE_H_

@@ -1,0 +1,309 @@
+// Tests for the host-runtime tracing subsystem (src/trace/): session
+// mechanics (spans, nesting, counters, retention), the sinks, and the two
+// load-bearing integration guarantees:
+//
+//  * Structure determinism: the span *structure* of a traced sweep -
+//    names, relative depths, counts; never timing - is identical whether
+//    1 or 8 threads executed the grid (runner-category spans excluded,
+//    they legitimately scale with the thread count).
+//  * Collector consistency: the trace counters and the metrics collector
+//    observe the same simulation - on a fixed-seed run the
+//    "repair/episodes" counter equals the report's "repairs" scalar, and
+//    tracing a run changes none of its results.
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenario/registry.h"
+#include "scenario/scenario.h"
+#include "sweep/runner.h"
+#include "sweep/spec.h"
+#include "trace/sinks.h"
+#include "trace/trace.h"
+
+namespace p2p {
+namespace trace {
+namespace {
+
+// Loads the small-geometry golden world (shared with the sweep tests).
+scenario::Scenario SmallWorld() {
+  auto world = scenario::LoadScenario(
+      std::string(P2P_SOURCE_DIR) + "/tests/golden/sweep_small_world.scenario");
+  EXPECT_TRUE(world.ok()) << world.status().ToString();
+  return *world;
+}
+
+const PhaseStat* FindPhase(const std::vector<PhaseStat>& phases,
+                           const std::string& name) {
+  for (const auto& p : phases) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+int64_t CounterValue(const TraceSession& session, const std::string& name) {
+  for (const auto& c : session.CounterStats()) {
+    if (c.name == name) return c.value;
+  }
+  return -1;
+}
+
+TEST(TraceSessionTest, DisabledByDefault) {
+  ASSERT_EQ(TraceSession::Current(), nullptr);
+  // The macros must be safe no-ops without a session.
+  TRACE_SCOPE("test/noop");
+  TRACE_COUNTER("test/noop_counter", 1);
+  ASSERT_EQ(TraceSession::Current(), nullptr);
+}
+
+TEST(TraceSessionTest, RecordsNestedSpansWithDepth) {
+  TraceSession session;
+  session.Install();
+  ASSERT_EQ(TraceSession::Current(), &session);
+  {
+    TRACE_SCOPE("test/outer");
+    {
+      TRACE_SCOPE("test/inner");
+    }
+    {
+      TRACE_SCOPE("test/inner");
+    }
+  }
+  TraceSession::Uninstall();
+  ASSERT_EQ(TraceSession::Current(), nullptr);
+
+  const std::vector<Span> spans = session.SortedSpans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Sorted by start time: outer first, then the two inners.
+  EXPECT_STREQ(spans[0].name, "test/outer");
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_STREQ(spans[1].name, "test/inner");
+  EXPECT_EQ(spans[1].depth, 1u);
+  EXPECT_EQ(spans[2].depth, 1u);
+  // The inner spans are contained in the outer one.
+  EXPECT_GE(spans[1].start_ns, spans[0].start_ns);
+  EXPECT_LE(spans[1].start_ns + spans[1].dur_ns,
+            spans[0].start_ns + spans[0].dur_ns);
+
+  const std::vector<PhaseStat> phases = session.PhaseStats();
+  const PhaseStat* inner = FindPhase(phases, "test/inner");
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->count, 2);
+  EXPECT_GE(inner->max_ns, 0u);
+  const PhaseStat* outer = FindPhase(phases, "test/outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_GE(outer->total_ns, inner->total_ns);
+}
+
+TEST(TraceSessionTest, CountersSumAcrossThreads) {
+  TraceSession session;
+  session.Install();
+  TRACE_COUNTER("test/events", 2);
+  std::thread other([] {
+    for (int i = 0; i < 5; ++i) TRACE_COUNTER("test/events", 1);
+  });
+  other.join();
+  TraceSession::Uninstall();
+
+  EXPECT_EQ(CounterValue(session, "test/events"), 7);
+  EXPECT_EQ(session.thread_count(), 2u);
+}
+
+TEST(TraceSessionTest, NamedCountersMergeWithMacroCounters) {
+  TraceSession session;
+  session.Install();
+  TRACE_COUNTER("test/merged", 1);
+  session.AddNamedCounter("test/merged", 10);
+  session.AddNamedCounter("test/only_named", 3);
+  TraceSession::Uninstall();
+
+  EXPECT_EQ(CounterValue(session, "test/merged"), 11);
+  EXPECT_EQ(CounterValue(session, "test/only_named"), 3);
+}
+
+TEST(TraceSessionTest, RetentionCapDropsSpansButKeepsAggregatesExact) {
+  TraceSession::Options options;
+  options.max_spans_per_thread = 4;
+  TraceSession session(options);
+  session.Install();
+  for (int i = 0; i < 10; ++i) {
+    TRACE_SCOPE("test/capped");
+  }
+  TraceSession::Uninstall();
+
+  EXPECT_EQ(session.SortedSpans().size(), 4u);
+  EXPECT_EQ(session.dropped_spans(), 6);
+  const PhaseStat* phase = FindPhase(session.PhaseStats(), "test/capped");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->count, 10);  // aggregates never drop
+
+  const std::vector<std::string> sig = session.StructureSignature();
+  ASSERT_EQ(sig.size(), 1u);
+  EXPECT_EQ(sig[0], "sim/test/capped depth=0 count=10");
+}
+
+TEST(TraceSessionTest, AggregatesOnlyModeRetainsNoSpans) {
+  TraceSession::Options options;
+  options.max_spans_per_thread = 0;
+  TraceSession session(options);
+  session.Install();
+  {
+    TRACE_SCOPE("test/agg_only");
+  }
+  TraceSession::Uninstall();
+
+  EXPECT_TRUE(session.SortedSpans().empty());
+  EXPECT_EQ(session.dropped_spans(), 1);
+  const PhaseStat* phase = FindPhase(session.PhaseStats(), "test/agg_only");
+  ASSERT_NE(phase, nullptr);
+  EXPECT_EQ(phase->count, 1);
+}
+
+TEST(TraceSessionTest, SequentialSessionsDoNotLeakThreadBuffers) {
+  // The thread-local buffer cache is validated per session id; a second
+  // session on the same thread must start empty.
+  {
+    TraceSession first;
+    first.Install();
+    {
+      TRACE_SCOPE("test/first");
+    }
+    TraceSession::Uninstall();
+    EXPECT_EQ(first.SortedSpans().size(), 1u);
+  }
+  TraceSession second;
+  second.Install();
+  TRACE_COUNTER("test/second", 1);
+  TraceSession::Uninstall();
+  EXPECT_TRUE(second.SortedSpans().empty());
+  EXPECT_EQ(CounterValue(second, "test/second"), 1);
+}
+
+TEST(TraceSessionTest, StructureSignatureExcludesCategory) {
+  TraceSession session;
+  session.Install();
+  {
+    TRACE_SCOPE_CAT("test/outer_runner", "runner");
+    TRACE_SCOPE("test/sim_work");
+  }
+  TraceSession::Uninstall();
+
+  const std::vector<std::string> all = session.StructureSignature();
+  EXPECT_EQ(all.size(), 2u);
+  const std::vector<std::string> sim_only =
+      session.StructureSignature("runner");
+  ASSERT_EQ(sim_only.size(), 1u);
+  // Depth is relative to the category's own outermost span, not to the
+  // enclosing runner scope.
+  EXPECT_EQ(sim_only[0], "sim/test/sim_work depth=0 count=1");
+}
+
+TEST(TraceSinksTest, SummaryAndFileFormats) {
+  TraceSession session;
+  session.Install();
+  {
+    TRACE_SCOPE("test/phase_a");
+    TRACE_SCOPE("test/phase_b");
+  }
+  TRACE_COUNTER("test/events", 3);
+  TraceSession::Uninstall();
+
+  std::ostringstream summary;
+  WriteSummary(session, summary);
+  EXPECT_NE(summary.str().find("test/phase_a"), std::string::npos);
+  EXPECT_NE(summary.str().find("test/events"), std::string::npos);
+
+  std::ostringstream jsonl;
+  WriteJsonl(session, jsonl);
+  // One line per span plus one per counter.
+  int lines = 0;
+  for (char c : jsonl.str()) lines += c == '\n';
+  EXPECT_EQ(lines, 3);
+  EXPECT_NE(jsonl.str().find("\"name\": \"test/phase_b\""),
+            std::string::npos);
+
+  std::ostringstream chrome;
+  WriteChromeTrace(session, chrome);
+  EXPECT_NE(chrome.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.str().find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(chrome.str().find("\"ph\": \"C\""), std::string::npos);
+
+  // Extension dispatch: .jsonl selects JSONL, anything else Chrome format.
+  const std::string dir = ::testing::TempDir();
+  ASSERT_TRUE(WriteTraceFile(session, dir + "/trace_test_out.jsonl").ok());
+  ASSERT_TRUE(WriteTraceFile(session, dir + "/trace_test_out.json").ok());
+  EXPECT_FALSE(WriteTraceFile(session, "/nonexistent-dir/x.json").ok());
+}
+
+// The tentpole determinism guarantee: the simulation's span structure does
+// not depend on the sweep runner's thread count.
+TEST(TraceSweepTest, StructureDeterministicAcrossThreadCounts) {
+  sweep::SweepSpec spec;
+  spec.base = SmallWorld();
+  spec.repair_thresholds = {20, 26};
+  spec.replicates = 2;  // 4 cells
+
+  auto run_traced = [&](int threads) {
+    TraceSession session;
+    session.Install();
+    sweep::RunnerOptions options;
+    options.threads = threads;
+    auto results = sweep::RunSweep(spec, options);
+    TraceSession::Uninstall();
+    EXPECT_TRUE(results.ok());
+    return session.StructureSignature(/*exclude_category=*/"runner");
+  };
+
+  const std::vector<std::string> one = run_traced(1);
+  const std::vector<std::string> eight = run_traced(8);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, eight);
+  // Spot-check the signature carries the simulation phases.
+  bool has_round = false;
+  for (const auto& line : one) {
+    if (line.find("sim/round depth=") != std::string::npos) has_round = true;
+  }
+  EXPECT_TRUE(has_round);
+}
+
+// Consistency between the two observability layers: trace counters (host
+// runtime) and the metrics collector (simulated quantities) must agree on
+// what happened, and tracing must not perturb the simulation.
+TEST(TraceSweepTest, RepairCounterMatchesCollectorAndRunIsUnperturbed) {
+  scenario::Scenario scenario = SmallWorld();
+
+  const scenario::Outcome untraced = scenario::RunScenario(scenario);
+
+  TraceSession session;
+  session.Install();
+  const scenario::Outcome traced = scenario::RunScenario(scenario);
+  TraceSession::Uninstall();
+
+  // Same simulation either way (tracing reads clocks, never RNG draws).
+  EXPECT_EQ(traced.report.Count("repairs"), untraced.report.Count("repairs"));
+  EXPECT_EQ(traced.report.Count("losses"), untraced.report.Count("losses"));
+  EXPECT_EQ(traced.final_population, untraced.final_population);
+
+  // The trace counter and the collector count the same episodes.
+  EXPECT_EQ(CounterValue(session, "repair/episodes"),
+            traced.report.Count("repairs"));
+
+  // One "round" span per simulated round, one "scenario/run" per run.
+  const PhaseStat* round = FindPhase(session.PhaseStats(), "round");
+  ASSERT_NE(round, nullptr);
+  EXPECT_EQ(round->count, scenario.rounds);
+  const PhaseStat* run = FindPhase(session.PhaseStats(), "scenario/run");
+  ASSERT_NE(run, nullptr);
+  EXPECT_EQ(run->count, 1);
+
+  // The monitor's flushed query statistics reached the session.
+  EXPECT_GT(CounterValue(session, "monitor/observe"), 0);
+}
+
+}  // namespace
+}  // namespace trace
+}  // namespace p2p
