@@ -4,15 +4,46 @@
 
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
+#include "backup/hotpath_probe.h"
 #include "backup/network.h"
 #include "churn/profile.h"
 #include "monitor/availability_monitor.h"
 #include "sim/engine.h"
 #include "sim/event_queue.h"
+#include "util/rng.h"
 
 namespace {
 
 using namespace p2p;
+
+// The per-call bounded draw vs the batch the repair sampler uses. The batch
+// is bit-identical to per-call draws by contract (RngTest proves it); the
+// bench quantifies what the amortized call overhead is worth.
+void BM_RngUniformInt(benchmark::State& state) {
+  util::Rng rng(1);
+  int64_t acc = 0;
+  for (auto _ : state) {
+    acc += rng.UniformInt(0, 24999);
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RngUniformInt);
+
+void BM_RngUniformIntBatch(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  int64_t out[64];
+  for (auto _ : state) {
+    rng.UniformIntBatch(0, 24999, out, n);
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n));
+}
+BENCHMARK(BM_RngUniformIntBatch)->Arg(8)->Arg(64);
 
 void BM_CalendarQueueScheduleDrain(benchmark::State& state) {
   const int events_per_round = static_cast<int>(state.range(0));
@@ -104,6 +135,81 @@ void BM_MonitorObserveMemoized(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_MonitorObserveMemoized)->Arg(256)->Arg(1024);
+
+// A warmed-up steady-state world for episode-level benches: paper churn
+// profiles, population `peers`, run far enough past bootstrap that partner
+// sets, quotas, and scratch capacities reflect the steady state.
+struct WarmWorld {
+  explicit WarmWorld(uint32_t peers) : profiles(churn::ProfileSet::Paper()) {
+    eopts.seed = 7;
+    eopts.end_round = INT64_MAX / 2;
+    engine = std::make_unique<sim::Engine>(eopts);
+    backup::SystemOptions opts;
+    opts.num_peers = peers;
+    opts.k = 16;
+    opts.m = 16;
+    opts.repair_threshold = 24;
+    opts.quota_blocks = 48;
+    network =
+        std::make_unique<backup::BackupNetwork>(engine.get(), &profiles, opts);
+    for (int i = 0; i < 400; ++i) engine->Step();
+  }
+
+  backup::PeerId NextRepairable(backup::PeerId after) const {
+    const uint32_t n = network->options().num_peers;
+    for (uint32_t step = 0; step < n; ++step) {
+      const backup::PeerId id = (after + 1 + step) % n;
+      if (network->IsLive(id) && network->IsOnline(id) &&
+          network->IsBackedUp(id) && network->AliveBlocks(id) > 12) {
+        return id;
+      }
+    }
+    return 0;
+  }
+
+  sim::EngineOptions eopts;
+  churn::ProfileSet profiles;
+  std::unique_ptr<sim::Engine> engine;
+  std::unique_ptr<backup::BackupNetwork> network;
+};
+
+// The candidate-sampling pass in isolation: draw, SoA-lane reject, quota
+// market, acceptance, estimator scoring - into the network's scratch pool.
+void BM_BuildPool(benchmark::State& state) {
+  WarmWorld world(static_cast<uint32_t>(state.range(0)));
+  backup::HotPathProbe probe(world.network.get());
+  backup::PeerId owner = world.NextRepairable(0);
+  const int64_t draws_before = world.network->pool_stats().draws;
+  int64_t pooled = 0;
+  for (auto _ : state) {
+    owner = world.NextRepairable(owner);
+    pooled += probe.BuildPool(owner, 8);
+    benchmark::DoNotOptimize(pooled);
+  }
+  const auto& ps = world.network->pool_stats();
+  state.SetItemsProcessed(ps.draws - draws_before);  // draws/s: hot-path unit
+  state.counters["pool_per_episode"] =
+      benchmark::Counter(static_cast<double>(pooled) /
+                         static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_BuildPool)->Arg(1000)->Arg(5000);
+
+// A full repair episode against the steady-state world: sever ten
+// partnerships (organic-loss path, quota released), flag, then repair -
+// evaluate, pool, score, rank, place.
+void BM_RepairEpisode(benchmark::State& state) {
+  WarmWorld world(static_cast<uint32_t>(state.range(0)));
+  backup::HotPathProbe probe(world.network.get());
+  backup::PeerId owner = world.NextRepairable(0);
+  for (auto _ : state) {
+    owner = world.NextRepairable(owner);
+    probe.SeverPartners(owner, 10);
+    probe.RunRepair(owner);
+  }
+  state.SetItemsProcessed(state.iterations());
+  world.network->CheckInvariants();
+}
+BENCHMARK(BM_RepairEpisode)->Arg(1000)->Arg(5000)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

@@ -10,7 +10,8 @@
 // The document carries: build metadata, the grid shape, end-to-end wall
 // time and peers*rounds/sec throughput, the per-phase wall-time breakdown
 // from the traced pass, monitor-query micro numbers derived from the trace
-// counters, and the measured tracing overhead (enabled-vs-disabled wall
+// counters, the repair-pool sampling funnel (draws, reject attribution,
+// acceptance and score-memo rates), and the measured tracing overhead (enabled-vs-disabled wall
 // time plus the nanosecond cost of a TRACE_SCOPE with no session
 // installed). Timing varies run to run; everything else is deterministic.
 
@@ -153,6 +154,15 @@ struct BenchDoc {
   double observe_calls = 0.0;
   double memo_hit_percent = 0.0;
   double score_ns_per_observe = 0.0;
+  int64_t pool_draws = 0;
+  int64_t pool_reject_dup = 0;
+  int64_t pool_reject_not_live = 0;
+  int64_t pool_reject_offline = 0;
+  int64_t pool_reject_quota_full = 0;
+  int64_t pool_reject_acceptance = 0;
+  int64_t pool_accepted = 0;
+  double pool_accept_percent = 0.0;
+  double score_memo_hit_percent = 0.0;
   double disabled_cpu_seconds = 0.0;
   double enabled_cpu_seconds = 0.0;
   double overhead_percent = 0.0;
@@ -219,6 +229,18 @@ void WriteBenchJson(const BenchDoc& d, std::ostream& os) {
   os << "    \"observe_calls\": " << Num(d.observe_calls) << ",\n";
   os << "    \"memo_hit_percent\": " << Num(d.memo_hit_percent) << ",\n";
   os << "    \"score_ns_per_observe\": " << Num(d.score_ns_per_observe)
+     << "\n";
+  os << "  },\n";
+  os << "  \"repair_pool\": {\n";
+  os << "    \"draws\": " << d.pool_draws << ",\n";
+  os << "    \"reject_dup\": " << d.pool_reject_dup << ",\n";
+  os << "    \"reject_not_live\": " << d.pool_reject_not_live << ",\n";
+  os << "    \"reject_offline\": " << d.pool_reject_offline << ",\n";
+  os << "    \"reject_quota_full\": " << d.pool_reject_quota_full << ",\n";
+  os << "    \"reject_acceptance\": " << d.pool_reject_acceptance << ",\n";
+  os << "    \"accepted\": " << d.pool_accepted << ",\n";
+  os << "    \"accept_percent\": " << Num(d.pool_accept_percent) << ",\n";
+  os << "    \"score_memo_hit_percent\": " << Num(d.score_memo_hit_percent)
      << "\n";
   os << "  },\n";
   os << "  \"trace_overhead\": {\n";
@@ -323,11 +345,34 @@ int main(int argc, char** argv) {
   doc.phases = session->PhaseStats();
   doc.counters = session->CounterStats();
   double observe = 0.0, memo_hits = 0.0;
+  int64_t score_memo_hits = 0, score_evals = 0;
   uint64_t score_ns = 0;
   for (const auto& c : doc.counters) {
     if (c.name == "monitor/observe") observe = static_cast<double>(c.value);
     if (c.name == "monitor/observe_memo_hits")
       memo_hits = static_cast<double>(c.value);
+    if (c.name == "repair/pool_draws") doc.pool_draws = c.value;
+    if (c.name == "repair/pool_reject_dup") doc.pool_reject_dup = c.value;
+    if (c.name == "repair/pool_reject_not_live")
+      doc.pool_reject_not_live = c.value;
+    if (c.name == "repair/pool_reject_offline")
+      doc.pool_reject_offline = c.value;
+    if (c.name == "repair/pool_reject_quota_full")
+      doc.pool_reject_quota_full = c.value;
+    if (c.name == "repair/pool_reject_acceptance")
+      doc.pool_reject_acceptance = c.value;
+    if (c.name == "repair/pool_accepted") doc.pool_accepted = c.value;
+    if (c.name == "repair/score_memo_hits") score_memo_hits = c.value;
+    if (c.name == "repair/score_evals") score_evals = c.value;
+  }
+  if (doc.pool_draws > 0) {
+    doc.pool_accept_percent = static_cast<double>(doc.pool_accepted) /
+                              static_cast<double>(doc.pool_draws) * 100.0;
+  }
+  if (score_memo_hits + score_evals > 0) {
+    doc.score_memo_hit_percent =
+        static_cast<double>(score_memo_hits) /
+        static_cast<double>(score_memo_hits + score_evals) * 100.0;
   }
   for (const auto& p : doc.phases) {
     if (p.name == "repair/score") score_ns = p.total_ns;

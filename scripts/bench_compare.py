@@ -3,22 +3,38 @@
 
     scripts/bench_compare.py BENCH_6.json build/bench_now.json
     scripts/bench_compare.py --warn-only baseline.json current.json
+    scripts/bench_compare.py --trajectory                 # all BENCH_*.json
+    scripts/bench_compare.py --trajectory --csv traj.csv BENCH_*.json
 
-Compares end-to-end wall time, throughput, and the per-phase wall-time
-breakdown; a phase whose total grew by more than --threshold (default 10%)
-is flagged. Phases that carry a negligible share of the runtime are skipped
-(timer noise dominates them), as are comparisons the two documents cannot
-support: with different thread counts only phase totals (summed work) are
-compared, and with different grid shapes nothing is flagged at all - the
-numbers are merely shown side by side.
+Pairwise mode compares end-to-end wall time, throughput, and the per-phase
+wall-time breakdown; a phase whose total grew by more than --threshold
+(default 10%) is flagged, as is (with --share-points N) a phase whose share
+of the dominant phase rose by more than N percentage points - the
+share-based check is robust to uniformly slow runners, where every total
+inflates but the shape of the profile should not. Phases that carry a
+negligible share of the runtime are skipped (timer noise dominates them),
+as are comparisons the two documents cannot support: with different thread
+counts only phase totals (summed work) are compared, and with different
+grid shapes nothing is flagged at all - the numbers are merely shown side
+by side.
+
+--trajectory mode walks the committed BENCH_<pr>.json documents in PR order
+(globbed from the repo root when no files are given; quick variants are
+skipped) and renders one per-phase share table across PRs as markdown, plus
+CSV with --csv. It flags nothing - it is the longitudinal view of how each
+PR moved the profile.
 
 Exit status: 0 when clean or --warn-only, 1 on a flagged regression, 2 on
-unusable input. CI runs this non-blocking (--warn-only) so the trajectory
-is visible in logs without gating merges on a noisy runner.
+unusable input. CI runs the quick compare blocking (gross-regression
+thresholds) and the full-grid compare --warn-only, so the trajectory is
+visible in logs without gating merges on a noisy runner's wall clock.
 """
 
 import argparse
+import glob
 import json
+import os
+import re
 import sys
 
 # Phases below this share of the dominant phase are noise-dominated.
@@ -54,15 +70,103 @@ def same_threads(a, b):
     return a.get("grid", {}).get("threads") == b.get("grid", {}).get("threads")
 
 
+def bench_sort_key(path):
+    """BENCH_7.json sorts after BENCH_6.json numerically, not lexically."""
+    m = re.search(r"BENCH_(\d+)", os.path.basename(path))
+    return (int(m.group(1)) if m else 1 << 30, path)
+
+
+def doc_label(path):
+    return os.path.splitext(os.path.basename(path))[0]
+
+
+def trajectory(paths, csv_path):
+    """Per-phase share table across every committed trajectory document."""
+    if not paths:
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        paths = [p for p in glob.glob(os.path.join(root, "BENCH_*.json"))
+                 if ".quick." not in os.path.basename(p)]
+    if not paths:
+        sys.exit("bench_compare: no BENCH_*.json documents found")
+    paths = sorted(paths, key=bench_sort_key)
+    docs = [load(p) for p in paths]
+    labels = [doc_label(p) for p in paths]
+
+    # Phase rows in first-seen order across the whole sequence, so a phase
+    # introduced mid-trajectory still lands in a stable place.
+    phase_names = []
+    for doc in docs:
+        for p in doc.get("phases", []):
+            if p["name"] not in phase_names:
+                phase_names.append(p["name"])
+
+    def shares(doc):
+        return {p["name"]: p.get("share_percent", 0.0)
+                for p in doc.get("phases", [])}
+    per_doc = [shares(d) for d in docs]
+
+    rows = []
+    rows.append(["wall_seconds"] +
+                [f"{d.get('totals', {}).get('wall_seconds', 0.0):.3f}"
+                 for d in docs])
+    rows.append(["peer_rounds_per_second"] +
+                [f"{d.get('totals', {}).get('peer_rounds_per_second', 0.0):.0f}"
+                 for d in docs])
+    for name in phase_names:
+        rows.append([f"phase {name} (share %)"] +
+                    [f"{s[name]:.1f}" if name in s else "-" for s in per_doc])
+
+    widths = [max(len(r[i]) for r in rows + [["metric"] + labels])
+              for i in range(len(labels) + 1)]
+
+    def md_row(cells):
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(cells, widths)) \
+            + " |"
+
+    print(md_row(["metric"] + labels))
+    print("|" + "|".join("-" * (w + 2) for w in widths) + "|")
+    for r in rows:
+        print(md_row(r))
+    grids = {(d.get("grid", {}).get("peers"), d.get("grid", {}).get("rounds"),
+              d.get("grid", {}).get("cells")) for d in docs}
+    if len(grids) > 1:
+        print("\nnote: grid shapes differ across documents; shares are "
+              "within-document profile shape, totals are not comparable")
+
+    if csv_path:
+        with open(csv_path, "w") as f:
+            f.write(",".join(["metric"] + labels) + "\n")
+            for r in rows:
+                f.write(",".join(r) + "\n")
+        print(f"\nwrote {csv_path}")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    ap.add_argument("baseline")
-    ap.add_argument("current")
+    ap.add_argument("files", nargs="*",
+                    help="pairwise: BASELINE CURRENT; --trajectory: any "
+                         "number of BENCH_*.json (default: repo root glob)")
     ap.add_argument("--threshold", type=float, default=10.0,
                     help="regression threshold in percent (default 10)")
+    ap.add_argument("--share-points", type=float, default=None,
+                    help="also flag a phase whose share of the dominant "
+                         "phase rose by more than this many percentage "
+                         "points (default: off)")
     ap.add_argument("--warn-only", action="store_true",
                     help="report regressions but exit 0")
+    ap.add_argument("--trajectory", action="store_true",
+                    help="render the per-phase share table across all "
+                         "given (or committed) BENCH_*.json documents")
+    ap.add_argument("--csv", default=None,
+                    help="with --trajectory: also write the table as CSV")
     args = ap.parse_args()
+
+    if args.trajectory:
+        return trajectory(args.files, args.csv)
+    if len(args.files) != 2:
+        ap.error("pairwise mode takes exactly two files: BASELINE CURRENT")
+    args.baseline, args.current = args.files
 
     base = load(args.baseline)
     cur = load(args.current)
@@ -124,6 +228,15 @@ def main():
                d, flagged)
         if flagged:
             regressions.append(f"phase {name} +{d:.1f}%")
+        if args.share_points is not None and comparable:
+            share_delta = (p.get("share_percent", 0.0)
+                           - bp.get("share_percent", 0.0))
+            if share_delta > args.share_points:
+                report(f"phase/{name} (share %)",
+                       bp.get("share_percent", 0.0),
+                       p.get("share_percent", 0.0), share_delta, True)
+                regressions.append(
+                    f"phase {name} share +{share_delta:.1f} points")
     for name in base_phases:
         if name not in {p["name"] for p in cur.get("phases", [])}:
             print(f"   phase {name}: dropped (baseline only)")

@@ -92,6 +92,13 @@ BackupNetwork::BackupNetwork(sim::Engine* engine,
   partners_.resize(normal_slots_);
   clients_.resize(normal_slots_);
   mark_.assign(normal_slots_ + kMaxObservers, 0);
+  // Hot-path lanes and scratch (README "Hot path"): all-zero eligibility is
+  // correct for the not-yet-live slots peers_.resize() just created, and -1
+  // marks every score-memo entry invalid (rounds start at 0).
+  elig_.assign(normal_slots_ + kMaxObservers, 0);
+  join_lane_.assign(normal_slots_ + kMaxObservers, 0);
+  score_round_.assign(normal_slots_ + kMaxObservers, -1);
+  score_val_.assign(normal_slots_ + kMaxObservers, 0.0);
 
   BootstrapPopulation();
   engine_->AddRoundHook([this](sim::Round now) { OnRound(now); });
@@ -116,6 +123,8 @@ size_t BackupNetwork::AddObserver(const std::string& name, sim::Round frozen_age
   p.frozen_age = frozen_age;
   p.online = true;
   p.needs_repair = true;
+  RefreshElig(id);  // observers are never candidates, but the lane mirrors
+                    // every id so CheckInvariants stays uniform
   monitor_.RecordJoin(id, 0);
   monitor_.RecordConnect(id, 0);
   EnqueueRepair(id);
@@ -157,6 +166,9 @@ void BackupNetwork::InitPeer(PeerId id, sim::Round now) {
   p.needs_repair = true;
   collector_.OnRepairFlagged(id, now);
   EnqueueRepair(id);
+
+  join_lane_[id] = now;
+  RefreshElig(id);
 }
 
 void BackupNetwork::DepartPeer(PeerId id, sim::Round now, bool replace) {
@@ -193,6 +205,7 @@ void BackupNetwork::DepartPeer(PeerId id, sim::Round now, bool replace) {
     const uint32_t incarnation = p.incarnation;
     p = PeerState();
     p.incarnation = incarnation;
+    RefreshElig(id);
     return;
   }
   InitPeer(id, now);  // immediate replacement (paper 4.1)
@@ -245,6 +258,7 @@ void BackupNetwork::OnRound(sim::Round now) {
       if (peers_[e.id].incarnation == e.incarnation &&
           peers_[e.id].hosted > 0) {
         --peers_[e.id].hosted;
+        RefreshElig(e.id);
       }
     });
     category_events_.DrainInto(
@@ -296,6 +310,7 @@ void BackupNetwork::ProcessToggle(const Event& e, sim::Round now) {
     const sim::Round on_len = profile.sessions.SampleOnline(churn_rng_);
     p.next_toggle = now + on_len;
   }
+  RefreshElig(e.id);
   toggles_.Schedule(p.next_toggle, Event{e.id, p.incarnation, p.next_toggle});
 }
 
@@ -342,6 +357,7 @@ void BackupNetwork::AddPartnership(PeerId owner, PeerId host) {
   } else {
     ++h.observer_clients;
   }
+  RefreshElig(host);  // hosted may have crossed the quota boundary
   if (instant_visibility() && h.online) ++peers_[owner].visible;
 }
 
@@ -378,6 +394,7 @@ void BackupNetwork::RemovePartnerAt(PeerId owner, uint32_t index,
   } else if (h.observer_clients > 0) {
     --h.observer_clients;
   }
+  RefreshElig(host);  // hosted may have crossed back under the quota
   if (instant_visibility() && h.online && peers_[owner].visible > 0) {
     --peers_[owner].visible;
   }
@@ -615,12 +632,13 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
   }
   if (needed > 0) {
     TRACE_SCOPE("repair/place");
-    std::vector<core::Candidate> pool;
-    BuildPool(id, needed, &pool);
-    std::vector<uint32_t> chosen;
-    selection_->Choose(&pool, needed, place_rng_, &chosen);
+    // Member scratch, not locals: a steady-state episode must not allocate
+    // (both vectors keep their high-water capacity across episodes).
+    BuildPool(id, needed, &scratch_pool_);
+    scratch_chosen_.clear();
+    selection_->Choose(&scratch_pool_, needed, place_rng_, &scratch_chosen_);
     int64_t placed = 0;
-    for (uint32_t host : chosen) {
+    for (uint32_t host : scratch_chosen_) {
       if (TryPlaceBlock(id, host, now)) ++placed;
     }
     collector_.OnUpload(placed);
@@ -645,6 +663,7 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
 int BackupNetwork::BuildPool(PeerId owner, int needed,
                              std::vector<core::Candidate>* pool) {
   TRACE_SCOPE("repair/pool");
+  pool->clear();
   const int target_pool = std::max(
       needed, static_cast<int>(std::ceil(options_.pool_factor * needed)));
   const int64_t max_draws =
@@ -655,45 +674,109 @@ int BackupNetwork::BuildPool(PeerId owner, int needed,
 
   const sim::Round now = engine_->now();
   const sim::Round owner_age = AgeOf(owner);
+  const sim::Round owner_market_age = MarketAge(owner);  // round-constant
   pool->reserve(static_cast<size_t>(target_pool));
-  for (int64_t draw = 0;
-       draw < max_draws && static_cast<int>(pool->size()) < target_pool; ++draw) {
-    const PeerId c = static_cast<PeerId>(
-        place_rng_->UniformInt(0, static_cast<int64_t>(normal_slots_) - 1));
-    if (mark_[c] == mark_epoch_) continue;
-    mark_[c] = mark_epoch_;
-    const PeerState& cand = peers_[c];
-    // Vacant slots (pre-join reserves, workload exits) are not members.
-    if (!cand.live) continue;
-    // Instant mode admits offline candidates: "the upload of generated
-    // blocks can be done later as new partners become available" (paper
-    // 3.1). Timeout mode must not: an offline partner would start timing
-    // out immediately.
-    if (!cand.online && !instant_visibility()) continue;
-    if (cand.hosted >= options_.quota_blocks) {
-      // Full hosts stay in the market for peers older than their youngest
-      // client (tit-for-tat displacement).
-      if (!options_.quota_market) continue;
-      const sim::Round youngest = std::min(now - YoungestClientJoin(c),
-                                           options_.acceptance_horizon);
-      if (youngest >= MarketAge(owner)) continue;
-    }
-    const sim::Round cand_age = now - cand.join_round;
-    if (options_.use_acceptance &&
-        !acceptance_.MutualAccept(owner_age, cand_age, place_rng_)) {
+
+  // Fast-reject mask over the SoA eligibility lane. Candidates must be
+  // members ("vacant slots are not members") and, in timeout mode, online:
+  // instant mode admits offline candidates because "the upload of generated
+  // blocks can be done later as new partners become available" (paper 3.1),
+  // while in timeout mode an offline partner would start timing out
+  // immediately.
+  const uint8_t need_mask =
+      instant_visibility() ? kEligLive
+                           : static_cast<uint8_t>(kEligLive | kEligOnline);
+
+  // The sequential semantics this loop must reproduce bit-for-bit: one
+  // UniformInt(0, peers-1) per examined candidate, with the two acceptance
+  // draws interleaved right after any candidate that survives the cheap
+  // rejects. The draw is UniformIntHoisted - UniformInt with the bound
+  // reduction (a hardware divide) hoisted to once per episode, identical
+  // draw for draw (UniformIntBatch is the same helper in a loop; RngTest
+  // locks all three together) - and the generator inlines into this loop,
+  // so the per-draw cost is the xoshiro step, one multiply, and one byte
+  // of eligibility state. Rejection counters accumulate in locals and
+  // flush to pool_stats_ once per episode: at hundreds of millions of
+  // draws per grid, a member increment per draw is a measurable store.
+  const uint64_t span = static_cast<uint64_t>(normal_slots_);
+  const uint64_t floor = (0 - span) % span;
+  const uint32_t epoch = mark_epoch_;
+  uint32_t* const mark = mark_.data();
+  const uint8_t* const elig = elig_.data();
+  const sim::Round* const join_lane = join_lane_.data();
+  util::Rng* const rng = place_rng_;
+  const bool use_acceptance = options_.use_acceptance;
+  const bool quota_market = options_.quota_market;
+  int64_t draws = 0, rej_dup = 0, rej_not_live = 0, rej_offline = 0,
+          rej_quota_full = 0, rej_acceptance = 0, accepted = 0;
+
+  int pool_count = 0;
+  while (draws < max_draws && pool_count < target_pool) {
+    ++draws;
+    const PeerId c = static_cast<PeerId>(rng->UniformIntHoisted(0, span, floor));
+    if (mark[c] == epoch) {
+      ++rej_dup;
       continue;
     }
+    mark[c] = epoch;
+    const uint8_t e = elig[c];
+    if ((e & need_mask) != need_mask) {
+      if ((e & kEligLive) == 0) {
+        ++rej_not_live;
+      } else {
+        ++rej_offline;
+      }
+      continue;
+    }
+    if ((e & kEligQuotaFull) != 0) {
+      // Full hosts stay in the market for peers older than their youngest
+      // client (tit-for-tat displacement).
+      if (!quota_market) {
+        ++rej_quota_full;
+        continue;
+      }
+      const sim::Round youngest = std::min(now - YoungestClientJoin(c),
+                                           options_.acceptance_horizon);
+      if (youngest >= owner_market_age) {
+        ++rej_quota_full;
+        continue;
+      }
+    }
+    const sim::Round cand_age = now - join_lane[c];
+    if (use_acceptance && !acceptance_.MutualAccept(owner_age, cand_age, rng)) {
+      ++rej_acceptance;
+      continue;
+    }
+    ++accepted;
+    ++pool_count;
     pool->push_back(core::Candidate{c, cand_age, 0.0});
   }
+  pool_stats_.draws += draws;
+  pool_stats_.reject_dup += rej_dup;
+  pool_stats_.reject_not_live += rej_not_live;
+  pool_stats_.reject_offline += rej_offline;
+  pool_stats_.reject_quota_full += rej_quota_full;
+  pool_stats_.reject_acceptance += rej_acceptance;
+  pool_stats_.accepted += accepted;
   // One monitor snapshot pass per episode scores the whole pool: the
   // estimator ranks by what the monitoring protocol can actually answer
-  // (age, recent uptime, last-seen), and the per-round memo means a peer
-  // pooled by many repairing owners in one round is observed once.
+  // (age, recent uptime, last-seen). Scores are memoized per (peer, round):
+  // every monitor event and estimator update lands in the adjustment/churn
+  // phases that run strictly before this repairs phase, so a peer pooled by
+  // many repairing owners in one round is scored once.
   {
     TRACE_SCOPE("repair/score");
     for (core::Candidate& cand : *pool) {
+      if (score_round_[cand.id] == now) {
+        ++pool_stats_.score_memo_hits;
+        cand.score = score_val_[cand.id];
+        continue;
+      }
+      ++pool_stats_.score_evals;
       cand.score = estimator_->StabilityScore(
           monitor_.Observe(cand.id, monitor_.history_window(), now));
+      score_round_[cand.id] = now;
+      score_val_[cand.id] = cand.score;
     }
   }
   return static_cast<int>(pool->size());
@@ -802,6 +885,16 @@ void BackupNetwork::CheckInvariants() const {
     P2P_CHECK(std::adjacent_find(hosts.begin(), hosts.end()) == hosts.end());
   }
   P2P_CHECK(live_check == live_count_);
+  // The SoA hot-path lanes must mirror PeerState exactly (RefreshElig is
+  // called at every mutation site; a miss here means a site was forgotten).
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    const PeerState& p = peers_[id];
+    const uint8_t want = static_cast<uint8_t>(
+        (p.live ? kEligLive : 0) | (p.online ? kEligOnline : 0) |
+        (p.hosted >= options_.quota_blocks ? kEligQuotaFull : 0));
+    P2P_CHECK(elig_[id] == want);
+    if (p.live && !p.is_observer) P2P_CHECK(join_lane_[id] == p.join_round);
+  }
   for (PeerId h = 0; h < peers_.size(); ++h) {
     if (options_.departure_grace == 0) {
       P2P_CHECK(peers_[h].hosted == hosted_check[h]);

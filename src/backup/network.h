@@ -51,12 +51,26 @@ struct PopulationAdjustment {
   uint32_t exits = 0;
 };
 
+/// Test/bench backdoor into the repair hot path (defined by the micro
+/// benches and white-box tests that need to drive BuildPool/RunRepair in
+/// isolation; production code must not use it).
+struct HotPathProbe;
+
 /// \brief The simulation network; attach to an Engine, add observers, run.
 ///
 /// Results: the network does not own result structs of its own - it emits
 /// typed events into a metrics::Collector (see metrics/collector.h), and
 /// `metrics()` exposes that collector for totals, per-category accounting,
 /// observer results, the daily series, and RunReport construction.
+///
+/// Hot-path layout (see README "Hot path"): the repair rejection loop runs
+/// on dense per-peer SoA lanes (a one-byte eligibility mask and a join-round
+/// lane) maintained incrementally at every state transition, consumes its
+/// RNG draws through an inlined hoisted-bound form that stays bit-identical
+/// to the historical per-draw sequence, reuses per-network scratch buffers
+/// so a
+/// steady-state repair episode performs zero heap allocations, and memoizes
+/// estimator scores per (peer, round).
 class BackupNetwork {
  public:
   /// Wires the network into `engine` (registers the round hook). The engine
@@ -123,9 +137,28 @@ class BackupNetwork {
     std::array<int, 8> profile_counts{};  ///< by profile index
   };
   PartnerSetStats ComputePartnerStats(PeerId owner) const;
+
+  /// Always-on accounting of the candidate-sampling loop: every draw is
+  /// attributed to exactly one outcome, so
+  /// draws == reject_* + accepted holds at all times. Plain counters bumped
+  /// in the hot loop; scenario reporting flushes them into the trace session
+  /// once per run (the monitor QueryStats pattern).
+  struct PoolStats {
+    int64_t draws = 0;               ///< candidate ids drawn from place RNG
+    int64_t reject_dup = 0;          ///< already marked (self/partner/seen)
+    int64_t reject_not_live = 0;     ///< vacant or never-activated slot
+    int64_t reject_offline = 0;      ///< live but offline (timeout mode)
+    int64_t reject_quota_full = 0;   ///< no quota and no market displacement
+    int64_t reject_acceptance = 0;   ///< failed the mutual acceptance draw
+    int64_t accepted = 0;            ///< entered the candidate pool
+    int64_t score_memo_hits = 0;     ///< pool scores served from the memo
+    int64_t score_evals = 0;         ///< pool scores computed fresh
+  };
+  const PoolStats& pool_stats() const { return pool_stats_; }
   /// @}
 
  private:
+  friend struct HotPathProbe;
   struct Link {
     PeerId peer;       // the peer on the other side
     uint32_t back;     // index of the twin link in the other side's vector
@@ -266,6 +299,42 @@ class BackupNetwork {
   // Pool-sampling scratch: epoch-marked exclusion set.
   std::vector<uint32_t> mark_;
   uint32_t mark_epoch_ = 0;
+
+  // --- repair hot path (SoA lanes, scratch, memo) ---
+  // Eligibility bits mirrored out of PeerState so the rejection loop touches
+  // one dense byte per candidate instead of a ~100-byte struct. Maintained
+  // by RefreshElig at every site that flips live/online or moves hosted
+  // across the quota boundary; CheckInvariants cross-checks the mirror.
+  static constexpr uint8_t kEligLive = 1u << 0;
+  static constexpr uint8_t kEligOnline = 1u << 1;
+  static constexpr uint8_t kEligQuotaFull = 1u << 2;
+  void RefreshElig(PeerId id) {
+    const PeerState& p = peers_[id];
+    elig_[id] = static_cast<uint8_t>((p.live ? kEligLive : 0) |
+                                     (p.online ? kEligOnline : 0) |
+                                     (p.hosted >= options_.quota_blocks
+                                          ? kEligQuotaFull
+                                          : 0));
+  }
+  std::vector<uint8_t> elig_;
+  // join_round lane: the only PeerState field the accept path of the
+  // sampling loop still needs (candidate age). Observers never appear as
+  // candidates, so the lane holds plain join rounds, not EffectiveJoin.
+  std::vector<sim::Round> join_lane_;
+
+  // Per-round stability-score memo. Safe because every input of a score -
+  // monitor history (RecordConnect/Disconnect/Join/Departure) and estimator
+  // state (ObserveDeparture) - mutates only in the adjustment/churn phases,
+  // which run strictly before the repairs phase that computes scores; within
+  // one repairs phase a peer's score is constant.
+  std::vector<sim::Round> score_round_;  // round the memo entry is valid for
+  std::vector<double> score_val_;
+
+  // Episode scratch, reused so steady-state repairs never allocate.
+  std::vector<core::Candidate> scratch_pool_;
+  std::vector<uint32_t> scratch_chosen_;
+
+  PoolStats pool_stats_;
 
   monitor::AvailabilityMonitor monitor_;
   metrics::Collector collector_;

@@ -7,27 +7,46 @@ namespace p2p {
 namespace core {
 namespace {
 
-// Shuffle-then-stable-sort gives a deterministic random tie-break. Ranking
-// is by estimator score with age refining score ties: since every estimator
-// is monotone in age, this reduces to the historical pure-age ordering
+// Shuffle-then-rank gives a deterministic random tie-break. Ranking is by
+// estimator score with age refining score ties: since every estimator is
+// monotone in age, this reduces to the historical pure-age ordering
 // whenever the score is a function of age alone (e.g. the default
 // age-rank), and exact (score, age) ties keep the shuffled order.
-void ShuffleThenSort(std::vector<Candidate>* pool, util::Rng* rng,
-                     bool best_first) {
+//
+// Historically this was a std::stable_sort over the shuffled pool; stable
+// sorts allocate a merge buffer per call, which the allocation-free repair
+// loop forbids. Recording each candidate's post-shuffle position in `tie`
+// extends (score, age) to a total order, under which an in-place unstable
+// std::partial_sort of the `take` front produces byte-for-byte the ordering
+// stable_sort produced: stability is exactly "ties keep prior position".
+// Only the front `take` entries are taken, so ranking work drops from
+// O(pool log pool) to O(pool log take) as a bonus.
+void ShuffleThenRankFront(std::vector<Candidate>* pool, size_t take,
+                          util::Rng* rng, bool best_first) {
   rng->Shuffle(pool);
-  std::stable_sort(pool->begin(), pool->end(),
-                   [best_first](const Candidate& a, const Candidate& b) {
-                     if (a.score != b.score) {
-                       return best_first ? a.score > b.score
-                                         : a.score < b.score;
-                     }
-                     return best_first ? a.age > b.age : a.age < b.age;
-                   });
+  for (size_t i = 0; i < pool->size(); ++i) {
+    (*pool)[i].tie = static_cast<uint32_t>(i);
+  }
+  std::partial_sort(pool->begin(), pool->begin() + static_cast<long>(take),
+                    pool->end(),
+                    [best_first](const Candidate& a, const Candidate& b) {
+                      if (a.score != b.score) {
+                        return best_first ? a.score > b.score
+                                          : a.score < b.score;
+                      }
+                      if (a.age != b.age) {
+                        return best_first ? a.age > b.age : a.age < b.age;
+                      }
+                      return a.tie < b.tie;
+                    });
 }
 
-void TakeFront(const std::vector<Candidate>& pool, int d,
+size_t TakeCount(const std::vector<Candidate>& pool, int d) {
+  return std::min<size_t>(static_cast<size_t>(std::max(d, 0)), pool.size());
+}
+
+void TakeFront(const std::vector<Candidate>& pool, size_t take,
                std::vector<uint32_t>* out) {
-  const size_t take = std::min<size_t>(static_cast<size_t>(d), pool.size());
   for (size_t i = 0; i < take; ++i) out->push_back(pool[i].id);
 }
 
@@ -35,21 +54,23 @@ void TakeFront(const std::vector<Candidate>& pool, int d,
 
 void OldestFirstSelection::Choose(std::vector<Candidate>* pool, int d,
                                   util::Rng* rng, std::vector<uint32_t>* out) const {
-  ShuffleThenSort(pool, rng, /*best_first=*/true);
-  TakeFront(*pool, d, out);
+  const size_t take = TakeCount(*pool, d);
+  ShuffleThenRankFront(pool, take, rng, /*best_first=*/true);
+  TakeFront(*pool, take, out);
 }
 
 void RandomSelection::Choose(std::vector<Candidate>* pool, int d, util::Rng* rng,
                              std::vector<uint32_t>* out) const {
   rng->Shuffle(pool);
-  TakeFront(*pool, d, out);
+  TakeFront(*pool, TakeCount(*pool, d), out);
 }
 
 void YoungestFirstSelection::Choose(std::vector<Candidate>* pool, int d,
                                     util::Rng* rng,
                                     std::vector<uint32_t>* out) const {
-  ShuffleThenSort(pool, rng, /*best_first=*/false);
-  TakeFront(*pool, d, out);
+  const size_t take = TakeCount(*pool, d);
+  ShuffleThenRankFront(pool, take, rng, /*best_first=*/false);
+  TakeFront(*pool, take, out);
 }
 
 WeightedRandomSelection::WeightedRandomSelection(double age_exponent)
@@ -68,7 +89,8 @@ void WeightedRandomSelection::Choose(std::vector<Candidate>* pool, int d,
   // to its pre-estimator behaviour past the saturation horizon). Each pick
   // walks the prefix sums and swap-removes the winner - O(pool * d), fine
   // at pool sizes of a few hundred.
-  std::vector<double> weights(pool->size());
+  std::vector<double>& weights = weights_;  // member scratch: allocation-free
+  weights.resize(pool->size());             // once warm (capacity persists)
   double total = 0.0;
   for (size_t i = 0; i < pool->size(); ++i) {
     weights[i] = std::pow(static_cast<double>((*pool)[i].age) + 1.0,

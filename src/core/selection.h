@@ -31,6 +31,11 @@ struct Candidate {
   uint32_t id = 0;
   sim::Round age = 0;
   double score = 0.0;
+  // Selection-internal tie-break token (the candidate's position after the
+  // random shuffle); lets the rank strategies use an in-place unstable sort
+  // with a total order instead of an allocating std::stable_sort while
+  // producing the exact same ordering. Callers need not initialize it.
+  uint32_t tie = 0;
 };
 
 /// \brief Chooses up to d candidates from a pool.
@@ -89,6 +94,11 @@ class WeightedRandomSelection : public SelectionStrategy {
 
  private:
   double age_exponent_;
+  // Per-pick weight scratch, reused across calls so the repair hot path
+  // stays allocation-free once the capacity high-water mark is reached. A
+  // selection instance belongs to exactly one BackupNetwork (one simulated
+  // world, one thread), so a mutable member is race-free.
+  mutable std::vector<double> weights_;
 };
 
 // Instantiation from declarative specs lives in strategy_registry.h; the

@@ -98,6 +98,18 @@ Outcome RunScenario(const Scenario& scenario, const RunOptions& run) {
     const auto& qs = network->monitor().query_stats();
     TRACE_COUNTER("monitor/observe", qs.observe_calls);
     TRACE_COUNTER("monitor/observe_memo_hits", qs.memo_hits);
+    // Same pattern for the candidate-sampling loop: every draw lands in
+    // exactly one of these buckets (draws == rejects + accepted).
+    const auto& ps = network->pool_stats();
+    TRACE_COUNTER("repair/pool_draws", ps.draws);
+    TRACE_COUNTER("repair/pool_reject_dup", ps.reject_dup);
+    TRACE_COUNTER("repair/pool_reject_not_live", ps.reject_not_live);
+    TRACE_COUNTER("repair/pool_reject_offline", ps.reject_offline);
+    TRACE_COUNTER("repair/pool_reject_quota_full", ps.reject_quota_full);
+    TRACE_COUNTER("repair/pool_reject_acceptance", ps.reject_acceptance);
+    TRACE_COUNTER("repair/pool_accepted", ps.accepted);
+    TRACE_COUNTER("repair/score_memo_hits", ps.score_memo_hits);
+    TRACE_COUNTER("repair/score_evals", ps.score_evals);
     out.report = network->metrics().BuildReport(scenario.rounds);
     out.series = network->metrics().category_series();
     out.observers = network->metrics().observers();

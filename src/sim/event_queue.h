@@ -59,6 +59,18 @@ class CalendarQueue {
     size_ -= drain_scratch_.size();
     ++base_;
     for (E& e : drain_scratch_) fn(e);
+    // Hand the slot its own buffer back (unless a callback scheduled a full
+    // horizon ahead into it, which keeps the swapped-in buffer instead).
+    // Without this, each slot inherits the capacity of whatever round was
+    // drained before it; under clustered schedules (diurnal reconnect
+    // waves) the busy slots then regrow from a small buffer every lap of
+    // the ring, which shows up as steady-state allocations in the round
+    // loop. With it, every slot converges on its own high-water capacity.
+    auto& slot = slots_[Index(at)];
+    if (slot.empty() && slot.capacity() < drain_scratch_.capacity()) {
+      drain_scratch_.clear();
+      slot.swap(drain_scratch_);
+    }
   }
 
   /// Total number of pending events.

@@ -22,51 +22,14 @@ Rng::Rng(uint64_t seed) {
   for (auto& w : s_) w = SplitMix64(&sm);
 }
 
-uint64_t Rng::NextU64() {
-  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
-  const uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
+Rng::State Rng::state() const {
+  State st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  return st;
 }
 
-double Rng::NextDouble() {
-  return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::Bernoulli(double p) {
-  if (p <= 0.0) {
-    NextDouble();  // keep the stream aligned regardless of p
-    return false;
-  }
-  if (p >= 1.0) {
-    NextDouble();
-    return true;
-  }
-  return NextDouble() < p;
-}
-
-int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
-  assert(lo <= hi);
-  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
-  if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
-  // Multiply-shift bounded draw (Lemire); one extra draw on rare rejections.
-  uint64_t x = NextU64();
-  __uint128_t m = static_cast<__uint128_t>(x) * span;
-  uint64_t l = static_cast<uint64_t>(m);
-  if (l < span) {
-    const uint64_t floor = (0 - span) % span;
-    while (l < floor) {
-      x = NextU64();
-      m = static_cast<__uint128_t>(x) * span;
-      l = static_cast<uint64_t>(m);
-    }
-  }
-  return lo + static_cast<int64_t>(m >> 64);
+void Rng::set_state(const State& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
 }
 
 double Rng::UniformDouble(double lo, double hi) {

@@ -31,20 +31,117 @@ class Rng {
   /// Seeds the generator; equal seeds yield equal sequences on all platforms.
   explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
 
-  /// Returns the next raw 64-bit output.
-  uint64_t NextU64();
+  /// Returns the next raw 64-bit output. Inline: the repair sampler draws
+  /// hundreds of millions of candidates per grid, so the generator must
+  /// compile into its caller's loop (the state dependency chain, not call
+  /// overhead, should be the cost).
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   /// Returns the next 32 bits.
   uint32_t NextU32() { return static_cast<uint32_t>(NextU64() >> 32); }
 
   /// Returns a double uniform in [0, 1) with 53 random bits.
-  double NextDouble();
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
 
   /// Returns true with probability `p` (clamped to [0, 1]).
-  bool Bernoulli(double p);
+  bool Bernoulli(double p) {
+    if (p <= 0.0) {
+      NextDouble();  // keep the stream aligned regardless of p
+      return false;
+    }
+    if (p >= 1.0) {
+      NextDouble();
+      return true;
+    }
+    return NextDouble() < p;
+  }
 
   /// Returns an integer uniform in the inclusive range [lo, hi].
-  int64_t UniformInt(int64_t lo, int64_t hi);
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(NextU64());  // full 64 bits
+    // Multiply-shift bounded draw (Lemire); one extra draw on rare
+    // rejections. The rejection floor is only computed (a hardware divide)
+    // when the cheap l < span pre-check fires.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * span;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < span) {
+      const uint64_t floor = (0 - span) % span;
+      while (l < floor) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * span;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return lo + static_cast<int64_t>(m >> 64);
+  }
+
+  /// One UniformInt(lo, lo + span - 1) draw with the bound reduction
+  /// precomputed by the caller: `span` is the range width (> 0) and
+  /// `floor` = (0 - span) % span. Draw-for-draw identical to UniformInt -
+  /// same values, same NextU64 consumption - this is the form a hot
+  /// rejection-sampling loop uses so the divide for `floor` happens once
+  /// per loop, not once per draw (see BackupNetwork::BuildPool).
+  int64_t UniformIntHoisted(int64_t lo, uint64_t span, uint64_t floor) {
+    assert(span != 0 && floor == (0 - span) % span);
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * span;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < span) {
+      while (l < floor) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * span;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return lo + static_cast<int64_t>(m >> 64);
+  }
+
+  /// Fills `out[0..n)` with integers uniform in [lo, hi]. The emitted value
+  /// sequence AND the generator state afterwards are bit-identical to `n`
+  /// sequential UniformInt(lo, hi) calls (it is UniformIntHoisted in a
+  /// loop), so batched and per-call consumers are interchangeable on a
+  /// shared stream without perturbing golden draw sequences.
+  void UniformIntBatch(int64_t lo, int64_t hi, int64_t* out, size_t n) {
+    assert(lo <= hi);
+    const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) {  // full 64-bit range
+      for (size_t i = 0; i < n; ++i) out[i] = static_cast<int64_t>(NextU64());
+      return;
+    }
+    const uint64_t floor = (0 - span) % span;
+    for (size_t i = 0; i < n; ++i) out[i] = UniformIntHoisted(lo, span, floor);
+  }
+
+  /// Opaque generator state snapshot (see state()/set_state()).
+  struct State {
+    uint64_t s[4];
+  };
+
+  /// Captures the current state. Together with set_state() this lets a
+  /// batched consumer resynchronize with a sequential draw sequence: save,
+  /// draw a speculative batch, and - when only a prefix of it turns out to
+  /// be consumable before a data-dependent draw must interleave - restore
+  /// and replay exactly the consumed prefix. Not for reuse/forking streams:
+  /// replaying a state re-emits the same values by design.
+  State state() const;
+
+  /// Restores a snapshot taken from this (or an identically seeded) Rng.
+  void set_state(const State& state);
 
   /// Returns a double uniform in [lo, hi).
   double UniformDouble(double lo, double hi);
@@ -74,6 +171,10 @@ class Rng {
   std::vector<uint32_t> SampleIndices(uint32_t universe, uint32_t count);
 
  private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   uint64_t s_[4];
 };
 

@@ -249,6 +249,55 @@ TEST(SelectionTest, ScoreOutranksAgeAndAgeRefinesScoreTies) {
   EXPECT_EQ(out, (std::vector<uint32_t>{3, 1, 2}));
 }
 
+TEST(SelectionTest, PartialSortRankingMatchesStableSortReference) {
+  // The rank strategies replaced their allocating shuffle + std::stable_sort
+  // with an in-place std::partial_sort over (score, age, post-shuffle
+  // position). Stability is exactly "ties keep prior position", so against a
+  // reference implementation that still stable_sorts the shuffled pool, the
+  // chosen ids must match element-for-element - across random pools dense
+  // in score/age ties and at every take size.
+  util::Rng fill(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<Candidate> pool(static_cast<size_t>(fill.UniformInt(1, 40)));
+    for (size_t i = 0; i < pool.size(); ++i) {
+      pool[i].id = static_cast<uint32_t>(i);
+      pool[i].age = fill.UniformInt(0, 3);     // many age ties
+      pool[i].score = static_cast<double>(fill.UniformInt(0, 2));  // and
+      // score ties, so the shuffled-position tie-break actually decides
+    }
+    const int d = static_cast<int>(fill.UniformInt(0, 45));
+    const bool best_first = trial % 2 == 0;
+
+    auto reference = pool;
+    util::Rng ref_rng(1000 + static_cast<uint64_t>(trial));
+    ref_rng.Shuffle(&reference);
+    std::stable_sort(reference.begin(), reference.end(),
+                     [best_first](const Candidate& a, const Candidate& b) {
+                       if (a.score != b.score) {
+                         return best_first ? a.score > b.score
+                                           : a.score < b.score;
+                       }
+                       return best_first ? a.age > b.age : a.age < b.age;
+                     });
+    std::vector<uint32_t> want;
+    for (size_t i = 0;
+         i < std::min<size_t>(static_cast<size_t>(d), reference.size()); ++i) {
+      want.push_back(reference[i].id);
+    }
+
+    util::Rng rng(1000 + static_cast<uint64_t>(trial));
+    std::vector<uint32_t> got;
+    if (best_first) {
+      OldestFirstSelection().Choose(&pool, d, &rng, &got);
+    } else {
+      YoungestFirstSelection().Choose(&pool, d, &rng, &got);
+    }
+    ASSERT_EQ(got, want) << "trial " << trial << " d=" << d;
+    // Both implementations consumed identical draws: the streams agree after.
+    ASSERT_EQ(rng.NextU64(), ref_rng.NextU64());
+  }
+}
+
 TEST(SelectionTest, RequestMoreThanPool) {
   OldestFirstSelection sel;
   util::Rng rng(6);

@@ -396,6 +396,53 @@ TEST(NetworkTest, AvailabilityWeightedEstimatorPrefersStableHosts) {
   EXPECT_GT(weighted, age_rank);
 }
 
+TEST(NetworkTest, PoolStatsAttributeEveryDraw) {
+  // The candidate-sampling counters are a partition: every id drawn from
+  // the placement stream lands in exactly one reject bucket or is accepted.
+  const auto profiles = churn::ProfileSet::Paper();
+  sim::EngineOptions eopts;
+  // Long enough that the population's ages spread: acceptance rejections
+  // need old owners meeting young replacement candidates.
+  eopts.end_round = 800;
+  sim::Engine engine(eopts);
+  BackupNetwork network(&engine, &profiles, SmallOptions());
+  engine.Run();
+  const auto& ps = network.pool_stats();
+  EXPECT_GT(ps.draws, 0);
+  EXPECT_EQ(ps.draws, ps.reject_dup + ps.reject_not_live +
+                          ps.reject_offline + ps.reject_quota_full +
+                          ps.reject_acceptance + ps.accepted);
+  // Every pooled candidate got a score, from the memo or computed fresh;
+  // the memo only ever hits behind at least one fresh eval.
+  EXPECT_EQ(ps.accepted, ps.score_memo_hits + ps.score_evals);
+  EXPECT_GT(ps.score_evals, 0);
+  // The default scenario runs with acceptance on and the timeout visibility
+  // model over diurnal sessions: both reject reasons must actually occur.
+  EXPECT_GT(ps.reject_offline, 0);
+  EXPECT_GT(ps.reject_acceptance, 0);
+  // Vacant slots only exist under a workload; none here.
+  EXPECT_EQ(ps.reject_not_live, 0);
+}
+
+TEST(NetworkTest, PoolStatsCountVacantSlotsUnderWorkload) {
+  const auto profiles = churn::ProfileSet::Paper();
+  sim::EngineOptions eopts;
+  eopts.end_round = 100;
+  sim::Engine engine(eopts);
+  // A mass exit vacates a third of the id space: the sampler must now hit
+  // (and count) dead slots.
+  std::vector<PopulationAdjustment> workload;
+  workload.push_back(PopulationAdjustment{20, 0, 100});
+  BackupNetwork network(&engine, &profiles, SmallOptions(), workload);
+  engine.Run();
+  network.CheckInvariants();
+  const auto& ps = network.pool_stats();
+  EXPECT_GT(ps.reject_not_live, 0);
+  EXPECT_EQ(ps.draws, ps.reject_dup + ps.reject_not_live +
+                          ps.reject_offline + ps.reject_quota_full +
+                          ps.reject_acceptance + ps.accepted);
+}
+
 TEST(NetworkTest, MaxBlocksPerRoundSpreadsPlacement) {
   SystemOptions opts = SmallOptions();
   opts.max_blocks_per_round = 4;  // initial upload takes >= 8 rounds
