@@ -29,6 +29,8 @@
 #include "sweep/spec.h"
 #include "trace/sinks.h"
 #include "trace/trace.h"
+#include "transfer/link.h"
+#include "transfer/scheduler.h"
 #include "util/flags.h"
 
 namespace {
@@ -75,6 +77,18 @@ sweep::SweepSpec CanonicalGrid(bool quick) {
   }
   return spec;
 }
+
+/// An always-online world where owner 0 downloads from 128 dedicated
+/// sources: the transfer scheduler's contention-free worst case, matching
+/// the paper's single-peer repair analysis.
+class IdleSources : public transfer::PeerDirectory {
+ public:
+  bool Online(transfer::PeerId) const override { return true; }
+  void AppendSources(transfer::PeerId,
+                     std::vector<transfer::PeerId>* out) const override {
+    for (transfer::PeerId src = 1; src <= 128; ++src) out->push_back(src);
+  }
+};
 
 /// Process CPU seconds (all threads). The overhead comparison uses CPU
 /// time, not wall time: instrumentation cost is CPU work, and CPU time is
@@ -168,6 +182,14 @@ struct BenchDoc {
   double overhead_percent = 0.0;
   double disabled_scope_ns = 0.0;
   double disabled_overhead_percent = 0.0;
+  std::string transfer_link;
+  double transfer_analytic_repairs_per_day = 0.0;
+  double transfer_measured_repairs_per_day = 0.0;
+  int64_t transfer_enqueued = 0;
+  int64_t transfer_completed = 0;
+  int64_t transfer_cancelled = 0;
+  int64_t transfer_queue_depth_peak = 0;
+  double transfer_phase_ms = 0.0;
 };
 
 void WriteBenchJson(const BenchDoc& d, std::ostream& os) {
@@ -242,6 +264,18 @@ void WriteBenchJson(const BenchDoc& d, std::ostream& os) {
   os << "    \"accept_percent\": " << Num(d.pool_accept_percent) << ",\n";
   os << "    \"score_memo_hit_percent\": " << Num(d.score_memo_hit_percent)
      << "\n";
+  os << "  },\n";
+  os << "  \"transfer\": {\n";
+  os << "    \"link\": \"" << JsonEscape(d.transfer_link) << "\",\n";
+  os << "    \"analytic_repairs_per_day\": "
+     << Num(d.transfer_analytic_repairs_per_day) << ",\n";
+  os << "    \"measured_repairs_per_day\": "
+     << Num(d.transfer_measured_repairs_per_day) << ",\n";
+  os << "    \"enqueued\": " << d.transfer_enqueued << ",\n";
+  os << "    \"completed\": " << d.transfer_completed << ",\n";
+  os << "    \"cancelled\": " << d.transfer_cancelled << ",\n";
+  os << "    \"queue_depth_peak\": " << d.transfer_queue_depth_peak << ",\n";
+  os << "    \"phase_ms\": " << Num(d.transfer_phase_ms) << "\n";
   os << "  },\n";
   os << "  \"trace_overhead\": {\n";
   os << "    \"disabled_cpu_seconds\": " << Num(d.disabled_cpu_seconds)
@@ -392,6 +426,66 @@ int main(int argc, char** argv) {
   doc.disabled_overhead_percent =
       static_cast<double>(grid_spans) * doc.disabled_scope_ns /
       (doc.disabled_cpu_seconds * 1e9) * 100.0;
+
+  // Transfer section. Two deterministic sub-measurements plus one timed one:
+  // the scheduler driven directly through back-to-back worst-case repairs
+  // (measured ceiling vs the paper's analytic 86400 / delta_repair), and one
+  // traced transfer-enabled cell for the round/transfers phase cost and the
+  // lifetime enqueue/complete/cancel counters.
+  {
+    doc.transfer_link = "dsl-2009";
+    const util::Result<net::LinkProfile> link =
+        transfer::FindLinkProfile(doc.transfer_link);
+    if (!link.ok()) {
+      std::cerr << "bench_trajectory: " << link.status().ToString() << "\n";
+      return 1;
+    }
+    constexpr uint64_t kArchiveBytes = 128ull << 20;
+    constexpr int kK = 128;
+    constexpr int kM = 128;
+    transfer::TransferScheduler sched(*link, /*id_capacity=*/130,
+                                      kArchiveBytes, kK, kM);
+    const IdleSources directory;
+    constexpr int kJobs = 12;
+    sim::Round tick = 0;
+    std::vector<transfer::TransferCompletion> done;
+    for (int job = 0; job < kJobs; ++job) {
+      sched.Enqueue(0, 1, /*initial=*/false, kK, tick);
+      while (sched.HasJob(0)) {
+        done.clear();
+        sched.Tick(++tick, directory, &done);
+      }
+    }
+    doc.transfer_analytic_repairs_per_day = sched.model().MaxRepairsPerDay(kK);
+    doc.transfer_measured_repairs_per_day =
+        24.0 * kJobs / static_cast<double>(tick);
+
+    // One transfer-enabled traced cell. 400 peers regardless of --quick:
+    // below ~300 peers initial placement cannot complete, so no transfer
+    // job would ever run and every counter would read zero.
+    sweep::SweepSpec cell = CanonicalGrid(/*quick=*/true);
+    cell.repair_thresholds = {cell.repair_thresholds.front()};
+    cell.base.peers = 400;
+    cell.base.rounds = 300;
+    cell.base.options.transfer_enabled = true;
+    cell.base.options.transfer_link = doc.transfer_link;
+    trace::TraceSession tsession(topts);
+    tsession.Install();
+    (void)TimeGrid(cell, ropts);
+    trace::TraceSession::Uninstall();
+    for (const auto& c : tsession.CounterStats()) {
+      if (c.name == "transfer/enqueued") doc.transfer_enqueued = c.value;
+      if (c.name == "transfer/completed") doc.transfer_completed = c.value;
+      if (c.name == "transfer/cancelled") doc.transfer_cancelled = c.value;
+      if (c.name == "transfer/queue_depth_peak")
+        doc.transfer_queue_depth_peak = c.value;
+    }
+    for (const auto& p : tsession.PhaseStats()) {
+      if (p.name == "round/transfers") {
+        doc.transfer_phase_ms = static_cast<double>(p.total_ns) * 1e-6;
+      }
+    }
+  }
 
   // Optional CI artifact: one traced cell with spans retained, rendered in
   // whichever format the extension selects (sinks.h).

@@ -51,7 +51,7 @@ int Usage(const char* prog) {
                "       %s show <name|file>\n"
                "       %s run <name|file> [--peers=N] [--rounds=R] [--seed=S] "
                "[--policy=SPEC] [--selection=SPEC] [--estimator=SPEC] "
-               "[--check] [--brief] [--trace=FILE]\n",
+               "[--transfer=LINK] [--check] [--brief] [--trace=FILE]\n",
                prog, prog, prog, prog, prog, prog, prog);
   return 1;
 }
@@ -101,6 +101,7 @@ int main(int argc, char** argv) {
   std::string policy_spec;
   std::string selection_spec;
   std::string estimator_spec;
+  std::string transfer_link;
   std::string trace_path;
 
   util::FlagSet flags;
@@ -117,6 +118,9 @@ int main(int argc, char** argv) {
                "run: override the selection strategy (spec string)");
   flags.String("estimator", &estimator_spec,
                "run: override the lifetime estimator (spec string)");
+  flags.String("transfer", &transfer_link,
+               "run: enable the bandwidth-constrained transfer scheduler on "
+               "the named link profile (dsl-2009, dsl-modern, ftth)");
   flags.Bool("brief", &brief,
              "run: print a one-line summary instead of the metric table");
   flags.String("trace", &trace_path,
@@ -246,6 +250,10 @@ int main(int argc, char** argv) {
       return 1;
     }
     s.options.estimator = *parsed;
+  }
+  if (!transfer_link.empty()) {
+    s.options.transfer_enabled = true;
+    s.options.transfer_link = transfer_link;
   }
   if (auto st = s.Validate(); !st.ok()) {
     std::cerr << "scenario '" << s.name << "': " << st.ToString() << "\n";

@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
   std::string policies = "";
   std::string selections = "";
   std::string estimators = "";
+  std::string links = "";
   std::string metrics = "";
   int64_t replicates = 1;
   int threads = 0;
@@ -67,6 +68,10 @@ int main(int argc, char** argv) {
                "comma-separated estimator specs, e.g. "
                "'age-rank,availability-weighted{exponent=2}' (empty = base "
                "estimator)");
+  flags.String("links", &links,
+               "comma-separated link-profile names (dsl-2009, dsl-modern, "
+               "ftth); each cell runs with the transfer scheduler enabled on "
+               "that link (empty = instant repairs)");
   flags.String("metrics", &metrics,
                "comma-separated metric names to report (see 'scenario_tool "
                "metrics'; empty = default set)");
@@ -123,6 +128,12 @@ int main(int argc, char** argv) {
     if (auto st = scenario::ParseSpecList(estimators, &spec.estimators);
         !st.ok()) {
       std::cerr << "--estimators: " << st.ToString() << "\n";
+      return 1;
+    }
+  }
+  if (!links.empty()) {
+    if (auto st = scenario::ParseStringList(links, &spec.links); !st.ok()) {
+      std::cerr << "--links: " << st.ToString() << "\n";
       return 1;
     }
   }

@@ -48,6 +48,18 @@ for scenario in $(./build/scenario_tool list); do
 done
 
 echo
+echo "== transfer smoke: every registered scenario on the 2009 DSL link, invariant-checked =="
+# The same scenario loop with the bandwidth-constrained transfer scheduler
+# enabled: repairs queue and stretch over rounds instead of completing
+# instantly, so this exercises the enqueue / fair-share tick / completion /
+# cancel-on-departure paths (and their invariants) in every world.
+for scenario in $(./build/scenario_tool list); do
+  echo "-- scenario: ${scenario} (transfer=dsl-2009)"
+  ./build/scenario_tool run "${scenario}" --peers=500 --rounds=200 --check \
+    --transfer=dsl-2009 --brief
+done
+
+echo
 echo "== strategy smoke: every registered policy, selection, and estimator, invariant-checked =="
 # A registered strategy that cannot complete a short run (bad defaults, a
 # FlagLevel that masks its own trigger, a crash in Choose or StabilityScore)

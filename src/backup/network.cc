@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "trace/trace.h"
+#include "transfer/link.h"
 #include "util/logging.h"
 
 namespace p2p {
@@ -16,6 +17,10 @@ constexpr uint64_t kPlacementStream = 0x22;
 
 // Upper bound on observers; sizes the id space above num_peers.
 constexpr uint32_t kMaxObservers = 64;
+
+// Archive size for the transfer scheduler's cost model (paper 2.2.4:
+// "a typical data amount of 128 MB per archive").
+constexpr uint64_t kArchiveBytes = 128ull << 20;
 
 }  // namespace
 
@@ -87,6 +92,15 @@ BackupNetwork::BackupNetwork(sim::Engine* engine,
   estimator_ = std::move(*estimator);
   flag_level_ = policy_->FlagLevel(options.k, n_total);
   partner_cap_ = static_cast<int>(options.max_partner_factor * n_total);
+
+  if (options_.transfer_enabled) {
+    const util::Result<net::LinkProfile> link =
+        transfer::FindLinkProfile(options_.transfer_link);
+    P2P_CHECK(link.ok());  // Validate() vetted the name above
+    transfer_ = std::make_unique<transfer::TransferScheduler>(
+        *link, normal_slots_ + kMaxObservers, kArchiveBytes, options_.k,
+        options_.m);
+  }
 
   peers_.resize(normal_slots_);
   partners_.resize(normal_slots_);
@@ -173,6 +187,11 @@ void BackupNetwork::InitPeer(PeerId id, sim::Round now) {
 
 void BackupNetwork::DepartPeer(PeerId id, sim::Round now, bool replace) {
   PeerState& p = peers_[id];
+  if (transfer_ && p.transfer_pending) {
+    // The machine is gone; its queued transfer dies with it.
+    transfer_->Cancel(id);
+    p.transfer_pending = false;
+  }
   --live_count_;
   collector_.OnDeparture(id, CategoryAt(id, now));
   monitor_.RecordDeparture(id, now);
@@ -263,6 +282,10 @@ void BackupNetwork::OnRound(sim::Round now) {
     });
     category_events_.DrainInto(
         now, [&](const Event& e) { ProcessCategory(e, now); });
+  }
+  if (transfer_) {
+    TRACE_SCOPE("round/transfers");
+    ProcessTransfers(now);
   }
   {
     TRACE_SCOPE("round/repairs");
@@ -525,6 +548,12 @@ int BackupNetwork::EvictOfflinePartners(PeerId owner, int count) {
 
 void BackupNetwork::HandleArchiveLoss(PeerId owner, sim::Round now) {
   PeerState& p = peers_[owner];
+  if (transfer_ && p.transfer_pending) {
+    // The archive the transfer was rebuilding no longer decodes; the fresh
+    // initial placement below enqueues a new job when it completes.
+    transfer_->Cancel(owner);
+    p.transfer_pending = false;
+  }
   if (p.is_observer) {
     collector_.OnObserverLoss(owner - normal_slots_);
   } else {
@@ -575,6 +604,11 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
   PeerState& p = peers_[id];
   const int n = options_.k + options_.m;
 
+  // A transfer job for the previous episode is still moving bytes on the
+  // link; further degradation is absorbed when the job completes (the
+  // completion handler re-evaluates and re-flags).
+  if (p.transfer_pending) return;
+
   // "The peer must first download k blocks to be able to decode the
   // original data": with fewer than k blocks reachable, the repair fails
   // and the archive is lost (paper 4.2.1 discussion of figure 2).
@@ -617,6 +651,7 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
     // A peer that is not yet backed up always proceeds: the initial
     // placement is mandatory regardless of policy.
     p.episode_active = true;
+    p.episode_placed = 0;
     if (p.is_observer) {
       TRACE_COUNTER("repair/observer_episodes", 1);
       collector_.OnObserverRepair(id - normal_slots_);
@@ -642,12 +677,22 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
       if (TryPlaceBlock(id, host, now)) ++placed;
     }
     collector_.OnUpload(placed);
+    p.episode_placed += static_cast<int>(placed);
   }
 
   if (static_cast<int>(partners_[id].size()) >= p.episode_target) {
     p.episode_active = false;
+    if (transfer_ && !p.is_observer) {
+      // Placement chose the hosts; the bytes still have to move on the
+      // link. The repair flag (and the vulnerability window) clears only
+      // when the scheduler reports the job's last byte.
+      p.transfer_pending = true;
+      transfer_->Enqueue(id, p.incarnation, /*initial=*/!p.backed_up,
+                         p.episode_placed, now);
+      return;
+    }
     p.needs_repair = false;
-    if (!p.is_observer) collector_.OnRepairCleared(id, now);
+    if (!p.is_observer) collector_.OnRepairCleared(id, now, /*initial=*/!p.backed_up);
     p.last_repair = now;
     p.backed_up = true;
     // The refreshed set may still sit under the trigger level (newly placed
@@ -657,6 +702,47 @@ void BackupNetwork::RunRepair(PeerId id, sim::Round now) {
   } else {
     // Partial placement: keep trying in subsequent rounds.
     EnqueueRepair(id);
+  }
+}
+
+void BackupNetwork::ProcessTransfers(sim::Round now) {
+  transfer_done_.clear();
+  const TransferDirectory directory(this);
+  transfer_->Tick(now, directory, &transfer_done_);
+  const transfer::TickSample& sample = transfer_->last_tick();
+  if (sample.capacity_bytes > 0.0) {
+    // Only rounds with uplink demand feed the utilization probe; idle
+    // rounds say nothing about contention.
+    collector_.OnUplinkSample(sample.used_bytes, sample.capacity_bytes);
+  }
+  for (const transfer::TransferCompletion& completion : transfer_done_) {
+    // Cancel() on departure / archive loss makes stale completions
+    // impossible, but the incarnation check keeps the event pattern uniform.
+    if (peers_[completion.owner].incarnation != completion.incarnation) {
+      continue;
+    }
+    OnTransferComplete(completion, now);
+  }
+}
+
+void BackupNetwork::OnTransferComplete(
+    const transfer::TransferCompletion& completion, sim::Round now) {
+  TRACE_SCOPE("transfer/complete");
+  PeerState& p = peers_[completion.owner];
+  p.transfer_pending = false;
+  p.needs_repair = false;
+  collector_.OnRepairCleared(completion.owner, now, completion.initial);
+  if (!completion.initial) {
+    // The download phase of a maintenance job is exactly a restore: the k
+    // blocks needed to decode the archive crossed the owner's downlink.
+    collector_.OnRestore(completion.download_rounds);
+  }
+  p.last_repair = now;
+  p.backed_up = true;
+  // The world may have degraded while the bytes moved: re-evaluate rather
+  // than waiting for a further loss event.
+  if (VisibleBasis(completion.owner) < flag_level_) {
+    FlagForRepair(completion.owner);
   }
 }
 
@@ -894,6 +980,22 @@ void BackupNetwork::CheckInvariants() const {
         (p.hosted >= options_.quota_blocks ? kEligQuotaFull : 0));
     P2P_CHECK(elig_[id] == want);
     if (p.live && !p.is_observer) P2P_CHECK(join_lane_[id] == p.join_round);
+  }
+  // Transfer bookkeeping: the pending flag must mirror the scheduler's
+  // queue exactly, and a pending job pins the owner in the flagged,
+  // episode-closed state until completion.
+  for (PeerId id = 0; id < peers_.size(); ++id) {
+    const PeerState& p = peers_[id];
+    if (transfer_ == nullptr) {
+      P2P_CHECK(!p.transfer_pending);
+      continue;
+    }
+    P2P_CHECK(p.transfer_pending == transfer_->HasJob(id));
+    if (p.transfer_pending) {
+      P2P_CHECK(p.live && !p.is_observer);
+      P2P_CHECK(!p.episode_active);
+      P2P_CHECK(p.needs_repair);
+    }
   }
   for (PeerId h = 0; h < peers_.size(); ++h) {
     if (options_.departure_grace == 0) {

@@ -30,6 +30,7 @@
 #include "monitor/availability_monitor.h"
 #include "sim/engine.h"
 #include "sim/event_queue.h"
+#include "transfer/scheduler.h"
 #include "util/rng.h"
 
 namespace p2p {
@@ -155,6 +156,13 @@ class BackupNetwork {
     int64_t score_evals = 0;         ///< pool scores computed fresh
   };
   const PoolStats& pool_stats() const { return pool_stats_; }
+
+  /// The transfer scheduler when `options.transfer_enabled`, else null
+  /// (instant mode). Stats are flushed to trace counters by the scenario
+  /// layer.
+  const transfer::TransferScheduler* transfer() const {
+    return transfer_.get();
+  }
   /// @}
 
  private:
@@ -182,6 +190,12 @@ class BackupNetwork {
     bool needs_repair = false;
     bool in_repair_queue = false;
     bool episode_active = false;
+    // A transfer job for this peer is queued in the scheduler; the repair
+    // flag stays set (vulnerability accrues) until the job completes.
+    bool transfer_pending = false;
+    // Blocks placed by the current/most recent episode; sizes the upload
+    // phase of the episode's transfer job.
+    int episode_placed = 0;
     // Block level the active repair episode restores to (the policy's
     // restore_to verdict, clamped to [k, n]); n for initial placements.
     int episode_target = 0;
@@ -219,6 +233,14 @@ class BackupNetwork {
   void ProcessCategory(const Event& e, sim::Round now);
   void ProcessRepairs(sim::Round now);
   void RunRepair(PeerId id, sim::Round now);
+
+  // --- transfer scheduling (transfer_enabled only) ---
+  /// Advances the scheduler one round and applies completions.
+  void ProcessTransfers(sim::Round now);
+  /// A job's last byte moved: clear the repair flag, record metrics, re-flag
+  /// if the world degraded while the transfer ran.
+  void OnTransferComplete(const transfer::TransferCompletion& completion,
+                          sim::Round now);
 
   // --- partnership maintenance ---
   void AddPartnership(PeerId owner, PeerId host);
@@ -335,6 +357,25 @@ class BackupNetwork {
   std::vector<uint32_t> scratch_chosen_;
 
   PoolStats pool_stats_;
+
+  // Transfer scheduling (null in instant mode). The directory adapter gives
+  // the scheduler a read-only view of online state and partner links.
+  class TransferDirectory : public transfer::PeerDirectory {
+   public:
+    explicit TransferDirectory(const BackupNetwork* net) : net_(net) {}
+    bool Online(transfer::PeerId id) const override {
+      return net_->peers_[id].live && net_->peers_[id].online;
+    }
+    void AppendSources(transfer::PeerId owner,
+                       std::vector<transfer::PeerId>* out) const override {
+      for (const Link& link : net_->partners_[owner]) out->push_back(link.peer);
+    }
+
+   private:
+    const BackupNetwork* net_;
+  };
+  std::unique_ptr<transfer::TransferScheduler> transfer_;
+  std::vector<transfer::TransferCompletion> transfer_done_;  // Tick scratch.
 
   monitor::AvailabilityMonitor monitor_;
   metrics::Collector collector_;

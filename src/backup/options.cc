@@ -2,6 +2,8 @@
 
 #include <string>
 
+#include "transfer/link.h"
+
 namespace p2p {
 namespace backup {
 namespace {
@@ -67,6 +69,12 @@ util::Status SystemOptions::Validate() const {
     return Invalid("sample_interval must be >= 1 round, got " +
                    std::to_string(sample_interval));
   }
+  // The link name must resolve even when transfers are disabled, so a sweep
+  // with a link axis fails at expansion rather than mid-run.
+  if (util::Result<net::LinkProfile> link = transfer::FindLinkProfile(transfer_link);
+      !link.ok()) {
+    return link.status();
+  }
   // Strategy specs: name must be registered, parameters typed and in range.
   if (util::Status st = policy.Validate(); !st.ok()) return st;
   if (util::Status st = selection.Validate(); !st.ok()) return st;
@@ -89,7 +97,9 @@ bool operator==(const SystemOptions& a, const SystemOptions& b) {
          a.quota_market == b.quota_market &&
          a.departure_grace == b.departure_grace &&
          a.loss_rate_tau == b.loss_rate_tau &&
-         a.sample_interval == b.sample_interval;
+         a.sample_interval == b.sample_interval &&
+         a.transfer_enabled == b.transfer_enabled &&
+         a.transfer_link == b.transfer_link;
 }
 
 const char* VisibilityModelName(VisibilityModel model) {

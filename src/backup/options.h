@@ -117,6 +117,17 @@ struct SystemOptions {
   /// Sampling interval of the result time series.
   sim::Round sample_interval = sim::kRoundsPerDay;
 
+  /// Bandwidth-constrained transfer scheduling (section 2.2.4). When false
+  /// (the default, locked byte-identical by the goldens) repairs complete
+  /// instantaneously as before; when true each repair episode becomes a
+  /// queued multi-round transfer job on `transfer_link` and the repair flag
+  /// clears only when the job's last byte moves.
+  bool transfer_enabled = false;
+
+  /// Link profile name for the transfer scheduler (see transfer/link.h:
+  /// "dsl-2009", "dsl-modern", "ftth").
+  std::string transfer_link = "dsl-2009";
+
   /// Checks every knob for consistency: the repair threshold must lie in
   /// [k, k + m], counts must be positive, timeouts and factors sane. The
   /// BackupNetwork constructor calls this and refuses to run on a bad

@@ -20,6 +20,9 @@ struct ComputedProbes {
   double repair_bandwidth = 0, time_to_repair_mean = 0, time_to_repair_p99 = 0,
          partnership_lifetime_mean = 0, vulnerability_rounds = 0,
          final_population = 0;
+  double time_to_backup_mean = 0, time_to_backup_p99 = 0,
+         time_to_restore_mean = 0, time_to_restore_p99 = 0,
+         data_loss_window = 0, uplink_utilization = 0;
   std::array<double, kCategoryCount> repairs_1k{}, losses_1k{}, cum_repairs{},
       cum_losses{}, mean_population{};
 };
@@ -51,6 +54,12 @@ const ProbeEntry kProbes[] = {
     {"cum_losses", nullptr, &ComputedProbes::cum_losses},
     {"mean_population", nullptr, &ComputedProbes::mean_population},
     {"final_population", &ComputedProbes::final_population, nullptr},
+    {"time_to_backup_mean", &ComputedProbes::time_to_backup_mean, nullptr},
+    {"time_to_backup_p99", &ComputedProbes::time_to_backup_p99, nullptr},
+    {"time_to_restore_mean", &ComputedProbes::time_to_restore_mean, nullptr},
+    {"time_to_restore_p99", &ComputedProbes::time_to_restore_p99, nullptr},
+    {"data_loss_window", &ComputedProbes::data_loss_window, nullptr},
+    {"uplink_utilization", &ComputedProbes::uplink_utilization, nullptr},
 };
 
 }  // namespace
@@ -59,6 +68,8 @@ Collector::Collector(uint32_t id_capacity, sim::Round sample_interval)
     : sample_interval_(sample_interval),
       flag_round_(id_capacity, -1),
       repair_duration_hist_(0.0, kEpisodeHistogramCap, kEpisodeHistogramBins),
+      backup_duration_hist_(0.0, kEpisodeHistogramCap, kEpisodeHistogramBins),
+      restore_duration_hist_(0.0, kEpisodeHistogramCap, kEpisodeHistogramBins),
       bandwidth_series_(sample_interval) {
   P2P_CHECK(sample_interval_ > 0);
 }
@@ -95,13 +106,28 @@ void Collector::OnRepairFlagged(uint32_t id, sim::Round now) {
   if (flag_round_[id] < 0) flag_round_[id] = now;
 }
 
-void Collector::OnRepairCleared(uint32_t id, sim::Round now) {
+void Collector::OnRepairCleared(uint32_t id, sim::Round now, bool initial) {
   if (flag_round_[id] < 0) return;
   const sim::Round duration = now - flag_round_[id];
   flag_round_[id] = -1;
   repair_durations_.Add(static_cast<double>(duration));
   repair_duration_hist_.Add(static_cast<double>(duration));
   vulnerability_rounds_ += duration;
+  longest_episode_ = std::max(longest_episode_, duration);
+  if (initial) {
+    backup_durations_.Add(static_cast<double>(duration));
+    backup_duration_hist_.Add(static_cast<double>(duration));
+  }
+}
+
+void Collector::OnRestore(sim::Round rounds) {
+  restore_durations_.Add(static_cast<double>(rounds));
+  restore_duration_hist_.Add(static_cast<double>(rounds));
+}
+
+void Collector::OnUplinkSample(double used, double capacity) {
+  uplink_used_sum_ += used;
+  uplink_capacity_sum_ += capacity;
 }
 
 void Collector::OnPartnershipEnded(sim::Round lifetime) {
@@ -161,12 +187,22 @@ RunReport Collector::BuildReport(sim::Round end_round) const {
   p.time_to_repair_p99 = repair_duration_hist_.Quantile(0.99);
   p.partnership_lifetime_mean = partnership_lifetimes_.mean();
   int64_t vulnerability = vulnerability_rounds_;
+  sim::Round longest = longest_episode_;
   for (const sim::Round flagged : flag_round_) {
     if (flagged >= 0) {
-      vulnerability += std::max<sim::Round>(end_round - flagged, 0);
+      const sim::Round open = std::max<sim::Round>(end_round - flagged, 0);
+      vulnerability += open;
+      longest = std::max(longest, open);
     }
   }
   p.vulnerability_rounds = static_cast<double>(vulnerability);
+  p.data_loss_window = static_cast<double>(longest);
+  p.time_to_backup_mean = backup_durations_.mean();
+  p.time_to_backup_p99 = backup_duration_hist_.Quantile(0.99);
+  p.time_to_restore_mean = restore_durations_.mean();
+  p.time_to_restore_p99 = restore_duration_hist_.Quantile(0.99);
+  p.uplink_utilization =
+      uplink_capacity_sum_ > 0.0 ? uplink_used_sum_ / uplink_capacity_sum_ : 0.0;
   int64_t final_population = 0;
   for (int c = 0; c < kCategoryCount; ++c) {
     const auto cat = static_cast<AgeCategory>(c);

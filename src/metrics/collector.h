@@ -86,7 +86,16 @@ class Collector {
   void OnRepairFlagged(uint32_t id, sim::Round now);
   /// `id`'s flag cleared (episode completed or the policy declined after
   /// the peer recovered): one time-to-repair / vulnerability episode.
-  void OnRepairCleared(uint32_t id, sim::Round now);
+  /// `initial` marks the completion of an initial placement (the episode
+  /// additionally feeds the time-to-backup probes).
+  void OnRepairCleared(uint32_t id, sim::Round now, bool initial = false);
+  /// The download phase of a maintenance transfer took `rounds` rounds:
+  /// one restore-path sample (the k blocks needed to decode crossed the
+  /// owner's downlink).
+  void OnRestore(sim::Round rounds);
+  /// One round of uplink accounting from the transfer scheduler: `used`
+  /// bytes moved out of `capacity` bytes available on loaded uplinks.
+  void OnUplinkSample(double used, double capacity);
   /// A partnership that lived `lifetime` rounds was severed (observer-owned
   /// partnerships excluded by the caller).
   void OnPartnershipEnded(sim::Round lifetime);
@@ -146,6 +155,18 @@ class Collector {
   // cap land in the overflow bucket and report the cap).
   util::Histogram repair_duration_hist_;
   int64_t vulnerability_rounds_ = 0;
+  // Longest single closed episode (data_loss_window; open episodes are
+  // folded in at report time).
+  sim::Round longest_episode_ = 0;
+
+  // Transfer-path probes: initial placements (time-to-backup), maintenance
+  // download phases (time-to-restore), and uplink accounting.
+  util::RunningStat backup_durations_;
+  util::Histogram backup_duration_hist_;
+  util::RunningStat restore_durations_;
+  util::Histogram restore_duration_hist_;
+  double uplink_used_sum_ = 0.0;
+  double uplink_capacity_sum_ = 0.0;
 
   util::RunningStat partnership_lifetimes_;
 

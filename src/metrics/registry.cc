@@ -97,6 +97,34 @@ void RegisterBuiltinsLocked(Registry* r) {
   r->metrics.push_back(Make(
       "final_population", "peers", "live peers when the run ended", false,
       MetricKind::kCount, MetricAggregation::kMoments, false));
+
+  // --- transfer-scheduling probes (bandwidth-constrained repairs) ---
+  r->metrics.push_back(Make(
+      "time_to_backup_mean", "rounds", "mean rounds from repair flag to "
+      "completed initial placement (transfer time included when the "
+      "scheduler is enabled)", false, MetricKind::kReal,
+      MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "time_to_backup_p99", "rounds", "99th percentile of rounds from repair "
+      "flag to completed initial placement", false, MetricKind::kReal,
+      MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "time_to_restore_mean", "rounds", "mean rounds a maintenance repair "
+      "spent downloading the k blocks needed to decode (the restore path)",
+      false, MetricKind::kReal, MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "time_to_restore_p99", "rounds", "99th percentile of the restore-path "
+      "download rounds", false, MetricKind::kReal,
+      MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "data_loss_window", "rounds", "longest single vulnerability episode: "
+      "max rounds any peer spent flagged below the repair trigger (open "
+      "episodes truncated at the end of the run)", false, MetricKind::kCount,
+      MetricAggregation::kMoments, false));
+  r->metrics.push_back(Make(
+      "uplink_utilization", "fraction", "uplink bytes moved over uplink "
+      "bytes available, summed over rounds with transfer demand", false,
+      MetricKind::kReal, MetricAggregation::kMoments, false));
 }
 
 Registry& GlobalRegistry() {

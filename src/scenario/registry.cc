@@ -62,6 +62,19 @@ Scenario WeekendHeavy() {
   return s;
 }
 
+Scenario FlashCrowdDsl() {
+  Scenario s = Named("flash-crowd-dsl");
+  // The flash-crowd wave on the paper's DSL link: every newcomer's initial
+  // placement is a full n-block upload on a 32 kB/s uplink, so the wave
+  // saturates uplink capacity and stretches time-to-backup over days -
+  // the feasibility ceiling of section 2.2.4 made visible.
+  s.workload.events.push_back(
+      WorkloadEvent::FlashCrowd(sim::DaysToRounds(100), 0.5));
+  s.options.transfer_enabled = true;
+  s.options.transfer_link = "dsl-2009";
+  return s;
+}
+
 struct Entry {
   const char* name;
   Scenario (*build)();
@@ -72,6 +85,7 @@ constexpr Entry kRegistry[] = {
     {"pareto", Pareto},         {"flash-crowd", FlashCrowd},
     {"mass-exit", MassExit},    {"growing", Growing},
     {"weekend-heavy", WeekendHeavy},
+    {"flash-crowd-dsl", FlashCrowdDsl},
 };
 
 }  // namespace

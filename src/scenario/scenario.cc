@@ -110,6 +110,22 @@ Outcome RunScenario(const Scenario& scenario, const RunOptions& run) {
     TRACE_COUNTER("repair/pool_accepted", ps.accepted);
     TRACE_COUNTER("repair/score_memo_hits", ps.score_memo_hits);
     TRACE_COUNTER("repair/score_evals", ps.score_evals);
+    // Transfer-scheduler lifetime counters (same flush-once pattern; Tick
+    // keeps them as plain members).
+    if (const transfer::TransferScheduler* ts = network->transfer()) {
+      const transfer::SchedulerStats& stats = ts->stats();
+      TRACE_COUNTER("transfer/enqueued",
+                    static_cast<int64_t>(stats.enqueued));
+      TRACE_COUNTER("transfer/completed",
+                    static_cast<int64_t>(stats.completed));
+      TRACE_COUNTER("transfer/cancelled",
+                    static_cast<int64_t>(stats.cancelled));
+      TRACE_COUNTER("transfer/queue_depth_peak", stats.queue_depth_peak);
+      TRACE_COUNTER("transfer/bytes_downloaded",
+                    static_cast<int64_t>(stats.bytes_downloaded));
+      TRACE_COUNTER("transfer/bytes_uploaded",
+                    static_cast<int64_t>(stats.bytes_uploaded));
+    }
     out.report = network->metrics().BuildReport(scenario.rounds);
     out.series = network->metrics().category_series();
     out.observers = network->metrics().observers();

@@ -311,6 +311,11 @@ util::Result<Scenario> ParseScenarioText(const std::string& text) {
       } else {
         st = util::Status::InvalidArgument("unknown option '" + field + "'");
       }
+    } else if (key == "transfer.enabled") {
+      auto v = ParseBool(value);
+      if (v.ok()) scenario.options.transfer_enabled = *v; else st = v.status();
+    } else if (key == "transfer.link") {
+      scenario.options.transfer_link = value;
     } else if (key.rfind("profile.", 0) == 0) {
       auto ik = SplitIndexed(key.substr(8), "profile");
       if (!ik.ok()) {
@@ -465,6 +470,14 @@ std::string RenderScenarioText(const Scenario& scenario) {
   os << "options.loss_rate_tau = " << RenderDuration(o.loss_rate_tau) << "\n";
   os << "options.sample_interval = " << RenderDuration(o.sample_interval)
      << "\n";
+
+  // Transfer scheduling: emitted when non-default, so the canonical form of
+  // an instant-mode scenario is byte-identical to the pre-transfer format.
+  if (o.transfer_enabled || o.transfer_link != "dsl-2009") {
+    os << "\n";
+    os << "transfer.enabled = " << RenderBool(o.transfer_enabled) << "\n";
+    os << "transfer.link = " << o.transfer_link << "\n";
+  }
 
   // Metric selection (reports only): emitted when non-default, like a
   // ramp's duration - the canonical form of a default-selection scenario

@@ -113,6 +113,12 @@ util::Status ValidateResolved(const SweepSpec& spec,
     cell.quota_blocks = q;
     P2P_RETURN_IF_ERROR(cell.Validate());
   }
+  for (const std::string& link : spec.links) {
+    backup::SystemOptions cell = opts;
+    cell.transfer_enabled = true;
+    cell.transfer_link = link;
+    P2P_RETURN_IF_ERROR(cell.Validate());
+  }
   // Each world's workload must be feasible at the base scale (the axis
   // swaps populations/workloads but keeps base.peers).
   for (const Scenario& world : worlds) {
@@ -148,7 +154,7 @@ size_t SweepSpec::GroupCount() const {
   return dim(repair_thresholds.size()) * dim(quotas.size()) *
          dim(policies.size()) * dim(selections.size()) *
          dim(estimators.size()) * dim(scenarios.size()) *
-         dim(visibilities.size());
+         dim(visibilities.size()) * dim(links.size());
 }
 
 size_t SweepSpec::CellCount() const {
@@ -164,6 +170,7 @@ std::vector<std::string> SweepSpec::ActiveAxes() const {
   if (!estimators.empty()) axes.push_back("estimator");
   if (!scenarios.empty()) axes.push_back("scenario");
   if (!visibilities.empty()) axes.push_back("visibility");
+  if (!links.empty()) axes.push_back("link");
   if (replicates > 1) axes.push_back("rep");
   return axes;
 }
@@ -247,25 +254,36 @@ util::Result<std::vector<Cell>> SweepSpec::Expand() const {
                       "visibility",
                       backup::VisibilityModelName(resolved.options.visibility));
                 }
-                // The sweep-level metric selection (when set) rides on every
-                // cell's scenario, so a cell re-run in isolation reports the
-                // same columns the sweep did.
-                if (!metrics.empty()) resolved.metrics = metrics;
-                for (int rep = 0; rep < replicates; ++rep) {
-                  Cell cell;
-                  cell.index = cells.size();
-                  cell.group = group;
-                  cell.replicate = static_cast<size_t>(rep);
-                  cell.scenario = resolved;
-                  cell.scenario.seed = ReplicateSeed(
-                      base.seed, static_cast<uint64_t>(rep));
-                  cell.coords = coords;
-                  if (replicates > 1) {
-                    cell.coords.emplace_back("rep", std::to_string(rep));
+                for (int li : indices(links.size())) {
+                  Scenario linked = resolved;
+                  std::vector<std::pair<std::string, std::string>> lcoords =
+                      coords;
+                  if (li >= 0) {
+                    linked.options.transfer_enabled = true;
+                    linked.options.transfer_link =
+                        links[static_cast<size_t>(li)];
+                    lcoords.emplace_back("link", linked.options.transfer_link);
                   }
-                  cells.push_back(std::move(cell));
+                  // The sweep-level metric selection (when set) rides on
+                  // every cell's scenario, so a cell re-run in isolation
+                  // reports the same columns the sweep did.
+                  if (!metrics.empty()) linked.metrics = metrics;
+                  for (int rep = 0; rep < replicates; ++rep) {
+                    Cell cell;
+                    cell.index = cells.size();
+                    cell.group = group;
+                    cell.replicate = static_cast<size_t>(rep);
+                    cell.scenario = linked;
+                    cell.scenario.seed = ReplicateSeed(
+                        base.seed, static_cast<uint64_t>(rep));
+                    cell.coords = lcoords;
+                    if (replicates > 1) {
+                      cell.coords.emplace_back("rep", std::to_string(rep));
+                    }
+                    cells.push_back(std::move(cell));
+                  }
+                  ++group;
                 }
-                ++group;
               }
             }
           }

@@ -87,6 +87,11 @@ struct SweepSpec {
   /// axis). The generalization of the old three-value ProfileMix axis.
   std::vector<std::string> scenarios;
   std::vector<backup::VisibilityModel> visibilities;
+  /// Link-profile axis: each value is a registered link name (transfer/
+  /// link.h: "dsl-2009", "dsl-modern", "ftth"). A cell on this axis runs
+  /// with the transfer scheduler ENABLED on that link; cells share the seed
+  /// (common random numbers), so the axis isolates the link's effect.
+  std::vector<std::string> links;
   /// Seed replicates per grid point (>= 1); replicate 0 keeps the base seed.
   int replicates = 1;
   /// Metric selection for every report built from this sweep: registered

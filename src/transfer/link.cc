@@ -1,0 +1,45 @@
+#include "transfer/link.h"
+
+namespace p2p {
+namespace transfer {
+
+namespace {
+
+const net::LinkProfile* Registry(size_t* count) {
+  static const net::LinkProfile kProfiles[] = {
+      net::LinkProfile::Dsl2009(),
+      net::LinkProfile::ModernDsl(),
+      net::LinkProfile::Ftth(),
+  };
+  *count = sizeof(kProfiles) / sizeof(kProfiles[0]);
+  return kProfiles;
+}
+
+}  // namespace
+
+std::vector<std::string> LinkProfileNames() {
+  size_t count = 0;
+  const net::LinkProfile* profiles = Registry(&count);
+  std::vector<std::string> names;
+  names.reserve(count);
+  for (size_t i = 0; i < count; ++i) names.push_back(profiles[i].name);
+  return names;
+}
+
+util::Result<net::LinkProfile> FindLinkProfile(const std::string& name) {
+  size_t count = 0;
+  const net::LinkProfile* profiles = Registry(&count);
+  for (size_t i = 0; i < count; ++i) {
+    if (profiles[i].name == name) return profiles[i];
+  }
+  std::string known;
+  for (size_t i = 0; i < count; ++i) {
+    if (!known.empty()) known += ", ";
+    known += profiles[i].name;
+  }
+  return util::Status::InvalidArgument("unknown link profile: '" + name +
+                                       "' (known: " + known + ")");
+}
+
+}  // namespace transfer
+}  // namespace p2p

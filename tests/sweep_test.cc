@@ -520,6 +520,55 @@ TEST(RunnerTest, EstimatorAxisIsThreadCountInvariant) {
             std::string::npos);
 }
 
+TEST(RunnerTest, LinkAxisIsThreadCountInvariant) {
+  // The link-profile axis runs every cell with the transfer scheduler
+  // enabled; the scheduler consumes no randomness and processes jobs in
+  // enqueue order, so the axis must emit byte-identical CSV at 1 and 8
+  // threads like every other axis. 300 peers so initial placements can
+  // actually complete (n = 256 partners) and the transfer probes carry
+  // real values.
+  SweepSpec spec;
+  spec.base.peers = 300;
+  spec.base.rounds = 400;
+  spec.base.seed = 17;
+  spec.links = {"dsl-2009", "dsl-modern", "ftth"};
+  spec.metrics = {"repairs", "losses", "time_to_backup_mean",
+                  "time_to_restore_p99", "uplink_utilization",
+                  "data_loss_window"};
+
+  std::string csv[2];
+  const int thread_counts[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    RunnerOptions ropts;
+    ropts.threads = thread_counts[i];
+    auto results = RunSweep(spec, ropts);
+    ASSERT_TRUE(results.ok()) << results.status().ToString();
+    ASSERT_EQ(results->size(), 3u);
+    const SweepReport report = SweepReport::Build(spec, *results);
+    std::ostringstream os;
+    report.WriteCellsCsv(os);
+    csv[i] = os.str();
+  }
+  EXPECT_EQ(csv[0], csv[1]);
+  EXPECT_NE(csv[0].find("link"), std::string::npos);
+  EXPECT_NE(csv[0].find("dsl-2009"), std::string::npos);
+  EXPECT_NE(csv[0].find("ftth"), std::string::npos);
+  EXPECT_NE(csv[0].find("time_to_restore_p99"), std::string::npos);
+  EXPECT_NE(csv[0].find("uplink_utilization"), std::string::npos);
+}
+
+TEST(RunnerTest, LinkAxisCellsValidate) {
+  // An unknown link name must fail at expansion with an error naming the
+  // registry, not abort mid-run.
+  SweepSpec spec;
+  spec.base.peers = 64;
+  spec.base.rounds = 10;
+  spec.links = {"dsl-2009", "isdn-1999"};
+  const auto st = spec.Validate();
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("isdn-1999"), std::string::npos);
+}
+
 TEST(RunnerTest, DefaultSpecsMatchHistoricalEnumPaths) {
   // The pre-redesign enum path instantiated FixedThresholdPolicy at
   // options.repair_threshold and OldestFirstSelection. The spec-backed
