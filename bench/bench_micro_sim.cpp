@@ -173,8 +173,9 @@ struct WarmWorld {
   std::unique_ptr<backup::BackupNetwork> network;
 };
 
-// The candidate-sampling pass in isolation: draw, SoA-lane reject, quota
-// market, acceptance, estimator scoring - into the network's scratch pool.
+// The candidate-sampling pass in isolation: partner pre-exclusion, index
+// draw (segment-aware partial Fisher-Yates), quota market, acceptance,
+// estimator scoring - into the network's scratch pool.
 void BM_BuildPool(benchmark::State& state) {
   WarmWorld world(static_cast<uint32_t>(state.range(0)));
   backup::HotPathProbe probe(world.network.get());

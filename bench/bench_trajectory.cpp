@@ -169,9 +169,8 @@ struct BenchDoc {
   double memo_hit_percent = 0.0;
   double score_ns_per_observe = 0.0;
   int64_t pool_draws = 0;
-  int64_t pool_reject_dup = 0;
-  int64_t pool_reject_not_live = 0;
-  int64_t pool_reject_offline = 0;
+  int64_t pool_partner_excluded = 0;
+  int64_t pool_index_exhausted = 0;
   int64_t pool_reject_quota_full = 0;
   int64_t pool_reject_acceptance = 0;
   int64_t pool_accepted = 0;
@@ -253,11 +252,16 @@ void WriteBenchJson(const BenchDoc& d, std::ostream& os) {
   os << "    \"score_ns_per_observe\": " << Num(d.score_ns_per_observe)
      << "\n";
   os << "  },\n";
+  // Funnel of the eligible-candidate index sampler. The pre-index rejection
+  // sampler's reject_dup / reject_not_live / reject_offline keys are retired
+  // (structurally impossible), not emitted as zeros; bench_compare.py
+  // --trajectory reports "n/a" across the schema boundary. partner_excluded
+  // counts the owner/partner ids pre-taken out of the drawable lanes per
+  // episode - they are not draws, so draws == rejects + accepted.
   os << "  \"repair_pool\": {\n";
   os << "    \"draws\": " << d.pool_draws << ",\n";
-  os << "    \"reject_dup\": " << d.pool_reject_dup << ",\n";
-  os << "    \"reject_not_live\": " << d.pool_reject_not_live << ",\n";
-  os << "    \"reject_offline\": " << d.pool_reject_offline << ",\n";
+  os << "    \"partner_excluded\": " << d.pool_partner_excluded << ",\n";
+  os << "    \"index_exhausted\": " << d.pool_index_exhausted << ",\n";
   os << "    \"reject_quota_full\": " << d.pool_reject_quota_full << ",\n";
   os << "    \"reject_acceptance\": " << d.pool_reject_acceptance << ",\n";
   os << "    \"accepted\": " << d.pool_accepted << ",\n";
@@ -386,11 +390,10 @@ int main(int argc, char** argv) {
     if (c.name == "monitor/observe_memo_hits")
       memo_hits = static_cast<double>(c.value);
     if (c.name == "repair/pool_draws") doc.pool_draws = c.value;
-    if (c.name == "repair/pool_reject_dup") doc.pool_reject_dup = c.value;
-    if (c.name == "repair/pool_reject_not_live")
-      doc.pool_reject_not_live = c.value;
-    if (c.name == "repair/pool_reject_offline")
-      doc.pool_reject_offline = c.value;
+    if (c.name == "repair/pool_partner_excluded")
+      doc.pool_partner_excluded = c.value;
+    if (c.name == "repair/pool_index_exhausted")
+      doc.pool_index_exhausted = c.value;
     if (c.name == "repair/pool_reject_quota_full")
       doc.pool_reject_quota_full = c.value;
     if (c.name == "repair/pool_reject_acceptance")

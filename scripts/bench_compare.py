@@ -22,7 +22,13 @@ by side.
 (globbed from the repo root when no files are given; quick variants are
 skipped) and renders one per-phase share table across PRs as markdown, plus
 CSV with --csv. It flags nothing - it is the longitudinal view of how each
-PR moved the profile.
+PR moved the profile. The repair/pool funnel rows are the union of every
+document's "repair_pool" keys in first-seen order; a counter a document
+does not carry renders as "n/a", never an error, because the funnel schema
+is allowed to change when the sampler does (PR 9 retired reject_dup /
+reject_not_live / reject_offline - structurally impossible under the
+eligible-candidate index - and introduced partner_excluded /
+index_exhausted).
 
 Exit status: 0 when clean or --warn-only, 1 on a flagged regression, 2 on
 unusable input. CI runs the quick compare blocking (gross-regression
@@ -115,6 +121,27 @@ def trajectory(paths, csv_path):
     for name in phase_names:
         rows.append([f"phase {name} (share %)"] +
                     [f"{s[name]:.1f}" if name in s else "-" for s in per_doc])
+
+    # repair/pool funnel counters: union of keys in first-seen order. The
+    # funnel schema is coupled to the sampler, so counters come and go across
+    # PRs (rejection sampling's reject_dup vs the index's partner_excluded);
+    # a document that lacks a key - or the whole section - renders "n/a".
+    funnel_keys = []
+    for doc in docs:
+        for k in doc.get("repair_pool", {}):
+            if k not in funnel_keys:
+                funnel_keys.append(k)
+
+    def funnel_cell(doc, key):
+        section = doc.get("repair_pool", {})
+        if key not in section:
+            return "n/a"
+        v = section[key]
+        return f"{v:.2f}" if isinstance(v, float) else f"{v}"
+
+    for key in funnel_keys:
+        rows.append([f"pool {key}"] +
+                    [funnel_cell(d, key) for d in docs])
 
     widths = [max(len(r[i]) for r in rows + [["metric"] + labels])
               for i in range(len(labels) + 1)]

@@ -50,6 +50,19 @@ struct HotPathProbe {
     net->selection_->Choose(&net->scratch_pool_, d, net->place_rng_, out);
   }
 
+  /// The placement stream itself, for state()/set_state() snapshot tests
+  /// that replay a BuildPool episode draw for draw.
+  util::Rng* place_rng() { return net->place_rng_; }
+
+  /// Host ids of `owner`'s current partners (the exclusion set BuildPool
+  /// epoch-marks); lets reference samplers in tests mirror the real one.
+  std::vector<PeerId> PartnerIds(PeerId owner) const {
+    std::vector<PeerId> out;
+    out.reserve(net->partners_[owner].size());
+    for (const auto& link : net->partners_[owner]) out.push_back(link.peer);
+    return out;
+  }
+
   BackupNetwork* net;
 };
 

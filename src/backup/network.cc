@@ -105,7 +105,6 @@ BackupNetwork::BackupNetwork(sim::Engine* engine,
   peers_.resize(normal_slots_);
   partners_.resize(normal_slots_);
   clients_.resize(normal_slots_);
-  mark_.assign(normal_slots_ + kMaxObservers, 0);
   // Hot-path lanes and scratch (README "Hot path"): all-zero eligibility is
   // correct for the not-yet-live slots peers_.resize() just created, and -1
   // marks every score-memo entry invalid (rounds start at 0).
@@ -113,6 +112,12 @@ BackupNetwork::BackupNetwork(sim::Engine* engine,
   join_lane_.assign(normal_slots_ + kMaxObservers, 0);
   score_round_.assign(normal_slots_ + kMaxObservers, -1);
   score_val_.assign(normal_slots_ + kMaxObservers, 0.0);
+  // Eligible-candidate index: empty until BootstrapPopulation below inserts
+  // the initial members via RefreshElig. Reserved to the id-space bound so
+  // CandInsert never reallocates - the zero-allocation episode guarantee
+  // (hotpath_alloc_test) extends to index maintenance.
+  cand_pos_.assign(normal_slots_, kCandAbsent);
+  cand_index_.reserve(normal_slots_);
 
   BootstrapPopulation();
   engine_->AddRoundHook([this](sim::Round now) { OnRound(now); });
@@ -243,11 +248,11 @@ void BackupNetwork::ApplyAdjustment(const PopulationAdjustment& adj,
       if (peers_[id].live) live.push_back(id);
     }
     P2P_CHECK(adj.exits <= live.size());
+    // Batch-select then act: DepartPeer(replace=false) draws no churn
+    // randomness, so shuffling the whole prefix first consumes the stream
+    // exactly like the historical interleaved select/depart loop.
+    churn_rng_->ShufflePrefix(&live, adj.exits);
     for (uint32_t i = 0; i < adj.exits; ++i) {
-      const size_t j =
-          i + static_cast<size_t>(churn_rng_->UniformInt(
-                  0, static_cast<int64_t>(live.size() - 1 - i)));
-      std::swap(live[i], live[j]);
       DepartPeer(live[i], now, /*replace=*/false);
     }
   }
@@ -754,67 +759,81 @@ int BackupNetwork::BuildPool(PeerId owner, int needed,
       needed, static_cast<int>(std::ceil(options_.pool_factor * needed)));
   const int64_t max_draws =
       static_cast<int64_t>(options_.sample_attempt_factor) * target_pool;
-  ++mark_epoch_;
-  mark_[owner] = mark_epoch_;
-  for (const Link& link : partners_[owner]) mark_[link.peer] = mark_epoch_;
-
   const sim::Round now = engine_->now();
   const sim::Round owner_age = AgeOf(owner);
   const sim::Round owner_market_age = MarketAge(owner);  // round-constant
   pool->reserve(static_cast<size_t>(target_pool));
 
-  // Fast-reject mask over the SoA eligibility lane. Candidates must be
-  // members ("vacant slots are not members") and, in timeout mode, online:
-  // instant mode admits offline candidates because "the upload of generated
-  // blocks can be done later as new partners become available" (paper 3.1),
-  // while in timeout mode an offline partner would start timing out
-  // immediately.
-  const uint8_t need_mask =
-      instant_visibility() ? kEligLive
-                           : static_cast<uint8_t>(kEligLive | kEligOnline);
-
-  // The sequential semantics this loop must reproduce bit-for-bit: one
-  // UniformInt(0, peers-1) per examined candidate, with the two acceptance
-  // draws interleaved right after any candidate that survives the cheap
-  // rejects. The draw is UniformIntHoisted - UniformInt with the bound
-  // reduction (a hardware divide) hoisted to once per episode, identical
-  // draw for draw (UniformIntBatch is the same helper in a loop; RngTest
-  // locks all three together) - and the generator inlines into this loop,
-  // so the per-draw cost is the xoshiro step, one multiply, and one byte
-  // of eligibility state. Rejection counters accumulate in locals and
-  // flush to pool_stats_ once per episode: at hundreds of millions of
-  // draws per grid, a member increment per draw is a measurable store.
-  const uint64_t span = static_cast<uint64_t>(normal_slots_);
-  const uint64_t floor = (0 - span) % span;
-  const uint32_t epoch = mark_epoch_;
-  uint32_t* const mark = mark_.data();
+  // Sample without replacement straight off the eligible-candidate index:
+  // a draw lands on a live - and, in timeout mode, online - peer by
+  // construction, so the dup/not-live/offline rejects of the historical
+  // rejection sampler cannot occur and the draw budget scales with the
+  // eligible set, not the population. Instant mode admits offline
+  // candidates because "the upload of generated blocks can be done later
+  // as new partners become available" (paper 3.1) - its lane is the whole
+  // index - while timeout mode draws only from the online prefix, where an
+  // offline partner would start timing out immediately.
+  //
+  // The draw is a segment-aware partial Fisher-Yates: one UniformBounded
+  // over the ids not yet taken, with each taken id compacted to the front
+  // of its own segment so the [0, cand_online_) partition invariant
+  // survives the shuffle (the index is a set; the reordering itself is
+  // harmless). The owner and its current partners are pre-taken - swapped
+  // into the taken prefix of their segment before the first draw - so a
+  // draw can never land on them and no per-draw exclusion check runs; the
+  // quota market and the acceptance function are the only per-draw filters.
+  // Every remaining candidate is equally likely at every step, which is
+  // exactly the distribution the rejection sampler produced over the same
+  // non-excluded set (PoolIndexTest locks the statistical identity). The
+  // acceptance draws interleave after each surviving candidate as before.
+  // Counters accumulate in locals and flush once per episode.
+  const uint32_t online_total = cand_online_;
+  const uint32_t offline_total =
+      instant_visibility()
+          ? static_cast<uint32_t>(cand_index_.size()) - cand_online_
+          : 0;
+  uint32_t online_taken = 0;
+  uint32_t offline_taken = 0;
+  int64_t pre_excluded = 0;
+  const auto pre_take = [&](PeerId id) {
+    if (id >= normal_slots_) return;  // observer owner: never in the index
+    const uint32_t pos = cand_pos_[id];
+    if (pos == kCandAbsent) return;  // dead: not in the index
+    if (pos < cand_online_) {
+      CandSwap(pos, online_taken++);
+      ++pre_excluded;
+    } else if (offline_total != 0) {
+      CandSwap(pos, cand_online_ + offline_taken++);
+      ++pre_excluded;
+    }  // offline partner in timeout mode: outside the drawn lane anyway
+  };
+  pre_take(owner);
+  for (const Link& link : partners_[owner]) pre_take(link.peer);
+  uint32_t remaining =
+      (online_total - online_taken) + (offline_total - offline_taken);
   const uint8_t* const elig = elig_.data();
   const sim::Round* const join_lane = join_lane_.data();
   util::Rng* const rng = place_rng_;
   const bool use_acceptance = options_.use_acceptance;
   const bool quota_market = options_.quota_market;
-  int64_t draws = 0, rej_dup = 0, rej_not_live = 0, rej_offline = 0,
-          rej_quota_full = 0, rej_acceptance = 0, accepted = 0;
+  int64_t draws = 0, rej_quota_full = 0, rej_acceptance = 0, accepted = 0;
 
   int pool_count = 0;
-  while (draws < max_draws && pool_count < target_pool) {
+  while (pool_count < target_pool && remaining > 0 && draws < max_draws) {
     ++draws;
-    const PeerId c = static_cast<PeerId>(rng->UniformIntHoisted(0, span, floor));
-    if (mark[c] == epoch) {
-      ++rej_dup;
-      continue;
+    const uint32_t u = static_cast<uint32_t>(rng->UniformBounded(remaining));
+    --remaining;
+    PeerId c;
+    if (u < online_total - online_taken) {
+      CandSwap(online_taken + u, online_taken);
+      c = cand_index_[online_taken++];
+    } else {
+      const uint32_t off = u - (online_total - online_taken);
+      CandSwap(cand_online_ + offline_taken + off,
+               cand_online_ + offline_taken);
+      c = cand_index_[cand_online_ + offline_taken++];
     }
-    mark[c] = epoch;
-    const uint8_t e = elig[c];
-    if ((e & need_mask) != need_mask) {
-      if ((e & kEligLive) == 0) {
-        ++rej_not_live;
-      } else {
-        ++rej_offline;
-      }
-      continue;
-    }
-    if ((e & kEligQuotaFull) != 0) {
+    if ((elig[c] & kEligQuotaFull) != 0) {
       // Full hosts stay in the market for peers older than their youngest
       // client (tit-for-tat displacement).
       if (!quota_market) {
@@ -838,12 +857,13 @@ int BackupNetwork::BuildPool(PeerId owner, int needed,
     pool->push_back(core::Candidate{c, cand_age, 0.0});
   }
   pool_stats_.draws += draws;
-  pool_stats_.reject_dup += rej_dup;
-  pool_stats_.reject_not_live += rej_not_live;
-  pool_stats_.reject_offline += rej_offline;
+  pool_stats_.index_partner_excluded += pre_excluded;
   pool_stats_.reject_quota_full += rej_quota_full;
   pool_stats_.reject_acceptance += rej_acceptance;
   pool_stats_.accepted += accepted;
+  if (remaining == 0 && pool_count < target_pool) {
+    ++pool_stats_.index_exhausted;  // the whole lane was drawn and filtered
+  }
   // One monitor snapshot pass per episode scores the whole pool: the
   // estimator ranks by what the monitoring protocol can actually answer
   // (age, recent uptime, last-seen). Scores are memoized per (peer, round):
@@ -981,6 +1001,27 @@ void BackupNetwork::CheckInvariants() const {
     P2P_CHECK(elig_[id] == want);
     if (p.live && !p.is_observer) P2P_CHECK(join_lane_[id] == p.join_round);
   }
+  // Eligible-candidate index oracle: the index must hold every live normal
+  // peer exactly once with the online partition boundary exact and the
+  // position map inverting the array; dead and observer ids must be absent.
+  // RefreshElig maintains it by O(1) diffs at every transition site - a
+  // miss here means a transition escaped the diff.
+  P2P_CHECK(cand_pos_.size() == normal_slots_);
+  P2P_CHECK(cand_index_.size() <= normal_slots_);  // reserve() bound holds
+  P2P_CHECK(cand_online_ <= cand_index_.size());
+  uint32_t live_normal_check = 0;
+  for (PeerId id = 0; id < normal_slots_; ++id) {
+    const uint32_t pos = cand_pos_[id];
+    if (peers_[id].live) {
+      ++live_normal_check;
+      P2P_CHECK(pos < cand_index_.size());
+      P2P_CHECK(cand_index_[pos] == id);
+      P2P_CHECK((pos < cand_online_) == peers_[id].online);
+    } else {
+      P2P_CHECK(pos == kCandAbsent);
+    }
+  }
+  P2P_CHECK(cand_index_.size() == live_normal_check);
   // Transfer bookkeeping: the pending flag must mirror the scheduler's
   // queue exactly, and a pending job pins the owner in the flagged,
   // episode-closed state until completion.

@@ -15,8 +15,10 @@
 #ifndef P2P_BACKUP_NETWORK_H_
 #define P2P_BACKUP_NETWORK_H_
 
+#include <cstdint>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "backup/options.h"
@@ -64,14 +66,16 @@ struct HotPathProbe;
 /// `metrics()` exposes that collector for totals, per-category accounting,
 /// observer results, the daily series, and RunReport construction.
 ///
-/// Hot-path layout (see README "Hot path"): the repair rejection loop runs
-/// on dense per-peer SoA lanes (a one-byte eligibility mask and a join-round
-/// lane) maintained incrementally at every state transition, consumes its
-/// RNG draws through an inlined hoisted-bound form that stays bit-identical
-/// to the historical per-draw sequence, reuses per-network scratch buffers
-/// so a
-/// steady-state repair episode performs zero heap allocations, and memoizes
-/// estimator scores per (peer, round).
+/// Hot-path layout (see README "Hot path"): candidate sampling runs on an
+/// incrementally maintained dense eligible-candidate index (a partitioned
+/// id array whose prefix is the live+online peers, swap-with-last updated
+/// at every state transition), so a draw lands on an eligible peer by
+/// construction - partial Fisher-Yates over the index replaces rejection
+/// sampling over the id space. Dense SoA lanes (a one-byte eligibility
+/// mask and a join-round lane) back the remaining per-draw filters, every
+/// scratch buffer is a reused per-network member so a steady-state repair
+/// episode performs zero heap allocations, and estimator scores are
+/// memoized per (peer, round).
 class BackupNetwork {
  public:
   /// Wires the network into `engine` (registers the round hook). The engine
@@ -139,23 +143,42 @@ class BackupNetwork {
   };
   PartnerSetStats ComputePartnerStats(PeerId owner) const;
 
-  /// Always-on accounting of the candidate-sampling loop: every draw is
+  /// Always-on accounting of the candidate-sampling pass: every draw is
   /// attributed to exactly one outcome, so
-  /// draws == reject_* + accepted holds at all times. Plain counters bumped
-  /// in the hot loop; scenario reporting flushes them into the trace session
-  /// once per run (the monitor QueryStats pattern).
+  /// draws == reject_quota_full + reject_acceptance + accepted holds at all
+  /// times - the quota market and the acceptance function are the only
+  /// per-draw filters left. Since the eligible-candidate index landed
+  /// (README "Hot path") a draw hits a live - and, in timeout mode, online -
+  /// peer *by construction*, each episode draws each candidate at most once
+  /// (partial Fisher-Yates samples without replacement), and the owner plus
+  /// its current partners are swapped into the taken prefix of their
+  /// segments before the first draw (index_partner_excluded counts those,
+  /// per episode, not per draw). The historical reject_dup /
+  /// reject_not_live / reject_offline buckets of the rejection sampler are
+  /// therefore retired: those outcomes can no longer occur.
+  /// Plain counters bumped in the hot loop; scenario reporting flushes them
+  /// into the trace session once per run (the monitor QueryStats pattern).
   struct PoolStats {
-    int64_t draws = 0;               ///< candidate ids drawn from place RNG
-    int64_t reject_dup = 0;          ///< already marked (self/partner/seen)
-    int64_t reject_not_live = 0;     ///< vacant or never-activated slot
-    int64_t reject_offline = 0;      ///< live but offline (timeout mode)
+    int64_t draws = 0;               ///< distinct candidates drawn from index
+    int64_t index_partner_excluded = 0;  ///< pre-taken: self or a partner
     int64_t reject_quota_full = 0;   ///< no quota and no market displacement
     int64_t reject_acceptance = 0;   ///< failed the mutual acceptance draw
     int64_t accepted = 0;            ///< entered the candidate pool
+    int64_t index_exhausted = 0;     ///< episodes that drained the whole lane
     int64_t score_memo_hits = 0;     ///< pool scores served from the memo
     int64_t score_evals = 0;         ///< pool scores computed fresh
   };
   const PoolStats& pool_stats() const { return pool_stats_; }
+
+  /// \name Eligible-candidate index introspection (tests, diagnostics).
+  /// @{
+  /// The dense candidate id array: every live normal peer exactly once,
+  /// live+online peers in [0, candidate_online_count()), live+offline in
+  /// the remainder. Entry order is arbitrary (it carries the scars of every
+  /// swap-with-last update and partial shuffle) but deterministic.
+  const std::vector<PeerId>& candidate_index() const { return cand_index_; }
+  uint32_t candidate_online_count() const { return cand_online_; }
+  /// @}
 
   /// The transfer scheduler when `options.transfer_enabled`, else null
   /// (instant mode). Stats are flushed to trace counters by the scenario
@@ -318,26 +341,88 @@ class BackupNetwork {
   std::vector<PeerId> scratch_queue_;
   std::vector<PeerId> scratch_owners_;
 
-  // Pool-sampling scratch: epoch-marked exclusion set.
-  std::vector<uint32_t> mark_;
-  uint32_t mark_epoch_ = 0;
-
-  // --- repair hot path (SoA lanes, scratch, memo) ---
-  // Eligibility bits mirrored out of PeerState so the rejection loop touches
+  // --- repair hot path (candidate index, SoA lanes, scratch, memo) ---
+  // Eligibility bits mirrored out of PeerState so the sampling pass touches
   // one dense byte per candidate instead of a ~100-byte struct. Maintained
   // by RefreshElig at every site that flips live/online or moves hosted
   // across the quota boundary; CheckInvariants cross-checks the mirror.
   static constexpr uint8_t kEligLive = 1u << 0;
   static constexpr uint8_t kEligOnline = 1u << 1;
   static constexpr uint8_t kEligQuotaFull = 1u << 2;
+
+  // Eligible-candidate index: a dense partitioned id array holding every
+  // live normal peer exactly once - [0, cand_online_) live AND online, the
+  // rest live but offline - with cand_pos_ mapping id -> position
+  // (kCandAbsent while not a member). Every update is an O(1) boundary/last
+  // swap driven by the eligibility diff RefreshElig computes anyway, so
+  // "maintain the index" rides the exact transition sites the SoA lanes
+  // already instrument (join, departure, online toggle, placement, quota
+  // release) and can never drift onto a site of its own. BuildPool samples
+  // without replacement by partial Fisher-Yates over the lane prefix, so a
+  // draw lands on an eligible peer by construction and the draw budget
+  // scales with the eligible set, not the population.
+  static constexpr uint32_t kCandAbsent = UINT32_MAX;
+  void CandSwap(uint32_t a, uint32_t b) {
+    if (a == b) return;
+    std::swap(cand_index_[a], cand_index_[b]);
+    cand_pos_[cand_index_[a]] = a;
+    cand_pos_[cand_index_[b]] = b;
+  }
+  void CandInsert(PeerId id, bool online) {
+    cand_pos_[id] = static_cast<uint32_t>(cand_index_.size());
+    cand_index_.push_back(id);  // never reallocates: reserved to normal_slots_
+    if (online) {
+      CandSwap(cand_pos_[id], cand_online_);
+      ++cand_online_;
+    }
+  }
+  void CandRemove(PeerId id) {
+    uint32_t p = cand_pos_[id];
+    if (p < cand_online_) {  // first retreat the online boundary over it
+      CandSwap(p, cand_online_ - 1);
+      --cand_online_;
+      p = cand_online_;
+    }
+    CandSwap(p, static_cast<uint32_t>(cand_index_.size()) - 1);
+    cand_index_.pop_back();
+    cand_pos_[id] = kCandAbsent;
+  }
+  void CandSetOnline(PeerId id, bool online) {
+    if (online) {
+      CandSwap(cand_pos_[id], cand_online_);
+      ++cand_online_;
+    } else {
+      CandSwap(cand_pos_[id], cand_online_ - 1);
+      --cand_online_;
+    }
+  }
+
+  /// Refreshes the eligibility byte of `id` from PeerState and applies the
+  /// live/online diff to the candidate index. Call after ANY mutation of
+  /// live, online, or hosted; redundant calls are cheap no-ops.
   void RefreshElig(PeerId id) {
     const PeerState& p = peers_[id];
-    elig_[id] = static_cast<uint8_t>((p.live ? kEligLive : 0) |
-                                     (p.online ? kEligOnline : 0) |
-                                     (p.hosted >= options_.quota_blocks
-                                          ? kEligQuotaFull
-                                          : 0));
+    const uint8_t was = elig_[id];
+    const uint8_t cur = static_cast<uint8_t>(
+        (p.live ? kEligLive : 0) | (p.online ? kEligOnline : 0) |
+        (p.hosted >= options_.quota_blocks ? kEligQuotaFull : 0));
+    elig_[id] = cur;
+    if (id >= normal_slots_) return;  // observers are never candidates
+    const uint8_t flip = was ^ cur;
+    if ((flip & (kEligLive | kEligOnline)) == 0) return;
+    if ((flip & kEligLive) != 0) {
+      if ((cur & kEligLive) != 0) {
+        CandInsert(id, (cur & kEligOnline) != 0);
+      } else {
+        CandRemove(id);
+      }
+    } else if ((cur & kEligLive) != 0) {
+      CandSetOnline(id, (cur & kEligOnline) != 0);
+    }
   }
+  std::vector<PeerId> cand_index_;
+  std::vector<uint32_t> cand_pos_;
+  uint32_t cand_online_ = 0;
   std::vector<uint8_t> elig_;
   // join_round lane: the only PeerState field the accept path of the
   // sampling loop still needs (candidate age). Observers never appear as

@@ -91,7 +91,11 @@ struct SystemOptions {
   /// is big enough"); the selection strategy then picks from the pool.
   double pool_factor = 3.0;
 
-  /// Bound on candidate draws per pool slot before giving up for the round.
+  /// Bound on candidate draws per pool slot before giving up for the
+  /// round. Since the eligible-candidate index landed a draw is never
+  /// wasted on a dead/offline/duplicate id, so in practice the eligible
+  /// set runs dry (index_exhausted) before this budget does; it remains
+  /// the hard cap on quota-market/acceptance rejections per episode.
   int sample_attempt_factor = 8;
 
   /// Cap on blocks uploaded per owner per round; 0 = unlimited. The paper

@@ -98,13 +98,15 @@ Outcome RunScenario(const Scenario& scenario, const RunOptions& run) {
     const auto& qs = network->monitor().query_stats();
     TRACE_COUNTER("monitor/observe", qs.observe_calls);
     TRACE_COUNTER("monitor/observe_memo_hits", qs.memo_hits);
-    // Same pattern for the candidate-sampling loop: every draw lands in
-    // exactly one of these buckets (draws == rejects + accepted).
+    // Same pattern for the candidate sampler: every index draw lands in
+    // exactly one of these buckets (draws == rejects + accepted; the owner
+    // and its partners are pre-excluded before any draw, counted per
+    // episode). The dup / not-live / offline rejects of the pre-index
+    // sampler are structurally impossible now and are retired, not zero.
     const auto& ps = network->pool_stats();
     TRACE_COUNTER("repair/pool_draws", ps.draws);
-    TRACE_COUNTER("repair/pool_reject_dup", ps.reject_dup);
-    TRACE_COUNTER("repair/pool_reject_not_live", ps.reject_not_live);
-    TRACE_COUNTER("repair/pool_reject_offline", ps.reject_offline);
+    TRACE_COUNTER("repair/pool_partner_excluded", ps.index_partner_excluded);
+    TRACE_COUNTER("repair/pool_index_exhausted", ps.index_exhausted);
     TRACE_COUNTER("repair/pool_reject_quota_full", ps.reject_quota_full);
     TRACE_COUNTER("repair/pool_reject_acceptance", ps.reject_acceptance);
     TRACE_COUNTER("repair/pool_accepted", ps.accepted);

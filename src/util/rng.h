@@ -94,8 +94,8 @@ class Rng {
   /// precomputed by the caller: `span` is the range width (> 0) and
   /// `floor` = (0 - span) % span. Draw-for-draw identical to UniformInt -
   /// same values, same NextU64 consumption - this is the form a hot
-  /// rejection-sampling loop uses so the divide for `floor` happens once
-  /// per loop, not once per draw (see BackupNetwork::BuildPool).
+  /// fixed-bound loop uses so the divide for `floor` happens once per
+  /// loop, not once per draw (UniformIntBatch is this helper in a loop).
   int64_t UniformIntHoisted(int64_t lo, uint64_t span, uint64_t floor) {
     assert(span != 0 && floor == (0 - span) % span);
     uint64_t x = NextU64();
@@ -109,6 +109,48 @@ class Rng {
       }
     }
     return lo + static_cast<int64_t>(m >> 64);
+  }
+
+  /// Returns an integer uniform in [0, bound) for bound >= 1. Exactly
+  /// UniformInt(0, bound - 1) - same values, same NextU64 consumption
+  /// (RngTest locks the identity) - under the name a shrinking-span
+  /// consumer reads naturally. Unlike UniformIntHoisted the bound changes
+  /// every call (a partial Fisher-Yates span shrinks by one per draw), so
+  /// the rejection floor cannot be hoisted; the divide behind the `l <
+  /// bound` pre-check fires with probability bound / 2^64, effectively
+  /// never at simulation population sizes.
+  uint64_t UniformBounded(uint64_t bound) {
+    assert(bound != 0);
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < bound) {
+      const uint64_t floor = (0 - bound) % bound;
+      while (l < floor) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Partial Fisher-Yates: permutes `v` so its first `k` elements are a
+  /// uniform without-replacement sample of all of `v` in uniformly random
+  /// order (`k` is clamped to the size). Draw-for-draw identical to the
+  /// manual `swap(v[i], v[i + UniformInt(0, size-1-i)])` loop, so callers
+  /// that batch-select then act (e.g. a correlated departure wave) consume
+  /// the stream exactly like the historical interleaved form.
+  template <typename T>
+  void ShufflePrefix(std::vector<T>* v, size_t k) {
+    const size_t size = v->size();
+    if (k > size) k = size;
+    for (size_t i = 0; i < k; ++i) {
+      // A span of 1 still draws (UniformBounded(1) consumes one NextU64,
+      // exactly like UniformInt(0, 0)): stream alignment over cleverness.
+      const size_t j = i + static_cast<size_t>(UniformBounded(size - i));
+      std::swap((*v)[i], (*v)[j]);
+    }
   }
 
   /// Fills `out[0..n)` with integers uniform in [lo, hi]. The emitted value

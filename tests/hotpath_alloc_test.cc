@@ -163,6 +163,35 @@ TEST(HotPathAllocTest, SteadyStateEpisodesAreAllocationFree) {
   network.CheckInvariants();
 }
 
+TEST(HotPathAllocTest, IndexMaintenanceNeverReallocates) {
+  // The eligible-candidate index is reserved to the id-space bound at
+  // construction, so CandInsert/CandRemove/CandSwap - including a mass exit
+  // that empties a third of it and a join wave that refills it - never touch
+  // the heap. Capacity identity across the storm is the witness: a single
+  // reallocation anywhere would change it.
+  const auto profiles = churn::ProfileSet::Paper();
+  sim::EngineOptions eopts;
+  eopts.seed = 13;
+  eopts.end_round = 900;
+  sim::Engine engine(eopts);
+  std::vector<PopulationAdjustment> workload;
+  workload.push_back(PopulationAdjustment{300, 0, 150});
+  workload.push_back(PopulationAdjustment{500, 150, 0});
+  workload.push_back(PopulationAdjustment{700, 0, 100});
+  BackupNetwork network(&engine, &profiles, WarmOptions(), workload);
+  const size_t cap_at_birth = network.candidate_index().capacity();
+  ASSERT_GE(cap_at_birth, 400u + 150u);  // reserve() covers every join slot
+  WarmUp(&engine, 400);
+
+  // The alloc-counted probe episodes of the tests above plus this storm
+  // cover the index end to end: sampling swaps in BuildPool (counted
+  // strictly zero there) and maintenance swaps here.
+  while (engine.Step()) {
+  }
+  EXPECT_EQ(network.candidate_index().capacity(), cap_at_birth);
+  network.CheckInvariants();
+}
+
 TEST(HotPathAllocTest, RoundLoopAllocationsDoNotScaleWithEpisodes) {
   const auto profiles = churn::ProfileSet::Paper();
   sim::EngineOptions eopts;

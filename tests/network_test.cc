@@ -4,6 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <vector>
+
 #include "backup/network.h"
 #include "backup/options.h"
 #include "churn/profile.h"
@@ -78,7 +81,10 @@ TEST(NetworkTest, BootstrapsAndBacksUpEveryone) {
   engine.Run();
   const auto pop = network.ComputePopulationStats();
   EXPECT_GT(pop.backed_up, 290);  // nearly everyone placed 32 blocks
-  EXPECT_GT(pop.mean_partners, 25.0);
+  // Stochastic threshold, not a golden: the index sampler's draw sequence
+  // re-roll moved this from ~25.1 to ~24.9 (PoolIndexTest locks the
+  // distribution itself).
+  EXPECT_GT(pop.mean_partners, 24.0);
   network.CheckInvariants();
 }
 
@@ -398,7 +404,11 @@ TEST(NetworkTest, AvailabilityWeightedEstimatorPrefersStableHosts) {
 
 TEST(NetworkTest, PoolStatsAttributeEveryDraw) {
   // The candidate-sampling counters are a partition: every id drawn from
-  // the placement stream lands in exactly one reject bucket or is accepted.
+  // the eligible-candidate index lands in exactly one bucket, and the quota
+  // market plus the acceptance function are the only per-draw filters. The
+  // owner and its partners are pre-excluded before the first draw (counted
+  // per episode, not per draw), and the pre-index dup / not-live / offline
+  // rejects are structurally impossible and have no buckets at all.
   const auto profiles = churn::ProfileSet::Paper();
   sim::EngineOptions eopts;
   // Long enough that the population's ages spread: acceptance rejections
@@ -409,38 +419,47 @@ TEST(NetworkTest, PoolStatsAttributeEveryDraw) {
   engine.Run();
   const auto& ps = network.pool_stats();
   EXPECT_GT(ps.draws, 0);
-  EXPECT_EQ(ps.draws, ps.reject_dup + ps.reject_not_live +
-                          ps.reject_offline + ps.reject_quota_full +
-                          ps.reject_acceptance + ps.accepted);
+  EXPECT_EQ(ps.draws,
+            ps.reject_quota_full + ps.reject_acceptance + ps.accepted);
   // Every pooled candidate got a score, from the memo or computed fresh;
   // the memo only ever hits behind at least one fresh eval.
   EXPECT_EQ(ps.accepted, ps.score_memo_hits + ps.score_evals);
   EXPECT_GT(ps.score_evals, 0);
-  // The default scenario runs with acceptance on and the timeout visibility
-  // model over diurnal sessions: both reject reasons must actually occur.
-  EXPECT_GT(ps.reject_offline, 0);
+  // The default scenario runs with acceptance on: maintenance episodes keep
+  // pre-taking their owner's existing partners out of the drawable lanes,
+  // and old owners meet young candidates they refuse.
+  EXPECT_GT(ps.index_partner_excluded, 0);
   EXPECT_GT(ps.reject_acceptance, 0);
-  // Vacant slots only exist under a workload; none here.
-  EXPECT_EQ(ps.reject_not_live, 0);
 }
 
-TEST(NetworkTest, PoolStatsCountVacantSlotsUnderWorkload) {
+TEST(NetworkTest, VacantSlotsNeverEnterTheIndex) {
   const auto profiles = churn::ProfileSet::Paper();
   sim::EngineOptions eopts;
   eopts.end_round = 100;
   sim::Engine engine(eopts);
-  // A mass exit vacates a third of the id space: the sampler must now hit
-  // (and count) dead slots.
+  // A mass exit vacates a third of the id space. The pre-index sampler
+  // drew on those dead slots (a reject_not_live bucket that was otherwise
+  // always zero); the index removes them at departure, so a draw can never
+  // land on one - the funnel partition needs no not-live bucket at all.
   std::vector<PopulationAdjustment> workload;
   workload.push_back(PopulationAdjustment{20, 0, 100});
   BackupNetwork network(&engine, &profiles, SmallOptions(), workload);
   engine.Run();
-  network.CheckInvariants();
+  network.CheckInvariants();  // index oracle: dead ids absent, pos map exact
+  // The exits really vacated slots, and none of them is a member: the index
+  // holds at most the surviving population (natural churn replaces in
+  // place, so only workload exits shrink it), every member distinct.
+  const std::vector<PeerId>& index = network.candidate_index();
+  EXPECT_LE(index.size(), SmallOptions().num_peers - 100);
+  EXPECT_GT(index.size(), 0u);
+  std::vector<PeerId> sorted(index.begin(), index.end());
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_TRUE(std::adjacent_find(sorted.begin(), sorted.end()) ==
+              sorted.end());
+  EXPECT_LE(network.candidate_online_count(), index.size());
   const auto& ps = network.pool_stats();
-  EXPECT_GT(ps.reject_not_live, 0);
-  EXPECT_EQ(ps.draws, ps.reject_dup + ps.reject_not_live +
-                          ps.reject_offline + ps.reject_quota_full +
-                          ps.reject_acceptance + ps.accepted);
+  EXPECT_EQ(ps.draws,
+            ps.reject_quota_full + ps.reject_acceptance + ps.accepted);
 }
 
 TEST(NetworkTest, MaxBlocksPerRoundSpreadsPlacement) {

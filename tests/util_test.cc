@@ -4,6 +4,8 @@
 #include <cmath>
 #include <set>
 #include <sstream>
+#include <utility>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -168,6 +170,74 @@ TEST(RngTest, StateRoundTripReplaysExactly) {
   ref.NextU64();
   for (int i = 0; i < 5; ++i) ref.UniformInt(0, 99);
   for (int i = 0; i < 32; ++i) ASSERT_EQ(rng.NextU64(), ref.NextU64());
+}
+
+TEST(RngTest, UniformBoundedMatchesUniformInt) {
+  // UniformBounded(bound) is UniformInt(0, bound - 1) under another name:
+  // same values, same NextU64 consumption. The eligible-candidate index
+  // sampler (BackupNetwork::BuildPool) relies on this to stay draw-aligned
+  // with any consumer phrased in the inclusive-range form.
+  const uint64_t kBounds[] = {1, 2, 3, 11, 997, 25'000, 1ull << 40};
+  for (uint64_t bound : kBounds) {
+    Rng a(909), b(909);
+    for (int i = 0; i < 500; ++i) {
+      ASSERT_EQ(a.UniformBounded(bound),
+                static_cast<uint64_t>(
+                    b.UniformInt(0, static_cast<int64_t>(bound) - 1)))
+          << "bound " << bound << " draw " << i;
+    }
+    for (int i = 0; i < 32; ++i) ASSERT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, ShufflePrefixMatchesManualPartialFisherYates) {
+  // ShufflePrefix(v, k) consumes the stream exactly like the historical
+  // manual loop - one UniformInt(0, size-1-i) per position, a span of 1
+  // included - and produces the identical permutation. ApplyAdjustment's
+  // correlated-exit wave swapped the manual loop for this helper on the
+  // strength of this identity.
+  for (size_t k : {size_t{0}, size_t{1}, size_t{5}, size_t{40}, size_t{64}}) {
+    Rng helper(314), manual(314);
+    std::vector<int> a(64), b(64);
+    for (int i = 0; i < 64; ++i) a[i] = b[i] = i;
+    helper.ShufflePrefix(&a, k);
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = i + static_cast<size_t>(manual.UniformInt(
+                               0, static_cast<int64_t>(b.size() - 1 - i)));
+      std::swap(b[i], b[j]);
+    }
+    EXPECT_EQ(a, b) << "k=" << k;
+    for (int i = 0; i < 32; ++i) ASSERT_EQ(helper.NextU64(), manual.NextU64());
+  }
+  // k beyond the size clamps to a full shuffle.
+  Rng c(271), d(271);
+  std::vector<int> e(10), f(10);
+  for (int i = 0; i < 10; ++i) e[i] = f[i] = i;
+  c.ShufflePrefix(&e, 99);
+  d.ShufflePrefix(&f, 10);
+  EXPECT_EQ(e, f);
+}
+
+TEST(RngTest, StateRoundTripThroughShufflePrefix) {
+  // Snapshot / restore brackets the shuffle-based sampler exactly: replay
+  // from the saved state re-emits the same permutation, and the post-replay
+  // stream continues in lockstep with an uninterrupted twin.
+  Rng rng(58);
+  rng.NextU64();
+  const Rng::State saved = rng.state();
+  std::vector<uint32_t> first(128), second(128);
+  for (uint32_t i = 0; i < 128; ++i) first[i] = second[i] = i;
+  rng.ShufflePrefix(&first, 50);
+  rng.set_state(saved);
+  rng.ShufflePrefix(&second, 50);
+  EXPECT_EQ(first, second);
+
+  Rng twin(58);
+  twin.NextU64();
+  std::vector<uint32_t> scratch(128);
+  for (uint32_t i = 0; i < 128; ++i) scratch[i] = i;
+  twin.ShufflePrefix(&scratch, 50);
+  for (int i = 0; i < 32; ++i) ASSERT_EQ(rng.NextU64(), twin.NextU64());
 }
 
 TEST(RngTest, NextDoubleInUnitInterval) {
