@@ -17,6 +17,14 @@ else
 fi
 
 echo
+echo "== lint: detlint (determinism/hot-path rules) + clang-tidy =="
+# The same gate CI's lint job runs: the project linter is always available
+# (python3), clang-tidy participates when installed and self-skips when not,
+# so "clean" means the same thing locally and in CI.
+python3 scripts/detlint.py
+./scripts/run_clang_tidy.sh build
+
+echo
 echo "== smoke sweep: 2x2 grid, 2 replicates, 2 threads =="
 ./build/sweep_demo \
   --peers=150 --rounds=600 \

@@ -1,0 +1,411 @@
+#!/usr/bin/env python3
+"""Project determinism / hot-path linter (detlint).
+
+Rule-based scanning of src/ for the properties the test suite can only spot
+after the fact: hidden nondeterminism, iteration-order leaks, and heap
+traffic inside the annotated repair hot path. Registered in ctest as
+`detlint` (this script on the repo) and `detlint_test` (seeded-violation
+self-tests in scripts/detlint_test.py).
+
+Rules
+-----
+nondet
+    Bans wall-clock and ambient-randomness sources in simulation code:
+    std::random_device, rand()/srand(), time(), and the std::chrono
+    *_clock::now() family. Simulation state may only evolve from the seeded
+    util::Rng. src/trace/ is exempt (host-runtime observability measures
+    wall time by design); bench/ is outside the scanned tree.
+
+unordered-iter
+    Bans iterating a std::unordered_{map,set,multimap,multiset}: iteration
+    order differs across libstdc++ versions and hash seeds, so any report,
+    placement, or serialized artifact fed from such a loop silently loses
+    cross-platform determinism. Order-independent folds (sums, min/max
+    tie-breaks) are legitimate - mark them with DETLINT-ALLOW and say why.
+
+hot-path-alloc
+    Inside regions bracketed by
+        // DETLINT: hot-path-begin
+        // DETLINT: hot-path-end
+    bans heap traffic: `new`, make_unique/make_shared, std::string
+    construction and std::to_string temporaries, and
+    push_back/emplace_back on a container with no reserve() call anywhere
+    in the same file. The annotated regions are the BuildPool / RefreshElig
+    / selection-scratch code whose zero-allocation claim
+    tests/hotpath_alloc_test.cc proves at runtime; the linter keeps the
+    property reviewable at the diff level. Unbalanced or nested begin/end
+    markers are themselves violations.
+
+registry
+    Registry completeness: every name registered in
+    src/scenario/registry.cc (named scenarios), src/core/
+    strategy_registry.cc (policies / selections / estimators), and
+    src/metrics/registry.cc (metric probes) must appear in README.md, and
+    scripts/check.sh must retain the registry-driven smoke loops
+    (`scenario_tool list`, `policies --names`, `selections --names`,
+    `estimators --names`, `metrics --names`) so new registrations are
+    smoke-tested without editing the script.
+
+Escape hatch
+------------
+    // DETLINT-ALLOW(rule): reason
+on the offending line or the line directly above suppresses that rule for
+that line. The reason is mandatory - the point is that every exception is
+visible and argued in review.
+
+Exit status: 0 clean, 1 violations, 2 usage error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+SRC_EXTENSIONS = (".cc", ".h")
+
+# Directories under src/ exempt from the nondet rule (host-runtime tracing
+# measures wall time on purpose; results never feed simulation state).
+NONDET_EXEMPT_DIRS = ("trace",)
+
+ALLOW_RE = re.compile(r"//\s*DETLINT-ALLOW\(([\w-]+)\)\s*:\s*(.*)")
+HOT_BEGIN_RE = re.compile(r"//\s*DETLINT:\s*hot-path-begin\b")
+HOT_END_RE = re.compile(r"//\s*DETLINT:\s*hot-path-end\b")
+
+NONDET_PATTERNS = (
+    (re.compile(r"std::random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w:.>])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"(?<![\w:.>])time\s*\("), "time()"),
+    (re.compile(
+        r"(?:system_clock|steady_clock|high_resolution_clock)\s*::\s*now"),
+     "std::chrono clock ::now()"),
+)
+
+UNORDERED_DECL_RE = re.compile(
+    r"\bunordered_(?:multi)?(?:map|set)\s*<")
+# Identifier that terminates an unordered declaration: the first name that
+# follows the closing template bracket at depth zero.
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+HOT_ALLOC_PATTERNS = (
+    (re.compile(r"(?<![\w:])new\b(?!\s*\()"), "operator new"),
+    (re.compile(r"(?<![\w:])new\s*\("), "operator new"),
+    (re.compile(r"\bmake_(?:unique|shared)\b"), "make_unique/make_shared"),
+    (re.compile(r"\bstd::string\b"), "std::string temporary"),
+    (re.compile(r"\bto_string\s*\("), "std::to_string temporary"),
+)
+PUSH_BACK_RE = re.compile(r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*"
+                          r"(?:push_back|emplace_back)\s*\(")
+
+CHECK_SH_REQUIRED_LOOPS = (
+    "scenario_tool list",
+    "policies --names",
+    "selections --names",
+    "estimators --names",
+    "metrics --names",
+)
+
+
+class Violation:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def __str__(self):
+        return "%s:%d: [%s] %s" % (self.path, self.line, self.rule,
+                                   self.message)
+
+
+def strip_comments_and_strings(text):
+    """Blanks comments, string and char literals, preserving line structure.
+
+    Rule regexes run on the stripped text so tokens in comments or log
+    strings never fire; DETLINT annotations are parsed from the raw text
+    beforehand.
+    """
+    out = []
+    i = 0
+    n = len(text)
+    state = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                state = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                state = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                state = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def parse_allows(raw_lines, path):
+    """Returns ({line_number: rule}, [syntax violations]).
+
+    An ALLOW covers its own line and the line below (annotation-above
+    style). An ALLOW with an empty reason is itself a violation: the reason
+    is the whole point.
+    """
+    allows = {}
+    violations = []
+    for idx, line in enumerate(raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m is None:
+            continue
+        rule, reason = m.group(1), m.group(2).strip()
+        if not reason:
+            violations.append(Violation(
+                path, idx, "allow-syntax",
+                "DETLINT-ALLOW(%s) without a reason" % rule))
+            continue
+        allows.setdefault(idx, set()).add(rule)
+        allows.setdefault(idx + 1, set()).add(rule)
+    return allows, violations
+
+
+def allowed(allows, line, rule):
+    return rule in allows.get(line, set())
+
+
+def unordered_container_names(stripped):
+    """Names declared (or bound) as unordered containers in this file."""
+    names = set()
+    for m in UNORDERED_DECL_RE.finditer(stripped):
+        # Walk the template argument list to its matching '>' and take the
+        # next identifier at depth zero as the declared name.
+        depth = 0
+        i = m.end() - 1  # at '<'
+        n = len(stripped)
+        while i < n:
+            if stripped[i] == "<":
+                depth += 1
+            elif stripped[i] == ">":
+                depth -= 1
+                if depth == 0:
+                    break
+            i += 1
+        tail = stripped[i + 1:i + 200]
+        ident = IDENT_RE.search(tail)
+        if ident:
+            names.add(ident.group(0))
+    return names
+
+
+def check_nondet(path, rel, stripped_lines, allows, violations):
+    parts = rel.replace(os.sep, "/").split("/")
+    if len(parts) >= 2 and parts[1] in NONDET_EXEMPT_DIRS:
+        return
+    for idx, line in enumerate(stripped_lines, start=1):
+        for pattern, what in NONDET_PATTERNS:
+            if pattern.search(line) and not allowed(allows, idx, "nondet"):
+                violations.append(Violation(
+                    path, idx, "nondet",
+                    "%s in simulation code (seeded util::Rng only; "
+                    "src/trace/ is the wall-clock layer)" % what))
+
+
+def check_unordered_iter(path, stripped, stripped_lines, allows, violations):
+    names = unordered_container_names(stripped)
+    if not names:
+        return
+    for idx, line in enumerate(stripped_lines, start=1):
+        for name in names:
+            hit = (
+                re.search(r"for\s*\(.*:\s*\*?\s*%s\b" % re.escape(name), line)
+                or re.search(r"\b%s\s*(?:\.|->)\s*(?:c?begin|equal_range)"
+                             r"\s*\(" % re.escape(name), line))
+            if hit and not allowed(allows, idx, "unordered-iter"):
+                violations.append(Violation(
+                    path, idx, "unordered-iter",
+                    "iteration over unordered container '%s' (order is "
+                    "libstdc++-version-dependent; sort first or justify "
+                    "order-independence with DETLINT-ALLOW)" % name))
+
+
+def check_hot_path(path, stripped, stripped_lines, raw_lines, allows,
+                   violations):
+    reserved = set(m.group(1) for m in re.finditer(
+        r"\b([A-Za-z_]\w*)\s*(?:\.|->)\s*reserve\s*\(", stripped))
+    in_region = False
+    for idx, raw in enumerate(raw_lines, start=1):
+        if HOT_BEGIN_RE.search(raw):
+            if in_region:
+                violations.append(Violation(
+                    path, idx, "hot-path-alloc",
+                    "nested hot-path-begin (regions cannot nest)"))
+            in_region = True
+            continue
+        if HOT_END_RE.search(raw):
+            if not in_region:
+                violations.append(Violation(
+                    path, idx, "hot-path-alloc",
+                    "hot-path-end without a matching begin"))
+            in_region = False
+            continue
+        if not in_region:
+            continue
+        line = stripped_lines[idx - 1]
+        for pattern, what in HOT_ALLOC_PATTERNS:
+            if pattern.search(line) and not allowed(allows, idx,
+                                                    "hot-path-alloc"):
+                violations.append(Violation(
+                    path, idx, "hot-path-alloc",
+                    "%s inside a hot-path region" % what))
+        for m in PUSH_BACK_RE.finditer(line):
+            var = m.group(1)
+            if var not in reserved and not allowed(allows, idx,
+                                                   "hot-path-alloc"):
+                violations.append(Violation(
+                    path, idx, "hot-path-alloc",
+                    "push_back on '%s' with no reserve() in this file "
+                    "(growth inside the hot path)" % var))
+    if in_region:
+        violations.append(Violation(
+            path, len(raw_lines), "hot-path-alloc",
+            "hot-path-begin never closed (missing hot-path-end)"))
+
+
+def registered_names(root):
+    """(name, source_path, line) triples from the three registries."""
+    out = []
+    scen = os.path.join(root, "src", "scenario", "registry.cc")
+    if os.path.exists(scen):
+        with open(scen, encoding="utf-8") as f:
+            for idx, line in enumerate(f, start=1):
+                for m in re.finditer(r"\{\s*\"([\w-]+)\"\s*,", line):
+                    out.append((m.group(1), scen, idx))
+    strat = os.path.join(root, "src", "core", "strategy_registry.cc")
+    if os.path.exists(strat):
+        with open(strat, encoding="utf-8") as f:
+            for idx, line in enumerate(f, start=1):
+                m = re.search(r"\.name\s*=\s*\"([\w-]+)\"", line)
+                if m:
+                    out.append((m.group(1), strat, idx))
+    met = os.path.join(root, "src", "metrics", "registry.cc")
+    if os.path.exists(met):
+        with open(met, encoding="utf-8") as f:
+            text = f.read()
+        for m in re.finditer(r"Make\(\s*\"([\w-]+)\"", text):
+            line = text.count("\n", 0, m.start()) + 1
+            out.append((m.group(1), met, line))
+    return out
+
+
+def check_registry(root, violations):
+    names = registered_names(root)
+    if not names:
+        return
+    readme_path = os.path.join(root, "README.md")
+    readme = ""
+    if os.path.exists(readme_path):
+        with open(readme_path, encoding="utf-8") as f:
+            readme = f.read()
+    for name, src, line in names:
+        if name not in readme:
+            violations.append(Violation(
+                os.path.relpath(src, root), line, "registry",
+                "registered name '%s' missing from README.md (document "
+                "every descriptor in the registry tables)" % name))
+    check_sh = os.path.join(root, "scripts", "check.sh")
+    if os.path.exists(check_sh):
+        with open(check_sh, encoding="utf-8") as f:
+            body = f.read()
+        for marker in CHECK_SH_REQUIRED_LOOPS:
+            if marker not in body:
+                violations.append(Violation(
+                    os.path.join("scripts", "check.sh"), 1, "registry",
+                    "check.sh lost its registry smoke loop ('%s'): new "
+                    "registrations would ship un-smoked" % marker))
+
+
+def lint_file(root, path, violations):
+    rel = os.path.relpath(path, root)
+    with open(path, encoding="utf-8") as f:
+        raw = f.read()
+    raw_lines = raw.splitlines()
+    stripped = strip_comments_and_strings(raw)
+    stripped_lines = stripped.splitlines()
+    # Pad (a trailing comment without newline can drop a line on split).
+    while len(stripped_lines) < len(raw_lines):
+        stripped_lines.append("")
+    allows, allow_violations = parse_allows(raw_lines, rel)
+    violations.extend(allow_violations)
+    check_nondet(path, rel, stripped_lines, allows, violations)
+    check_unordered_iter(rel, stripped, stripped_lines, allows, violations)
+    check_hot_path(rel, stripped, stripped_lines, raw_lines, allows,
+                   violations)
+
+
+def run(root):
+    src = os.path.join(root, "src")
+    if not os.path.isdir(src):
+        print("detlint: no src/ under %s" % root, file=sys.stderr)
+        return 2
+    violations = []
+    for dirpath, _, filenames in sorted(os.walk(src)):
+        for name in sorted(filenames):
+            if name.endswith(SRC_EXTENSIONS):
+                lint_file(root, os.path.join(dirpath, name), violations)
+    check_registry(root, violations)
+    for v in sorted(violations, key=lambda v: (v.path, v.line, v.rule)):
+        print(v)
+    if violations:
+        print("detlint: %d violation(s)" % len(violations), file=sys.stderr)
+        return 1
+    print("detlint: clean")
+    return 0
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", default=os.path.join(
+        os.path.dirname(os.path.abspath(__file__)), ".."),
+        help="repository root (default: the checkout containing this script)")
+    args = parser.parse_args(argv)
+    return run(os.path.abspath(args.root))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

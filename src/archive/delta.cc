@@ -71,18 +71,27 @@ std::vector<uint8_t> ComputeDelta(const std::vector<uint8_t>& base,
     RollingHash roll(target.data(), bs);
     while (true) {
       bool matched = false;
+      // DETLINT-ALLOW(unordered-iter): bucket scan folds to the min offset, so the result is iteration-order-independent
       auto [it, end] = index.equal_range(roll.value());
       if (it != end) {
         const crypto::Digest strong = crypto::Sha256::Hash(target.data() + pos, bs);
+        // Scan the whole bucket and copy from the LOWEST matching offset:
+        // taking the first strong-hash match would leak unordered_multimap
+        // iteration order (libstdc++-version-dependent) into the delta
+        // bytes whenever the base repeats a block.
+        uint64_t best_offset = 0;
         for (; it != end; ++it) {
-          if (it->second.strong == strong) {
-            flush_pending();
-            w.PutU8(kOpCopy);
-            w.PutVarint(it->second.offset);
-            w.PutVarint(bs);
+          if (it->second.strong == strong &&
+              (!matched || it->second.offset < best_offset)) {
+            best_offset = it->second.offset;
             matched = true;
-            break;
           }
+        }
+        if (matched) {
+          flush_pending();
+          w.PutU8(kOpCopy);
+          w.PutVarint(best_offset);
+          w.PutVarint(bs);
         }
       }
       if (matched) {

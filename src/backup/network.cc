@@ -751,6 +751,7 @@ void BackupNetwork::OnTransferComplete(
   }
 }
 
+// DETLINT: hot-path-begin
 int BackupNetwork::BuildPool(PeerId owner, int needed,
                              std::vector<core::Candidate>* pool) {
   TRACE_SCOPE("repair/pool");
@@ -887,6 +888,7 @@ int BackupNetwork::BuildPool(PeerId owner, int needed,
   }
   return static_cast<int>(pool->size());
 }
+// DETLINT: hot-path-end
 
 void BackupNetwork::BumpLossRate(PeerId id, int events, sim::Round now) {
   PeerState& p = peers_[id];

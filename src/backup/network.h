@@ -362,6 +362,7 @@ class BackupNetwork {
   // draw lands on an eligible peer by construction and the draw budget
   // scales with the eligible set, not the population.
   static constexpr uint32_t kCandAbsent = UINT32_MAX;
+  // DETLINT: hot-path-begin
   void CandSwap(uint32_t a, uint32_t b) {
     if (a == b) return;
     std::swap(cand_index_[a], cand_index_[b]);
@@ -370,6 +371,7 @@ class BackupNetwork {
   }
   void CandInsert(PeerId id, bool online) {
     cand_pos_[id] = static_cast<uint32_t>(cand_index_.size());
+    // DETLINT-ALLOW(hot-path-alloc): reserved to normal_slots_ at construction (network.cc); IndexMaintenanceNeverReallocates locks capacity identity
     cand_index_.push_back(id);  // never reallocates: reserved to normal_slots_
     if (online) {
       CandSwap(cand_pos_[id], cand_online_);
@@ -420,6 +422,7 @@ class BackupNetwork {
       CandSetOnline(id, (cur & kEligOnline) != 0);
     }
   }
+  // DETLINT: hot-path-end
   std::vector<PeerId> cand_index_;
   std::vector<uint32_t> cand_pos_;
   uint32_t cand_online_ = 0;

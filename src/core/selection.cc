@@ -7,6 +7,11 @@ namespace p2p {
 namespace core {
 namespace {
 
+// Selection scratch code: every Choose below runs once per repair episode
+// on the allocation-free path (tests/hotpath_alloc_test.cc). `out` and
+// `weights_` are caller-owned / member scratch at high-water capacity.
+// DETLINT: hot-path-begin
+
 // Shuffle-then-rank gives a deterministic random tie-break. Ranking is by
 // estimator score with age refining score ties: since every estimator is
 // monotone in age, this reduces to the historical pure-age ordering
@@ -47,6 +52,7 @@ size_t TakeCount(const std::vector<Candidate>& pool, int d) {
 
 void TakeFront(const std::vector<Candidate>& pool, size_t take,
                std::vector<uint32_t>* out) {
+  // DETLINT-ALLOW(hot-path-alloc): out is the caller's member scratch (scratch_chosen_), at high-water capacity once warm
   for (size_t i = 0; i < take; ++i) out->push_back(pool[i].id);
 }
 
@@ -109,6 +115,7 @@ void WeightedRandomSelection::Choose(std::vector<Candidate>* pool, int d,
         break;
       }
     }
+    // DETLINT-ALLOW(hot-path-alloc): out is the caller's member scratch (scratch_chosen_), at high-water capacity once warm
     out->push_back((*pool)[chosen].id);
     total -= weights[chosen];
     --live;
@@ -116,6 +123,7 @@ void WeightedRandomSelection::Choose(std::vector<Candidate>* pool, int d,
     std::swap(weights[chosen], weights[live]);
   }
 }
+// DETLINT: hot-path-end
 
 }  // namespace core
 }  // namespace p2p

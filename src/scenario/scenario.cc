@@ -39,6 +39,7 @@ bool operator==(const Scenario& a, const Scenario& b) {
 
 Outcome RunScenario(const Scenario& scenario, const RunOptions& run) {
   TRACE_SCOPE("scenario/run");
+  // DETLINT-ALLOW(nondet): wall_ms measures host runtime for the report; it never feeds simulation state
   const auto start = std::chrono::steady_clock::now();
 
   sim::EngineOptions eopts;
@@ -134,9 +135,9 @@ Outcome RunScenario(const Scenario& scenario, const RunOptions& run) {
     out.population = network->ComputePopulationStats();
     out.final_population = network->LivePopulation();
   }
-  out.wall_seconds = std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - start)
-                         .count();
+  // DETLINT-ALLOW(nondet): wall_ms measures host runtime for the report; it never feeds simulation state
+  const auto finish = std::chrono::steady_clock::now();
+  out.wall_seconds = std::chrono::duration<double>(finish - start).count();
   return out;
 }
 

@@ -18,11 +18,40 @@
 #include "churn/profile.h"
 #include "sim/engine.h"
 
+// Sanitizer builds own the allocator: ASan interposes malloc for poisoning
+// and quarantine, TSan for happens-before tracking, and both allocate
+// internally on paths that re-enter this binary's operator new. Overriding
+// the global allocator under them both fights the interceptors and skews
+// the counts with sanitizer-internal traffic, so the override and the
+// allocation-count assertions compile out; the structural assertions
+// (capacity identity, invariants) still run. GCC defines __SANITIZE_*
+// macros; clang exposes __has_feature.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define P2P_ALLOC_COUNTING_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define P2P_ALLOC_COUNTING_DISABLED 1
+#endif
+#endif
+
+#if defined(P2P_ALLOC_COUNTING_DISABLED)
+#define P2P_SKIP_IF_NO_ALLOC_COUNTING() \
+  GTEST_SKIP() << "allocation counting disabled under ASan/TSan (the "      \
+                  "sanitizer owns the allocator); structural suites still " \
+                  "cover this path"
+#else
+#define P2P_SKIP_IF_NO_ALLOC_COUNTING() \
+  do {                                  \
+  } while (false)
+#endif
+
 namespace {
 
 std::atomic<int64_t> g_allocs{0};
 std::atomic<bool> g_counting{false};
 
+#if !defined(P2P_ALLOC_COUNTING_DISABLED)
 void* CountedAlloc(std::size_t size) {
   if (g_counting.load(std::memory_order_relaxed)) {
     g_allocs.fetch_add(1, std::memory_order_relaxed);
@@ -30,9 +59,11 @@ void* CountedAlloc(std::size_t size) {
   if (void* p = std::malloc(size ? size : 1)) return p;
   throw std::bad_alloc();
 }
+#endif  // !defined(P2P_ALLOC_COUNTING_DISABLED)
 
 }  // namespace
 
+#if !defined(P2P_ALLOC_COUNTING_DISABLED)
 void* operator new(std::size_t size) { return CountedAlloc(size); }
 void* operator new[](std::size_t size) { return CountedAlloc(size); }
 void* operator new(std::size_t size, std::align_val_t align) {
@@ -60,6 +91,7 @@ void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
 void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
   std::free(p);
 }
+#endif  // !defined(P2P_ALLOC_COUNTING_DISABLED)
 
 namespace p2p {
 namespace backup {
@@ -97,6 +129,7 @@ PeerId FindRepairablePeer(const BackupNetwork& network, PeerId after) {
 }
 
 TEST(HotPathAllocTest, BuildPoolAndSelectionAreAllocationFree) {
+  P2P_SKIP_IF_NO_ALLOC_COUNTING();
   const auto profiles = churn::ProfileSet::Paper();
   sim::EngineOptions eopts;
   eopts.seed = 7;
@@ -129,6 +162,7 @@ TEST(HotPathAllocTest, BuildPoolAndSelectionAreAllocationFree) {
 }
 
 TEST(HotPathAllocTest, SteadyStateEpisodesAreAllocationFree) {
+  P2P_SKIP_IF_NO_ALLOC_COUNTING();
   const auto profiles = churn::ProfileSet::Paper();
   sim::EngineOptions eopts;
   eopts.seed = 11;
@@ -193,6 +227,7 @@ TEST(HotPathAllocTest, IndexMaintenanceNeverReallocates) {
 }
 
 TEST(HotPathAllocTest, RoundLoopAllocationsDoNotScaleWithEpisodes) {
+  P2P_SKIP_IF_NO_ALLOC_COUNTING();
   const auto profiles = churn::ProfileSet::Paper();
   sim::EngineOptions eopts;
   eopts.seed = 7;

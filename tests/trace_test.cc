@@ -44,6 +44,11 @@ const PhaseStat* FindPhase(const std::vector<PhaseStat>& phases,
   }
   return nullptr;
 }
+// The pointer aims into `phases`; a temporary (e.g. session.PhaseStats()
+// passed inline) dies at the end of the full expression and leaves it
+// dangling. Deleting the rvalue overload forces callers to materialize.
+const PhaseStat* FindPhase(std::vector<PhaseStat>&&,
+                           const std::string&) = delete;
 
 int64_t CounterValue(const TraceSession& session, const std::string& name) {
   for (const auto& c : session.CounterStats()) {
@@ -137,7 +142,8 @@ TEST(TraceSessionTest, RetentionCapDropsSpansButKeepsAggregatesExact) {
 
   EXPECT_EQ(session.SortedSpans().size(), 4u);
   EXPECT_EQ(session.dropped_spans(), 6);
-  const PhaseStat* phase = FindPhase(session.PhaseStats(), "test/capped");
+  const std::vector<PhaseStat> phases = session.PhaseStats();
+  const PhaseStat* phase = FindPhase(phases, "test/capped");
   ASSERT_NE(phase, nullptr);
   EXPECT_EQ(phase->count, 10);  // aggregates never drop
 
@@ -158,7 +164,8 @@ TEST(TraceSessionTest, AggregatesOnlyModeRetainsNoSpans) {
 
   EXPECT_TRUE(session.SortedSpans().empty());
   EXPECT_EQ(session.dropped_spans(), 1);
-  const PhaseStat* phase = FindPhase(session.PhaseStats(), "test/agg_only");
+  const std::vector<PhaseStat> phases = session.PhaseStats();
+  const PhaseStat* phase = FindPhase(phases, "test/agg_only");
   ASSERT_NE(phase, nullptr);
   EXPECT_EQ(phase->count, 1);
 }
@@ -293,10 +300,11 @@ TEST(TraceSweepTest, RepairCounterMatchesCollectorAndRunIsUnperturbed) {
             traced.report.Count("repairs"));
 
   // One "round" span per simulated round, one "scenario/run" per run.
-  const PhaseStat* round = FindPhase(session.PhaseStats(), "round");
+  const std::vector<PhaseStat> phases = session.PhaseStats();
+  const PhaseStat* round = FindPhase(phases, "round");
   ASSERT_NE(round, nullptr);
   EXPECT_EQ(round->count, scenario.rounds);
-  const PhaseStat* run = FindPhase(session.PhaseStats(), "scenario/run");
+  const PhaseStat* run = FindPhase(phases, "scenario/run");
   ASSERT_NE(run, nullptr);
   EXPECT_EQ(run->count, 1);
 
